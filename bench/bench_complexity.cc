@@ -1,0 +1,123 @@
+// Eq. 24 complexity microbenchmarks (google-benchmark): the forward cost of
+// CDCL decomposes as O(n * Lc) for the conv tokenizer and
+// O((d*n^2 + n*d^2) * La) for the cross-attention stack. Sweeping n
+// (sequence length) at fixed d and d at fixed n exposes the quadratic terms.
+
+#include <benchmark/benchmark.h>
+
+#include "models/compact_transformer.h"
+#include "nn/attention.h"
+#include "tensor/tensor_ops.h"
+
+namespace {
+
+using namespace cdcl;  // NOLINT: bench brevity
+
+/// Attention forward for a given sequence length (quadratic-in-n term).
+void BM_AttentionSeqLen(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t d = 32;
+  Rng rng(1);
+  nn::TaskConditionedAttention attn(d, n, &rng);
+  attn.AddTask();
+  Tensor x = Tensor::Randn(Shape{1, n, d}, &rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attn.SelfAttention(x, 0));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_AttentionSeqLen)->RangeMultiplier(2)->Range(8, 128)->Complexity();
+
+/// Attention forward for a given embedding width (quadratic-in-d term).
+void BM_AttentionEmbedDim(benchmark::State& state) {
+  const int64_t n = 16;
+  const int64_t d = state.range(0);
+  Rng rng(2);
+  nn::TaskConditionedAttention attn(d, n, &rng);
+  attn.AddTask();
+  Tensor x = Tensor::Randn(Shape{1, n, d}, &rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attn.SelfAttention(x, 0));
+  }
+  state.SetComplexityN(d);
+}
+BENCHMARK(BM_AttentionEmbedDim)->RangeMultiplier(2)->Range(8, 128)->Complexity();
+
+/// Cross-attention costs the same order as self-attention (eq. 3 vs eq. 2).
+void BM_CrossAttention(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t d = 32;
+  Rng rng(3);
+  nn::TaskConditionedAttention attn(d, n, &rng);
+  attn.AddTask();
+  Tensor xs = Tensor::Randn(Shape{1, n, d}, &rng);
+  Tensor xt = Tensor::Randn(Shape{1, n, d}, &rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attn.CrossAttention(xs, xt, 0));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_CrossAttention)->RangeMultiplier(2)->Range(8, 128)->Complexity();
+
+/// Conv tokenizer scales linearly in the pixel count (O(n * Lc)).
+void BM_ConvTokenizer(benchmark::State& state) {
+  const int64_t hw = state.range(0);
+  Rng rng(4);
+  nn::ConvTokenizer tok(hw, 3, 32, 2, 3, &rng);
+  Tensor x = Tensor::Randn(Shape{1, 3, hw, hw}, &rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tok.Forward(x));
+  }
+  state.SetComplexityN(hw * hw);
+}
+BENCHMARK(BM_ConvTokenizer)->RangeMultiplier(2)->Range(8, 64)->Complexity();
+
+/// Full model forward (self path), the unit the training loop repeats.
+void BM_ModelForward(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  Rng rng(5);
+  models::ModelConfig config;
+  config.image_hw = 16;
+  config.channels = 3;
+  config.embed_dim = 32;
+  config.num_layers = 2;
+  models::CompactTransformer model(config, &rng);
+  model.AddTask(4);
+  Tensor x = Tensor::Randn(Shape{batch, 3, 16, 16}, &rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.CilLogits(model.EncodeSelf(x, 0)));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_ModelForward)->Arg(1)->Arg(8)->Arg(32);
+
+/// Forward+backward of one training step (the hot loop of every bench).
+void BM_TrainStep(benchmark::State& state) {
+  Rng rng(6);
+  models::ModelConfig config;
+  config.image_hw = 16;
+  config.channels = 3;
+  config.embed_dim = 32;
+  config.num_layers = 2;
+  models::CompactTransformer model(config, &rng);
+  model.AddTask(4);
+  Tensor x = Tensor::Randn(Shape{16, 3, 16, 16}, &rng);
+  std::vector<int64_t> labels(16, 1);
+  for (auto _ : state) {
+    model.ZeroGrad();
+    Tensor loss =
+        ops::CrossEntropy(model.CilLogits(model.EncodeSelf(x, 0)), labels);
+    loss.Backward();
+    benchmark::DoNotOptimize(loss.item());
+  }
+}
+BENCHMARK(BM_TrainStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

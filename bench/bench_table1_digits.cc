@@ -1,0 +1,33 @@
+// Table I (MNIST<->USPS block): ACC/FGT of all methods on the synthetic
+// digits benchmark, TIL and CIL scenarios.
+//
+// Paper reference (real data): Ours TIL ACC 91.91 (MN->US), 81.48 (US->MN);
+// best continual baseline HAL 80.97 / 73.38; CDTrans ~10; TVT 98.26 / 99.70.
+// The expected *shape*: CDCL > DER/DER++/HAL/MSL >> CDTrans on TIL, and
+// TVT above everything.
+
+#include "table_harness.h"
+
+int main() {
+  cdcl::bench::TableBenchConfig config;
+  config.title = "Table I - MNIST<->USPS (synthetic digits substitution)";
+  config.family = "digits";
+  config.pairs = {{"MN", "US", "MN->US"}, {"US", "MN", "US->MN"}};
+  config.paper_til_acc = {91.91, 81.48};
+
+  config.spec.num_tasks = 5;
+  config.spec.classes_per_task = 2;
+  config.spec.train_per_class = 24;
+  config.spec.test_per_class = 12;
+
+  config.options.model.channels = 1;
+  config.options.model.embed_dim = 24;
+  config.options.model.num_layers = 2;
+  config.options.epochs = 16;
+  config.options.warmup_epochs = 5;
+  config.options.memory_size = 100;
+
+  config.methods = {"DER",       "DER++",     "HAL",  "MSL", "CDTrans-S",
+                    "CDTrans-B", "CDCL", "TVT"};
+  return cdcl::bench::RunTableBench(std::move(config));
+}

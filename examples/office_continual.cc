@@ -1,0 +1,68 @@
+// Office-31 walkthrough: the self-driving-car story from the paper's intro,
+// scaled to the office benchmark. A model first learns labeled "Amazon"
+// product images task by task, and must keep working on unlabeled "Webcam"
+// photos of the same classes. We pit CDCL against a strong rehearsal
+// baseline (DER++) and the static upper bound (TVT) on the same stream and
+// print the resulting ACC/FGT, showing the cross-domain continual gap.
+//
+//   ./build/examples/office_continual
+
+#include <cstdio>
+
+#include "cl/experiment.h"
+#include "core/driver.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace cdcl;  // NOLINT: example brevity
+
+  core::ExperimentSpec spec;
+  spec.family = "office31";
+  spec.source_domain = "A";
+  spec.target_domain = "W";
+  spec.num_tasks = 5;
+  spec.classes_per_task = 6;  // the paper's 30 classes in 5 tasks
+  spec.train_per_class = 8;
+  spec.test_per_class = 5;
+  spec.seed = 1;
+
+  baselines::TrainerOptions options;
+  options.model.channels = 3;
+  options.model.embed_dim = 32;
+  options.epochs = 20;
+  options.warmup_epochs = 8;
+  options.memory_size = 150;
+  core::ApplyEnvOverrides(&spec, &options);
+
+  std::printf("Office-31 %s->%s continual stream, %lld tasks x %lld classes\n\n",
+              spec.source_domain.c_str(), spec.target_domain.c_str(),
+              static_cast<long long>(spec.num_tasks),
+              static_cast<long long>(spec.classes_per_task));
+
+  TablePrinter table(
+      {"Method", "TIL ACC", "TIL FGT", "CIL ACC", "CIL FGT", "seconds"});
+  for (const std::string& method : {"DER++", "CDCL", "TVT"}) {
+    Stopwatch timer;
+    Result<cl::ContinualResult> result =
+        core::RunMethodOnPair(method, spec, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", method.c_str(),
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    table.AddRow({method == "CDCL" ? "CDCL (ours)" : method,
+                  StrFormat("%.2f", 100.0 * result->til_acc()),
+                  StrFormat("%.2f", 100.0 * result->til_fgt()),
+                  StrFormat("%.2f", 100.0 * result->cil_acc()),
+                  StrFormat("%.2f", 100.0 * result->cil_fgt()),
+                  StrFormat("%.1f", timer.ElapsedSeconds())});
+  }
+  table.Print();
+  std::printf(
+      "\nReading: DER++ has no domain-adaptation machinery, CDCL aligns the\n"
+      "unlabeled target while protecting old tasks, TVT retrains jointly on\n"
+      "everything (upper bound, not a continual learner).\n");
+  return 0;
+}

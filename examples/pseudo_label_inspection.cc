@@ -1,0 +1,78 @@
+// Inspecting the intra-task center-aware pseudo-labeling pipeline (paper
+// eqs. 17-19) in isolation: train CDCL on one VisDA-style task and report,
+// epoch-like, how pseudo-label accuracy and the pair-set size evolve, plus
+// the feature-space domain discrepancy before and after adaptation.
+//
+//   ./build/examples/pseudo_label_inspection
+
+#include <cstdio>
+
+#include "core/cdcl_trainer.h"
+#include "data/task_stream.h"
+#include "uda/discrepancy.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace cdcl;  // NOLINT: example brevity
+
+  data::TaskStreamOptions stream_opt;
+  stream_opt.family = "visda";
+  stream_opt.source_domain = "syn";
+  stream_opt.target_domain = "real";
+  stream_opt.num_tasks = 3;
+  stream_opt.classes_per_task = 3;
+  stream_opt.train_per_class = 16;
+  stream_opt.test_per_class = 8;
+  stream_opt.seed = 2;
+  auto stream = data::CrossDomainTaskStream::Make(stream_opt);
+  if (!stream.ok()) {
+    std::fprintf(stderr, "%s\n", stream.status().ToString().c_str());
+    return 1;
+  }
+
+  core::CdclOptions options;
+  options.base.model.channels = 3;
+  options.base.model.embed_dim = 32;
+  options.base.epochs = 16;
+  options.base.warmup_epochs = 6;
+  options.base.memory_size = 100;
+  options.base.seed = 2;
+  core::CdclTrainer trainer(options);
+
+  std::printf("Center-aware pseudo-labeling on visda syn->real\n\n");
+  TablePrinter table({"task", "pseudo-label acc", "pairs kept",
+                      "target TIL acc"});
+  for (int64_t t = 0; t < stream->num_tasks(); ++t) {
+    Status st = trainer.ObserveTask(stream->task(t));
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    const double til = trainer.EvaluateTil(stream->task(t).target_test, t);
+    table.AddRow({StrFormat("%lld", static_cast<long long>(t)),
+                  StrFormat("%.2f%%", 100.0 * trainer.last_pseudo_label_accuracy()),
+                  StrFormat("%lld", static_cast<long long>(trainer.last_pair_count())),
+                  StrFormat("%.2f%%", 100.0 * til)});
+  }
+  table.Print();
+
+  // Feature-space discrepancy on the last task: the alignment objective
+  // should leave source/target features hard to tell apart.
+  const auto& task = stream->task(stream->num_tasks() - 1);
+  const auto& model = trainer.model();
+  NoGradGuard no_grad;
+  auto encode = [&](const data::TensorDataset& ds) {
+    std::vector<int64_t> idx(static_cast<size_t>(ds.size()));
+    for (int64_t i = 0; i < ds.size(); ++i) idx[static_cast<size_t>(i)] = i;
+    data::Batch all = ds.MakeBatch(idx);
+    return model.EncodeSelf(all.images, stream->num_tasks() - 1);
+  };
+  Tensor fs = encode(task.source_test);
+  Tensor ft = encode(task.target_test);
+  Rng rng(3);
+  std::printf("\nfinal-task feature discrepancy: proxy-A=%.3f (0=aligned, "
+              "2=separable), MMD=%.4f\n",
+              uda::ProxyADistance(fs, ft, &rng), uda::MmdRbf(fs, ft));
+  return 0;
+}

@@ -1,0 +1,128 @@
+#include "baselines/cdtrans.h"
+
+#include "nn/losses.h"
+#include "tensor/tensor_ops.h"
+#include "util/logging.h"
+
+namespace cdcl {
+namespace baselines {
+namespace {
+
+TrainerOptions CdTransOptions(CdTransSize size, const TrainerOptions& options) {
+  TrainerOptions o = options;
+  o.model.per_task_keys = false;  // no continual protection
+  if (size == CdTransSize::kSmall) {
+    o.model.embed_dim = std::max<int64_t>(o.model.embed_dim / 2, 8);
+  }
+  return o;
+}
+
+}  // namespace
+
+CdTransTrainer::CdTransTrainer(CdTransSize size, const TrainerOptions& options)
+    : TrainerBase(size == CdTransSize::kSmall ? "CDTrans-S" : "CDTrans-B",
+                  CdTransOptions(size, options)),
+      size_(size) {}
+
+Status CdTransTrainer::ObserveTask(const data::CrossDomainTask& task) {
+  const int64_t num_classes = static_cast<int64_t>(task.classes.size());
+  const int64_t steps_per_epoch = std::max<int64_t>(
+      (task.source_train.size() + options_.batch_size - 1) / options_.batch_size,
+      1);
+  if (tasks_seen_ == 0) {
+    StartTask(num_classes, steps_per_epoch);
+  } else {
+    // Head 0 is reused and overwritten: sequential fine-tuning. The CIL head
+    // still grows so global evaluation stays well-defined.
+    CDCL_CHECK_EQ(num_classes, model_->task_classes(0))
+        << "CDTrans reuses one head; tasks must share a class count";
+    StartTask(num_classes, steps_per_epoch);
+  }
+  const int64_t head = 0;
+
+  model_->SetTraining(true);
+  int64_t step = 0;
+  for (int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    const bool warm = epoch < options_.warmup_epochs;
+    if (warm) {
+      data::DataLoader loader(&task.source_train, options_.batch_size, &rng_);
+      data::Batch batch;
+      while (loader.Next(&batch)) {
+        Tensor z = model_->EncodeSelf(batch.images, head);
+        Tensor loss = ops::Add(
+            ops::CrossEntropy(model_->TilLogits(z, head), batch.task_labels),
+            ops::CrossEntropy(model_->CilLogits(z), batch.labels));
+        loss.Backward();
+        OptimizerStep(step++);
+      }
+      continue;
+    }
+    // UDA phase: center-aware pseudo-labels + paired cross-attention.
+    AlignmentPlan plan = BuildAlignment(task, head);
+    if (plan.pairs.empty()) continue;
+    rng_.Shuffle(&plan.pairs);
+    data::Batch source_all = FullBatch(task.source_train);
+    data::Batch target_all = FullBatch(task.target_train);
+    data::DataLoader source_loader(&task.source_train, options_.batch_size,
+                                   &rng_);
+    const int64_t global_offset = task.classes[0];
+    for (size_t start = 0; start < plan.pairs.size();
+         start += static_cast<size_t>(options_.batch_size)) {
+      const size_t end = std::min(plan.pairs.size(),
+                                  start + static_cast<size_t>(options_.batch_size));
+      std::vector<int64_t> si, ti;
+      std::vector<int64_t> task_labels, labels;
+      for (size_t i = start; i < end; ++i) {
+        si.push_back(plan.pairs[i].first);
+        ti.push_back(plan.pairs[i].second);
+        const int64_t tl = source_all.task_labels[static_cast<size_t>(
+            plan.pairs[i].first)];
+        task_labels.push_back(tl);
+        labels.push_back(tl + global_offset);
+      }
+      Tensor xs = ops::IndexRows(source_all.images, si);
+      Tensor xt = ops::IndexRows(target_all.images, ti);
+      auto enc = model_->EncodeCross(xs, xt, head);
+      Tensor til_s = model_->TilLogits(enc.z_source, head);
+      Tensor til_t = model_->TilLogits(enc.z_target, head);
+      Tensor til_m = model_->TilLogits(enc.z_mixed, head);
+      Tensor cil_s = model_->CilLogits(enc.z_source);
+      Tensor cil_t = model_->CilLogits(enc.z_target);
+      Tensor loss = ops::CrossEntropy(til_s, task_labels);
+      loss = ops::Add(loss, ops::CrossEntropy(til_t, task_labels));
+      loss = ops::Add(loss, nn::MixingLoss(til_m, til_t));
+      loss = ops::Add(loss, ops::CrossEntropy(cil_s, labels));
+      loss = ops::Add(loss, ops::CrossEntropy(cil_t, labels));
+      {
+        // CDTrans keeps its supervised source branch active on every step.
+        data::Batch source_batch;
+        if (!source_loader.Next(&source_batch)) {
+          source_loader.Reset();
+          source_loader.Next(&source_batch);
+        }
+        Tensor z = model_->EncodeSelf(source_batch.images, head);
+        loss = ops::Add(loss, ops::CrossEntropy(model_->TilLogits(z, head),
+                                                source_batch.task_labels));
+        loss = ops::Add(loss, ops::CrossEntropy(model_->CilLogits(z),
+                                                source_batch.labels));
+      }
+      loss.Backward();
+      OptimizerStep(step++);
+    }
+  }
+  return Status::Ok();
+}
+
+double CdTransTrainer::EvaluateTil(const data::TensorDataset& test,
+                                   int64_t /*task_id*/) {
+  // Single shared head: the task identifier cannot select anything.
+  return TrainerBase::EvaluateTil(test, 0);
+}
+
+std::unique_ptr<CdTransTrainer> MakeCdTransTrainer(
+    CdTransSize size, const TrainerOptions& options) {
+  return std::make_unique<CdTransTrainer>(size, options);
+}
+
+}  // namespace baselines
+}  // namespace cdcl

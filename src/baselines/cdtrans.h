@@ -1,0 +1,42 @@
+#ifndef CDCL_BASELINES_CDTRANS_H_
+#define CDCL_BASELINES_CDTRANS_H_
+
+#include <memory>
+
+#include "baselines/trainer_base.h"
+
+namespace cdcl {
+namespace baselines {
+
+/// CDTrans-style baseline [49]: a strong cross-domain transformer (the same
+/// cross-attention + center-aware pseudo-labeling machinery CDCL builds on)
+/// but with *no continual-learning protection*: one shared key set, one
+/// output head reused and fine-tuned task after task, no rehearsal memory.
+/// It adapts well within a task and catastrophically forgets across tasks -
+/// reproducing its near-zero rows in Tables I-III. The paper evaluates it in
+/// the TIL block only; EvaluateCil is still defined (it routes every sample
+/// through the single head) but is expected to be near chance.
+///
+/// `size` mirrors the paper's CDTrans-S / CDTrans-B width variants.
+enum class CdTransSize { kSmall, kBase };
+
+class CdTransTrainer : public TrainerBase {
+ public:
+  CdTransTrainer(CdTransSize size, const TrainerOptions& options);
+
+  Status ObserveTask(const data::CrossDomainTask& task) override;
+
+  /// All tasks share head 0; the task id only selects the test split.
+  double EvaluateTil(const data::TensorDataset& test, int64_t task_id) override;
+
+ private:
+  CdTransSize size_;
+};
+
+std::unique_ptr<CdTransTrainer> MakeCdTransTrainer(CdTransSize size,
+                                                   const TrainerOptions& options);
+
+}  // namespace baselines
+}  // namespace cdcl
+
+#endif  // CDCL_BASELINES_CDTRANS_H_

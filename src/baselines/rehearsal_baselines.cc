@@ -1,0 +1,196 @@
+#include "baselines/rehearsal_baselines.h"
+
+#include "nn/losses.h"
+#include "tensor/tensor_ops.h"
+#include "util/logging.h"
+
+namespace cdcl {
+namespace baselines {
+
+std::string RehearsalMethodName(RehearsalMethod method) {
+  switch (method) {
+    case RehearsalMethod::kFinetune:
+      return "Finetune";
+    case RehearsalMethod::kEr:
+      return "ER";
+    case RehearsalMethod::kDer:
+      return "DER";
+    case RehearsalMethod::kDerPp:
+      return "DER++";
+    case RehearsalMethod::kHal:
+      return "HAL";
+    case RehearsalMethod::kMsl:
+      return "MSL";
+  }
+  return "?";
+}
+
+RehearsalTrainer::RehearsalTrainer(RehearsalMethod method,
+                                   const TrainerOptions& options,
+                                   const RehearsalHyperparams& hyper)
+    : TrainerBase(RehearsalMethodName(method),
+                  [&options] {
+                    TrainerOptions o = options;
+                    // Baselines run the standard backbone: no per-task keys.
+                    o.model.per_task_keys = false;
+                    return o;
+                  }()),
+      method_(method),
+      hyper_(hyper) {}
+
+Tensor RehearsalTrainer::ReplayLoss() {
+  if (method_ == RehearsalMethod::kFinetune || memory_.empty()) return Tensor();
+  // Sample a single past task so the replayed logits/heads share widths.
+  std::vector<int64_t> stored = memory_.StoredTaskIds();
+  const int64_t past =
+      stored[static_cast<size_t>(rng_.NextBelow(stored.size()))];
+  ReplayBatch rb;
+  if (!SampleReplayFromTask(past, options_.replay_batch, &rb)) return Tensor();
+  const int64_t current = tasks_seen_ - 1;
+  Tensor z = model_->EncodeSelf(rb.source_images, current);
+
+  Tensor loss = Tensor::Scalar(0.0f);
+  const bool use_label_replay =
+      method_ == RehearsalMethod::kEr || method_ == RehearsalMethod::kDerPp ||
+      method_ == RehearsalMethod::kHal || method_ == RehearsalMethod::kMsl;
+  if (use_label_replay) {
+    const float weight =
+        method_ == RehearsalMethod::kDerPp ? hyper_.derpp_beta : 1.0f;
+    Tensor ce_cil = ops::CrossEntropy(model_->CilLogits(z), rb.labels);
+    Tensor ce_til =
+        ops::CrossEntropy(model_->TilLogits(z, past), rb.task_labels);
+    loss = ops::Add(loss, ops::MulScalar(ops::Add(ce_cil, ce_til), weight));
+  }
+  const bool use_logit_replay =
+      method_ == RehearsalMethod::kDer || method_ == RehearsalMethod::kDerPp;
+  if (use_logit_replay) {
+    const int64_t logit_tasks = rb.records[0]->logit_tasks;
+    const int64_t width = static_cast<int64_t>(rb.records[0]->source_logits.size());
+    Tensor stored_logits(Shape{static_cast<int64_t>(rb.records.size()), width});
+    for (size_t i = 0; i < rb.records.size(); ++i) {
+      CDCL_CHECK_EQ(static_cast<int64_t>(rb.records[i]->source_logits.size()),
+                    width);
+      for (int64_t j = 0; j < width; ++j) {
+        stored_logits.at(static_cast<int64_t>(i), j) =
+            rb.records[i]->source_logits[static_cast<size_t>(j)];
+      }
+    }
+    Tensor current_logits = model_->CilLogitsUpTo(z, logit_tasks);
+    loss = ops::Add(loss, ops::MulScalar(ops::MseLoss(current_logits,
+                                                      stored_logits),
+                                         hyper_.der_alpha));
+  }
+  const bool use_feature_anchor =
+      method_ == RehearsalMethod::kHal || method_ == RehearsalMethod::kMsl;
+  if (use_feature_anchor) {
+    const int64_t d = model_->feature_dim();
+    Tensor anchors(Shape{static_cast<int64_t>(rb.records.size()), d});
+    for (size_t i = 0; i < rb.records.size(); ++i) {
+      CDCL_CHECK_EQ(static_cast<int64_t>(rb.records[i]->feature.size()), d);
+      for (int64_t j = 0; j < d; ++j) {
+        anchors.at(static_cast<int64_t>(i), j) =
+            rb.records[i]->feature[static_cast<size_t>(j)];
+      }
+    }
+    loss = ops::Add(loss, ops::MulScalar(ops::MseLoss(z, anchors),
+                                         hyper_.anchor_lambda));
+  }
+  if (method_ == RehearsalMethod::kMsl) {
+    // Class-prototype consistency: pull replayed features toward the batch
+    // class means (our stand-in for MSL's cross-domain generalization term).
+    const int64_t k = model_->task_classes(past);
+    Tensor probs = ops::OneHot(rb.task_labels, k);  // (b, k), constant
+    // Weight matrix W[i][c] = 1/count(c) when sample i is class c: then
+    // W^T z re-expanded via probs gives each sample its class mean.
+    std::vector<int64_t> counts(static_cast<size_t>(k), 0);
+    for (int64_t l : rb.task_labels) ++counts[static_cast<size_t>(l)];
+    Tensor weights(probs.shape());
+    for (size_t i = 0; i < rb.task_labels.size(); ++i) {
+      const int64_t c = rb.task_labels[i];
+      weights.at(static_cast<int64_t>(i), c) =
+          1.0f / static_cast<float>(std::max<int64_t>(counts[static_cast<size_t>(c)], 1));
+    }
+    Tensor means = ops::MatMul(ops::Transpose(weights), z);  // (k, d)
+    Tensor expanded = ops::MatMul(probs, means);             // (b, d)
+    loss = ops::Add(loss, ops::MulScalar(ops::MseLoss(z, expanded.Detach()),
+                                         hyper_.anchor_lambda));
+  }
+  return loss;
+}
+
+Status RehearsalTrainer::ObserveTask(const data::CrossDomainTask& task) {
+  const int64_t num_classes = static_cast<int64_t>(task.classes.size());
+  const int64_t steps_per_epoch = std::max<int64_t>(
+      (task.source_train.size() + options_.batch_size - 1) / options_.batch_size,
+      1);
+  StartTask(num_classes, steps_per_epoch);
+  const int64_t current = tasks_seen_ - 1;
+
+  model_->SetTraining(true);
+  int64_t step = 0;
+  for (int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    data::DataLoader loader(&task.source_train, options_.batch_size, &rng_);
+    data::Batch batch;
+    while (loader.Next(&batch)) {
+      Tensor z = model_->EncodeSelf(batch.images, current);
+      Tensor loss =
+          ops::Add(ops::CrossEntropy(model_->TilLogits(z, current),
+                                     batch.task_labels),
+                   ops::CrossEntropy(model_->CilLogits(z), batch.labels));
+      Tensor replay = ReplayLoss();
+      if (replay.defined()) loss = ops::Add(loss, replay);
+      loss.Backward();
+      OptimizerStep(step++);
+    }
+  }
+  if (method_ != RehearsalMethod::kFinetune) StoreTaskMemory(task);
+  return Status::Ok();
+}
+
+void RehearsalTrainer::StoreTaskMemory(const data::CrossDomainTask& task) {
+  NoGradGuard no_grad;
+  model_->SetTraining(false);
+  const int64_t current = tasks_seen_ - 1;
+  std::vector<cl::MemoryRecord> candidates;
+  data::Batch all = FullBatch(task.source_train);
+  Tensor z = model_->EncodeSelf(all.images, current);
+  Tensor til_probs = ops::Softmax(model_->TilLogits(z, current));
+  Tensor cil_logits = model_->CilLogits(z);
+  std::vector<float> confidence = ops::RowMax(til_probs);
+  const int64_t d = model_->feature_dim();
+  const int64_t width = cil_logits.dim(1);
+  for (int64_t i = 0; i < task.source_train.size(); ++i) {
+    cl::MemoryRecord rec;
+    const data::Example& ex = task.source_train.Get(i);
+    rec.source_image = ex.image;
+    // Single-domain baselines have no paired target sample; the source image
+    // stands in so the record layout stays uniform.
+    rec.target_image = ex.image;
+    rec.label = ex.label;
+    rec.task_label = ex.task_label;
+    rec.confidence = confidence[static_cast<size_t>(i)];
+    rec.logit_tasks = tasks_seen_;
+    rec.source_logits.resize(static_cast<size_t>(width));
+    rec.target_logits.resize(static_cast<size_t>(width));
+    for (int64_t j = 0; j < width; ++j) {
+      rec.source_logits[static_cast<size_t>(j)] = cil_logits.at(i, j);
+      rec.target_logits[static_cast<size_t>(j)] = cil_logits.at(i, j);
+    }
+    rec.feature.resize(static_cast<size_t>(d));
+    for (int64_t j = 0; j < d; ++j) {
+      rec.feature[static_cast<size_t>(j)] = z.at(i, j);
+    }
+    candidates.push_back(std::move(rec));
+  }
+  memory_.AddTask(current, std::move(candidates), &rng_);
+  model_->SetTraining(true);
+}
+
+std::unique_ptr<RehearsalTrainer> MakeRehearsalTrainer(
+    RehearsalMethod method, const TrainerOptions& options,
+    const RehearsalHyperparams& hyper) {
+  return std::make_unique<RehearsalTrainer>(method, options, hyper);
+}
+
+}  // namespace baselines
+}  // namespace cdcl

@@ -1,0 +1,117 @@
+#include "baselines/static_uda.h"
+
+#include "nn/losses.h"
+#include "tensor/tensor_ops.h"
+#include "util/logging.h"
+
+namespace cdcl {
+namespace baselines {
+
+StaticUdaTrainer::StaticUdaTrainer(const TrainerOptions& options)
+    : TrainerBase("TVT (Static UDA)", options) {}
+
+void StaticUdaTrainer::TrainEpochOnTask(const data::CrossDomainTask& task,
+                                        int64_t task_id, bool warm,
+                                        int64_t* step) {
+  const int64_t global_offset = task.classes[0];
+  if (warm) {
+    data::DataLoader loader(&task.source_train, options_.batch_size, &rng_);
+    data::Batch batch;
+    while (loader.Next(&batch)) {
+      Tensor z = model_->EncodeSelf(batch.images, task_id);
+      Tensor loss = ops::Add(
+          ops::CrossEntropy(model_->TilLogits(z, task_id), batch.task_labels),
+          ops::CrossEntropy(model_->CilLogits(z), batch.labels));
+      loss.Backward();
+      OptimizerStep((*step)++);
+    }
+    return;
+  }
+  AlignmentPlan plan = BuildAlignment(task, task_id);
+  if (plan.pairs.empty()) return;
+  rng_.Shuffle(&plan.pairs);
+  data::Batch source_all = FullBatch(task.source_train);
+  data::Batch target_all = FullBatch(task.target_train);
+  // Source CE stays on full coverage; the filtered pair set only samples a
+  // subset of the labeled data.
+  data::DataLoader source_loader(&task.source_train, options_.batch_size,
+                                 &rng_);
+  for (size_t start = 0; start < plan.pairs.size();
+       start += static_cast<size_t>(options_.batch_size)) {
+    const size_t end = std::min(plan.pairs.size(),
+                                start + static_cast<size_t>(options_.batch_size));
+    std::vector<int64_t> si, ti, task_labels, labels;
+    for (size_t i = start; i < end; ++i) {
+      si.push_back(plan.pairs[i].first);
+      ti.push_back(plan.pairs[i].second);
+      const int64_t tl =
+          source_all.task_labels[static_cast<size_t>(plan.pairs[i].first)];
+      task_labels.push_back(tl);
+      labels.push_back(tl + global_offset);
+    }
+    Tensor xs = ops::IndexRows(source_all.images, si);
+    Tensor xt = ops::IndexRows(target_all.images, ti);
+    auto enc = model_->EncodeCross(xs, xt, task_id);
+    Tensor til_s = model_->TilLogits(enc.z_source, task_id);
+    Tensor til_t = model_->TilLogits(enc.z_target, task_id);
+    Tensor til_m = model_->TilLogits(enc.z_mixed, task_id);
+    Tensor cil_s = model_->CilLogits(enc.z_source);
+    Tensor cil_t = model_->CilLogits(enc.z_target);
+    Tensor cil_m = model_->CilLogits(enc.z_mixed);
+    Tensor loss = ops::CrossEntropy(til_s, task_labels);
+    loss = ops::Add(loss, ops::CrossEntropy(til_t, task_labels));
+    loss = ops::Add(loss, nn::MixingLoss(til_m, til_t));
+    loss = ops::Add(loss, ops::CrossEntropy(cil_s, labels));
+    loss = ops::Add(loss, ops::CrossEntropy(cil_t, labels));
+    loss = ops::Add(loss, nn::MixingLoss(cil_m, cil_t));
+    {
+      data::Batch source_batch;
+      if (!source_loader.Next(&source_batch)) {
+        source_loader.Reset();
+        source_loader.Next(&source_batch);
+      }
+      Tensor z = model_->EncodeSelf(source_batch.images, task_id);
+      loss = ops::Add(loss, ops::CrossEntropy(model_->TilLogits(z, task_id),
+                                              source_batch.task_labels));
+      loss = ops::Add(loss, ops::CrossEntropy(model_->CilLogits(z),
+                                              source_batch.labels));
+    }
+    loss.Backward();
+    OptimizerStep((*step)++);
+  }
+}
+
+Status StaticUdaTrainer::ObserveTask(const data::CrossDomainTask& task) {
+  const int64_t num_classes = static_cast<int64_t>(task.classes.size());
+  // Joint training sweeps *all* retained tasks every epoch, so the cosine
+  // schedule must span that many steps, not a single task's worth.
+  const int64_t steps_per_task = std::max<int64_t>(
+      (task.source_train.size() + options_.batch_size - 1) / options_.batch_size,
+      1);
+  const int64_t steps_per_epoch =
+      steps_per_task * static_cast<int64_t>(seen_tasks_.size() + 1);
+  StartTask(num_classes, steps_per_epoch);
+  seen_tasks_.push_back(task);
+
+  model_->SetTraining(true);
+  int64_t step = 0;
+  for (int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (size_t t = 0; t < seen_tasks_.size(); ++t) {
+      // Old tasks were already adapted in earlier rounds; only the newest
+      // task needs a source-only warm-up before pseudo-labeling.
+      const bool warm = epoch < options_.warmup_epochs &&
+                        t + 1 == seen_tasks_.size() &&
+                        tasks_seen_ == static_cast<int64_t>(seen_tasks_.size());
+      TrainEpochOnTask(seen_tasks_[t], static_cast<int64_t>(t), warm, &step);
+    }
+  }
+  return Status::Ok();
+}
+
+std::unique_ptr<StaticUdaTrainer> MakeStaticUdaTrainer(
+    const TrainerOptions& options) {
+  return std::make_unique<StaticUdaTrainer>(options);
+}
+
+}  // namespace baselines
+}  // namespace cdcl

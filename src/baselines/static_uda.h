@@ -1,0 +1,38 @@
+#ifndef CDCL_BASELINES_STATIC_UDA_H_
+#define CDCL_BASELINES_STATIC_UDA_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/trainer_base.h"
+
+namespace cdcl {
+namespace baselines {
+
+/// TVT-style static upper bound [50]: the same model family trained *jointly*
+/// (non-continually) with full UDA machinery. On every ObserveTask it keeps
+/// the accumulated data of all tasks so far and continues joint training over
+/// the union, so there is nothing to forget - the resulting last-row
+/// accuracies bound what any continual method could reach ("TVT (Static
+/// UDA)" rows of Tables I-III).
+class StaticUdaTrainer : public TrainerBase {
+ public:
+  explicit StaticUdaTrainer(const TrainerOptions& options);
+
+  Status ObserveTask(const data::CrossDomainTask& task) override;
+
+ private:
+  /// One joint epoch over every retained task.
+  void TrainEpochOnTask(const data::CrossDomainTask& task, int64_t task_id,
+                        bool warm, int64_t* step);
+
+  std::vector<data::CrossDomainTask> seen_tasks_;
+};
+
+std::unique_ptr<StaticUdaTrainer> MakeStaticUdaTrainer(
+    const TrainerOptions& options);
+
+}  // namespace baselines
+}  // namespace cdcl
+
+#endif  // CDCL_BASELINES_STATIC_UDA_H_

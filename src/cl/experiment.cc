@@ -1,0 +1,26 @@
+#include "cl/experiment.h"
+
+#include "util/logging.h"
+
+namespace cdcl {
+namespace cl {
+
+Result<ContinualResult> RunContinualExperiment(
+    ContinualTrainer* trainer, const data::CrossDomainTaskStream& stream) {
+  CDCL_CHECK(trainer != nullptr);
+  const int64_t num_tasks = stream.num_tasks();
+  ContinualResult result{AccuracyMatrix(num_tasks), AccuracyMatrix(num_tasks)};
+  for (int64_t t = 0; t < num_tasks; ++t) {
+    Status st = trainer->ObserveTask(stream.task(t));
+    if (!st.ok()) return st;
+    for (int64_t j = 0; j <= t; ++j) {
+      const data::TensorDataset& test = stream.task(j).target_test;
+      result.til.Set(t, j, trainer->EvaluateTil(test, j));
+      result.cil.Set(t, j, trainer->EvaluateCil(test));
+    }
+  }
+  return result;
+}
+
+}  // namespace cl
+}  // namespace cdcl

@@ -1,0 +1,56 @@
+#ifndef CDCL_CL_EXPERIMENT_H_
+#define CDCL_CL_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cl/metrics.h"
+#include "data/task_stream.h"
+#include "util/status.h"
+
+namespace cdcl {
+namespace cl {
+
+/// Interface every continual trainer (CDCL and all baselines) implements.
+/// The experiment runner drives: ObserveTask(t) for t = 0..T-1, evaluating
+/// all tasks <= t on the target test split after each.
+class ContinualTrainer {
+ public:
+  virtual ~ContinualTrainer() = default;
+
+  virtual const std::string& name() const = 0;
+
+  /// Trains on one incoming task (labeled source + unlabeled target).
+  virtual Status ObserveTask(const data::CrossDomainTask& task) = 0;
+
+  /// TIL accuracy: task identifier given, predictions over task-local
+  /// classes, compared against task_label.
+  virtual double EvaluateTil(const data::TensorDataset& test,
+                             int64_t task_id) = 0;
+
+  /// CIL accuracy: no task identifier, predictions over all classes seen so
+  /// far, compared against the global label.
+  virtual double EvaluateCil(const data::TensorDataset& test) = 0;
+};
+
+/// Full result of one continual run over a stream.
+struct ContinualResult {
+  AccuracyMatrix til;
+  AccuracyMatrix cil;
+
+  double til_acc() const { return til.AverageAccuracy(); }
+  double til_fgt() const { return til.Forgetting(); }
+  double cil_acc() const { return cil.AverageAccuracy(); }
+  double cil_fgt() const { return cil.Forgetting(); }
+};
+
+/// Runs the paper's protocol: sequential tasks, lower-triangle evaluation on
+/// the target-domain test splits.
+Result<ContinualResult> RunContinualExperiment(
+    ContinualTrainer* trainer, const data::CrossDomainTaskStream& stream);
+
+}  // namespace cl
+}  // namespace cdcl
+
+#endif  // CDCL_CL_EXPERIMENT_H_

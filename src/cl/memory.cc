@@ -1,0 +1,109 @@
+#include "cl/memory.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace cdcl {
+namespace cl {
+
+RehearsalMemory::RehearsalMemory(int64_t capacity, MemoryPolicy policy)
+    : capacity_(capacity), policy_(policy) {
+  CDCL_CHECK_GT(capacity, 0);
+}
+
+int64_t RehearsalMemory::QuotaPerTask() const {
+  if (num_tasks_ == 0) return capacity_;
+  return capacity_ / num_tasks_;
+}
+
+void RehearsalMemory::AddTask(int64_t task_id,
+                              std::vector<MemoryRecord> candidates, Rng* rng) {
+  CDCL_CHECK(rng != nullptr);
+  for (MemoryRecord& r : candidates) {
+    r.task_id = task_id;
+    records_.push_back(std::move(r));
+  }
+  ++num_tasks_;
+  Rebalance(rng);
+}
+
+void RehearsalMemory::Rebalance(Rng* rng) {
+  const int64_t quota = QuotaPerTask();
+  // Partition by task, trim each partition to quota.
+  std::vector<MemoryRecord> kept;
+  kept.reserve(static_cast<size_t>(capacity_));
+  // Stable per-task processing in task order.
+  std::vector<int64_t> task_ids;
+  for (const MemoryRecord& r : records_) {
+    if (std::find(task_ids.begin(), task_ids.end(), r.task_id) ==
+        task_ids.end()) {
+      task_ids.push_back(r.task_id);
+    }
+  }
+  std::sort(task_ids.begin(), task_ids.end());
+  for (int64_t tid : task_ids) {
+    std::vector<MemoryRecord> group;
+    for (MemoryRecord& r : records_) {
+      if (r.task_id == tid) group.push_back(std::move(r));
+    }
+    if (static_cast<int64_t>(group.size()) > quota) {
+      if (policy_ == MemoryPolicy::kConfidenceTopK) {
+        std::sort(group.begin(), group.end(),
+                  [](const MemoryRecord& a, const MemoryRecord& b) {
+                    return a.confidence > b.confidence;
+                  });
+      } else {
+        rng->Shuffle(&group);
+      }
+      group.resize(static_cast<size_t>(quota));
+    }
+    for (MemoryRecord& r : group) kept.push_back(std::move(r));
+  }
+  records_ = std::move(kept);
+  CDCL_CHECK_LE(size(), capacity_);
+}
+
+std::vector<const MemoryRecord*> RehearsalMemory::SampleFromTask(
+    int64_t task_id, int64_t n, Rng* rng) const {
+  CDCL_CHECK(rng != nullptr);
+  std::vector<const MemoryRecord*> pool;
+  for (const MemoryRecord& r : records_) {
+    if (r.task_id == task_id) pool.push_back(&r);
+  }
+  std::vector<const MemoryRecord*> out;
+  if (pool.empty() || n <= 0) return out;
+  out.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    out.push_back(pool[static_cast<size_t>(
+        rng->NextBelow(static_cast<uint64_t>(pool.size())))]);
+  }
+  return out;
+}
+
+std::vector<int64_t> RehearsalMemory::StoredTaskIds() const {
+  std::vector<int64_t> ids;
+  for (const MemoryRecord& r : records_) {
+    if (std::find(ids.begin(), ids.end(), r.task_id) == ids.end()) {
+      ids.push_back(r.task_id);
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<const MemoryRecord*> RehearsalMemory::Sample(int64_t n,
+                                                         Rng* rng) const {
+  CDCL_CHECK(rng != nullptr);
+  std::vector<const MemoryRecord*> out;
+  if (records_.empty() || n <= 0) return out;
+  out.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    out.push_back(&records_[static_cast<size_t>(
+        rng->NextBelow(static_cast<uint64_t>(records_.size())))]);
+  }
+  return out;
+}
+
+}  // namespace cl
+}  // namespace cdcl

@@ -1,0 +1,80 @@
+#ifndef CDCL_CL_MEMORY_H_
+#define CDCL_CL_MEMORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace cdcl {
+namespace cl {
+
+/// One rehearsal record (paper §IV-C footnote 2): the tuple
+/// (x_S, x_T, y_S, y^CIL_S, y^CIL_T) plus bookkeeping. Logits are stored as
+/// raw vectors because the CIL head keeps growing; `logit_tasks` records how
+/// many task blocks the stored logits cover.
+struct MemoryRecord {
+  Tensor source_image;   // (c,h,w)
+  Tensor target_image;   // (c,h,w)
+  int64_t label = -1;       // global source label y_S
+  int64_t task_label = -1;  // within-task label
+  int64_t task_id = -1;
+  std::vector<float> source_logits;  // CIL logits at store time
+  std::vector<float> target_logits;
+  int64_t logit_tasks = 0;
+  std::vector<float> feature;  // pooled source feature at store time (HAL/MSL)
+  float confidence = 0.0f;  // max(y_TIL_S) v max(y_TIL_T) at store time
+};
+
+/// Memory selection strategy (ablated in bench_table4_ablation): the paper
+/// keeps the records with highest intra-task confidence; reservoir sampling
+/// is the DER-style alternative.
+enum class MemoryPolicy { kConfidenceTopK, kReservoir };
+
+/// Fixed-budget rehearsal memory with per-task quotas. After task t the
+/// memory stores floor(capacity / t) records per seen task; adding a task
+/// rebalances earlier quotas by dropping each task's lowest-confidence
+/// records (confidence policy) or random records (reservoir policy).
+class RehearsalMemory {
+ public:
+  RehearsalMemory(int64_t capacity,
+                  MemoryPolicy policy = MemoryPolicy::kConfidenceTopK);
+
+  /// Installs candidate records for a just-finished task and rebalances.
+  /// Candidates in excess of the task quota are dropped by policy.
+  void AddTask(int64_t task_id, std::vector<MemoryRecord> candidates, Rng* rng);
+
+  int64_t size() const { return static_cast<int64_t>(records_.size()); }
+  int64_t capacity() const { return capacity_; }
+  int64_t num_tasks() const { return num_tasks_; }
+  bool empty() const { return records_.empty(); }
+  /// Per-task record quota given the current task count.
+  int64_t QuotaPerTask() const;
+
+  const std::vector<MemoryRecord>& records() const { return records_; }
+
+  /// Uniformly samples `n` records (with replacement when n > size).
+  std::vector<const MemoryRecord*> Sample(int64_t n, Rng* rng) const;
+
+  /// Samples `n` records from one stored task (empty when the task has no
+  /// records). Useful when replayed tensors must share head/logit widths.
+  std::vector<const MemoryRecord*> SampleFromTask(int64_t task_id, int64_t n,
+                                                  Rng* rng) const;
+
+  /// Distinct task ids currently stored, ascending.
+  std::vector<int64_t> StoredTaskIds() const;
+
+ private:
+  void Rebalance(Rng* rng);
+
+  int64_t capacity_;
+  MemoryPolicy policy_;
+  int64_t num_tasks_ = 0;
+  std::vector<MemoryRecord> records_;
+};
+
+}  // namespace cl
+}  // namespace cdcl
+
+#endif  // CDCL_CL_MEMORY_H_

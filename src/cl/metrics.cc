@@ -1,0 +1,106 @@
+#include "cl/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cdcl {
+namespace cl {
+
+AccuracyMatrix::AccuracyMatrix(int64_t num_tasks)
+    : num_tasks_(num_tasks),
+      values_(static_cast<size_t>(num_tasks * num_tasks), 0.0),
+      is_set_(static_cast<size_t>(num_tasks * num_tasks), false) {
+  CDCL_CHECK_GT(num_tasks, 0);
+}
+
+void AccuracyMatrix::Set(int64_t after_task, int64_t eval_task, double accuracy) {
+  CDCL_CHECK_GE(after_task, 0);
+  CDCL_CHECK_LT(after_task, num_tasks_);
+  CDCL_CHECK_GE(eval_task, 0);
+  CDCL_CHECK_LE(eval_task, after_task) << "only the lower triangle is defined";
+  CDCL_CHECK_GE(accuracy, 0.0);
+  CDCL_CHECK_LE(accuracy, 1.0);
+  values_[static_cast<size_t>(after_task * num_tasks_ + eval_task)] = accuracy;
+  is_set_[static_cast<size_t>(after_task * num_tasks_ + eval_task)] = true;
+}
+
+double AccuracyMatrix::Get(int64_t after_task, int64_t eval_task) const {
+  CDCL_CHECK(IsSet(after_task, eval_task));
+  return values_[static_cast<size_t>(after_task * num_tasks_ + eval_task)];
+}
+
+bool AccuracyMatrix::IsSet(int64_t after_task, int64_t eval_task) const {
+  CDCL_CHECK_GE(after_task, 0);
+  CDCL_CHECK_LT(after_task, num_tasks_);
+  CDCL_CHECK_GE(eval_task, 0);
+  CDCL_CHECK_LT(eval_task, num_tasks_);
+  return is_set_[static_cast<size_t>(after_task * num_tasks_ + eval_task)];
+}
+
+double AccuracyMatrix::AverageAccuracy() const {
+  double acc = 0.0;
+  for (int64_t j = 0; j < num_tasks_; ++j) {
+    acc += Get(num_tasks_ - 1, j);
+  }
+  return acc / static_cast<double>(num_tasks_);
+}
+
+double AccuracyMatrix::Forgetting() const {
+  if (num_tasks_ == 1) return 0.0;
+  double total = 0.0;
+  for (int64_t j = 0; j + 1 < num_tasks_; ++j) {
+    double best = 0.0;
+    for (int64_t i = j; i + 1 < num_tasks_; ++i) {
+      best = std::max(best, Get(i, j));
+    }
+    total += best - Get(num_tasks_ - 1, j);
+  }
+  return total / static_cast<double>(num_tasks_ - 1);
+}
+
+AccuracyMatrix::ColumnStats AccuracyMatrix::Column(int64_t eval_task) const {
+  CDCL_CHECK_GE(eval_task, 0);
+  CDCL_CHECK_LT(eval_task, num_tasks_);
+  ColumnStats stats;
+  std::vector<double> vals;
+  for (int64_t i = eval_task; i < num_tasks_; ++i) vals.push_back(Get(i, eval_task));
+  double sum = 0.0;
+  for (double v : vals) sum += v;
+  stats.mean = sum / static_cast<double>(vals.size());
+  double sq = 0.0;
+  for (double v : vals) sq += (v - stats.mean) * (v - stats.mean);
+  stats.stddev = std::sqrt(sq / static_cast<double>(vals.size()));
+  stats.final = Get(num_tasks_ - 1, eval_task);
+  stats.first = Get(eval_task, eval_task);
+  return stats;
+}
+
+std::string AccuracyMatrix::ToString() const {
+  std::string out;
+  for (int64_t i = 0; i < num_tasks_; ++i) {
+    for (int64_t j = 0; j <= i; ++j) {
+      out += StrFormat("%6.2f ", 100.0 * Get(i, j));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+MetricSummary Summarize(const std::vector<double>& values) {
+  MetricSummary s;
+  s.count = static_cast<int64_t>(values.size());
+  if (values.empty()) return s;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  s.mean = sum / static_cast<double>(values.size());
+  double sq = 0.0;
+  for (double v : values) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(sq / static_cast<double>(values.size()));
+  return s;
+}
+
+}  // namespace cl
+}  // namespace cdcl

@@ -1,0 +1,61 @@
+#ifndef CDCL_CL_METRICS_H_
+#define CDCL_CL_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cdcl {
+namespace cl {
+
+/// The continual-learning test matrix R (paper §V-C): R[i][j] is the target-
+/// domain accuracy on task j after finishing training on task i. Only the
+/// lower triangle (j <= i) is meaningful.
+class AccuracyMatrix {
+ public:
+  explicit AccuracyMatrix(int64_t num_tasks);
+
+  void Set(int64_t after_task, int64_t eval_task, double accuracy);
+  double Get(int64_t after_task, int64_t eval_task) const;
+  bool IsSet(int64_t after_task, int64_t eval_task) const;
+
+  int64_t num_tasks() const { return num_tasks_; }
+
+  /// Average accuracy (eq. 33): mean of the last row.
+  double AverageAccuracy() const;
+
+  /// Average forgetting (eq. 34): mean over tasks j < T of
+  /// max_{i<T} R[i][j] - R[T-1][j]. Zero for a single task.
+  double Forgetting() const;
+
+  /// Column statistics for Figure 2: for task j, the mean and standard
+  /// deviation of R[i][j] over i in [j, T).
+  struct ColumnStats {
+    double mean = 0.0;
+    double stddev = 0.0;
+    double final = 0.0;  // R[T-1][j]
+    double first = 0.0;  // R[j][j]
+  };
+  ColumnStats Column(int64_t eval_task) const;
+
+  /// Multi-line fixed-width rendering of the lower triangle (for logs).
+  std::string ToString() const;
+
+ private:
+  int64_t num_tasks_;
+  std::vector<double> values_;
+  std::vector<bool> is_set_;
+};
+
+/// Aggregates ACC/FGT over repeated runs (seeds) of the same experiment.
+struct MetricSummary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  int64_t count = 0;
+};
+MetricSummary Summarize(const std::vector<double>& values);
+
+}  // namespace cl
+}  // namespace cdcl
+
+#endif  // CDCL_CL_METRICS_H_

@@ -1,0 +1,104 @@
+#include "core/bound_diagnostics.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "tensor/tensor_ops.h"
+#include "uda/discrepancy.h"
+#include "util/logging.h"
+
+namespace cdcl {
+namespace core {
+namespace {
+
+/// Pooled features of a whole dataset through the task's self path.
+Tensor EncodeAll(const models::CompactTransformer& model,
+                 const data::TensorDataset& dataset, int64_t task) {
+  NoGradGuard no_grad;
+  const int64_t n = dataset.size();
+  const int64_t d = model.feature_dim();
+  Tensor features(Shape{n, d});
+  constexpr int64_t kBatch = 32;
+  for (int64_t start = 0; start < n; start += kBatch) {
+    std::vector<int64_t> idx;
+    for (int64_t i = start; i < std::min(n, start + kBatch); ++i) {
+      idx.push_back(i);
+    }
+    data::Batch batch = dataset.MakeBatch(idx);
+    Tensor z = model.EncodeSelf(batch.images, task);
+    std::memcpy(features.data() + start * d, z.data(),
+                static_cast<size_t>(z.NumElements()) * sizeof(float));
+  }
+  return features;
+}
+
+double DatasetError(const models::CompactTransformer& model,
+                    const data::TensorDataset& dataset, int64_t task) {
+  NoGradGuard no_grad;
+  Tensor features = EncodeAll(model, dataset, task);
+  Tensor logits = model.TilLogits(features, task);
+  std::vector<int64_t> pred = ops::Argmax(logits);
+  int64_t wrong = 0;
+  for (int64_t i = 0; i < dataset.size(); ++i) {
+    wrong += pred[static_cast<size_t>(i)] != dataset.Get(i).task_label;
+  }
+  return dataset.size() == 0
+             ? 0.0
+             : static_cast<double>(wrong) / static_cast<double>(dataset.size());
+}
+
+}  // namespace
+
+std::vector<BoundTerms> ComputeBoundDiagnostics(
+    const CdclTrainer& trainer, const data::CrossDomainTaskStream& stream) {
+  const models::CompactTransformer& model = trainer.model();
+  std::vector<BoundTerms> terms;
+  Rng rng(13);
+  for (int64_t t = 0; t < stream.num_tasks(); ++t) {
+    const data::CrossDomainTask& task = stream.task(t);
+    BoundTerms bt;
+    bt.task_id = t;
+    bt.source_error = DatasetError(model, task.source_test, t);
+    bt.target_error = DatasetError(model, task.target_test, t);
+    Tensor fs = EncodeAll(model, task.source_test, t);
+    Tensor ft = EncodeAll(model, task.target_test, t);
+    bt.lambda = uda::ProxyADistance(fs, ft, &rng) / 2.0;  // normalize to [0,1]
+
+    // KL(P_Mi || P_Ri): stored logits vs the current model on the memory's
+    // own source images, restricted to the logit width at store time.
+    double kl_sum = 0.0;
+    int64_t kl_count = 0;
+    for (const cl::MemoryRecord& rec : trainer.memory().records()) {
+      if (rec.task_id != t) continue;
+      NoGradGuard no_grad;
+      std::vector<int64_t> dims = {1};
+      for (int64_t d : rec.source_image.shape().dims()) dims.push_back(d);
+      Tensor img = ops::Reshape(rec.source_image, Shape(dims));
+      Tensor z = model.EncodeSelf(img, t);
+      Tensor current = model.CilLogitsUpTo(z, rec.logit_tasks);
+      Tensor stored = Tensor::FromVector(
+          Shape{1, static_cast<int64_t>(rec.source_logits.size())},
+          rec.source_logits);
+      kl_sum += ops::KlDivergenceToTarget(current, stored).item();
+      ++kl_count;
+    }
+    bt.memory_kl = kl_count == 0 ? 0.0 : kl_sum / static_cast<double>(kl_count);
+    terms.push_back(bt);
+  }
+  return terms;
+}
+
+BoundSummary SummarizeBound(const std::vector<BoundTerms>& terms) {
+  BoundSummary s;
+  for (const BoundTerms& t : terms) {
+    s.bound_rhs += t.source_error + t.lambda + t.memory_kl;
+    s.observed_error += t.target_error;
+  }
+  if (!terms.empty()) {
+    s.observed_error /= static_cast<double>(terms.size());
+  }
+  return s;
+}
+
+}  // namespace core
+}  // namespace cdcl

@@ -1,0 +1,43 @@
+#ifndef CDCL_CORE_BOUND_DIAGNOSTICS_H_
+#define CDCL_CORE_BOUND_DIAGNOSTICS_H_
+
+#include <vector>
+
+#include "core/cdcl_trainer.h"
+#include "data/task_stream.h"
+
+namespace cdcl {
+namespace core {
+
+/// Measurable terms of Theorem 3's target-error bound
+///   eps_T <= sum_i (eps_Si + lambda_i) + sum_i KL(P_Mi || P_Ri) + C*
+/// evaluated on a trained CdclTrainer. All quantities are empirical:
+///   source_error   eps_Si on the source test split (TIL protocol)
+///   lambda         proxy A-distance between source/target pooled features
+///   memory_kl      mean KL between stored CIL logits and the current model's
+///                  logits on the same memory samples (the P_Mi vs P_Ri term)
+///   target_error   the observed eps_Ti the bound is bounding
+struct BoundTerms {
+  int64_t task_id = 0;
+  double source_error = 0.0;
+  double lambda = 0.0;
+  double memory_kl = 0.0;
+  double target_error = 0.0;
+};
+
+/// Computes per-task bound terms after the trainer has seen the full stream.
+std::vector<BoundTerms> ComputeBoundDiagnostics(
+    const CdclTrainer& trainer, const data::CrossDomainTaskStream& stream);
+
+/// The aggregated right-hand side of eq. 28 (without the incomputable C*)
+/// and the observed total target error, for a quick "bound holds" check.
+struct BoundSummary {
+  double bound_rhs = 0.0;      // sum(eps_Si + lambda_i) + sum KL
+  double observed_error = 0.0; // mean target error over tasks
+};
+BoundSummary SummarizeBound(const std::vector<BoundTerms>& terms);
+
+}  // namespace core
+}  // namespace cdcl
+
+#endif  // CDCL_CORE_BOUND_DIAGNOSTICS_H_

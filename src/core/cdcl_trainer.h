@@ -1,0 +1,64 @@
+#ifndef CDCL_CORE_CDCL_TRAINER_H_
+#define CDCL_CORE_CDCL_TRAINER_H_
+
+#include <memory>
+
+#include "baselines/trainer_base.h"
+
+namespace cdcl {
+namespace core {
+
+/// Configuration of the CDCL algorithm on top of the shared TrainerOptions.
+/// The boolean toggles correspond to Table IV's ablation rows.
+struct CdclOptions {
+  baselines::TrainerOptions base;
+
+  bool use_cil_loss = true;   // L_CIL (eq. 15); off = ablation row A
+  bool use_til_loss = true;   // L_TIL (eq. 16); off = ablation row B
+  bool use_rehearsal = true;  // L_R (eq. 23);  off = ablation row C
+  /// "Simple attention" ablation: shared keys, no cross-attention stream and
+  /// therefore no mixing terms - the standard-attention row of Table IV.
+  bool simple_attention = false;
+  /// k-means refinement rounds for the center-aware pseudo-labels.
+  int pseudo_refine_iters = 1;
+};
+
+/// The paper's method (Algorithm 1): per task, a source-only warm-up, then
+/// epochs of paired cross-attention training with center-aware pseudo-labeled
+/// pairs (eqs. 9-19), plus rehearsal of stored (x_S, x_T, y_S, logits) tuples
+/// with L_R^ST + L_R^D + L_R^Z (eqs. 20-23) from the second task on.
+class CdclTrainer : public baselines::TrainerBase {
+ public:
+  explicit CdclTrainer(const CdclOptions& options);
+
+  Status ObserveTask(const data::CrossDomainTask& task) override;
+
+  const CdclOptions& cdcl_options() const { return cdcl_options_; }
+
+  /// Fraction of target samples whose pseudo-label matched their (hidden)
+  /// true label in the last alignment round; diagnostic only.
+  double last_pseudo_label_accuracy() const {
+    return last_pseudo_label_accuracy_;
+  }
+  /// Pair-set size of the last alignment round.
+  int64_t last_pair_count() const { return last_pair_count_; }
+
+ private:
+  /// Source-only warm-up objective: L^CIL_S + L^TIL_S (Algorithm 1 lines 8-9).
+  Tensor WarmupLoss(const data::Batch& batch, int64_t task_id);
+  /// Rehearsal loss on one sampled past task (eqs. 20-23).
+  Tensor RehearsalLoss(int64_t current_task);
+  void StoreTaskMemory(const data::CrossDomainTask& task, int64_t task_id,
+                       const AlignmentPlan& plan);
+
+  CdclOptions cdcl_options_;
+  double last_pseudo_label_accuracy_ = 0.0;
+  int64_t last_pair_count_ = 0;
+};
+
+std::unique_ptr<CdclTrainer> MakeCdclTrainer(const CdclOptions& options);
+
+}  // namespace core
+}  // namespace cdcl
+
+#endif  // CDCL_CORE_CDCL_TRAINER_H_

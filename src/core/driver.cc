@@ -1,0 +1,109 @@
+#include "core/driver.h"
+
+#include "baselines/cdtrans.h"
+#include "baselines/rehearsal_baselines.h"
+#include "baselines/static_uda.h"
+#include "util/env.h"
+#include "util/logging.h"
+
+namespace cdcl {
+namespace core {
+
+std::vector<std::string> KnownMethods() {
+  return {"CDCL",     "DER",  "DER++",     "HAL",       "MSL",
+          "ER",       "Finetune", "CDTrans-S", "CDTrans-B", "TVT"};
+}
+
+Result<std::unique_ptr<cl::ContinualTrainer>> MakeTrainerByName(
+    const std::string& name, const baselines::TrainerOptions& options) {
+  using baselines::RehearsalMethod;
+  if (name == "CDCL") {
+    CdclOptions opt;
+    opt.base = options;
+    return std::unique_ptr<cl::ContinualTrainer>(MakeCdclTrainer(opt));
+  }
+  if (name == "DER") {
+    return std::unique_ptr<cl::ContinualTrainer>(
+        baselines::MakeRehearsalTrainer(RehearsalMethod::kDer, options));
+  }
+  if (name == "DER++") {
+    return std::unique_ptr<cl::ContinualTrainer>(
+        baselines::MakeRehearsalTrainer(RehearsalMethod::kDerPp, options));
+  }
+  if (name == "HAL") {
+    return std::unique_ptr<cl::ContinualTrainer>(
+        baselines::MakeRehearsalTrainer(RehearsalMethod::kHal, options));
+  }
+  if (name == "MSL") {
+    return std::unique_ptr<cl::ContinualTrainer>(
+        baselines::MakeRehearsalTrainer(RehearsalMethod::kMsl, options));
+  }
+  if (name == "ER") {
+    return std::unique_ptr<cl::ContinualTrainer>(
+        baselines::MakeRehearsalTrainer(RehearsalMethod::kEr, options));
+  }
+  if (name == "Finetune") {
+    return std::unique_ptr<cl::ContinualTrainer>(
+        baselines::MakeRehearsalTrainer(RehearsalMethod::kFinetune, options));
+  }
+  if (name == "CDTrans-S") {
+    return std::unique_ptr<cl::ContinualTrainer>(
+        baselines::MakeCdTransTrainer(baselines::CdTransSize::kSmall, options));
+  }
+  if (name == "CDTrans-B") {
+    return std::unique_ptr<cl::ContinualTrainer>(
+        baselines::MakeCdTransTrainer(baselines::CdTransSize::kBase, options));
+  }
+  if (name == "TVT") {
+    return std::unique_ptr<cl::ContinualTrainer>(
+        baselines::MakeStaticUdaTrainer(options));
+  }
+  return Status::NotFound("unknown method: " + name);
+}
+
+Result<cl::ContinualResult> RunMethodOnPair(
+    const std::string& method, const ExperimentSpec& spec,
+    const baselines::TrainerOptions& options) {
+  data::TaskStreamOptions stream_opt;
+  stream_opt.family = spec.family;
+  stream_opt.source_domain = spec.source_domain;
+  stream_opt.target_domain = spec.target_domain;
+  stream_opt.num_tasks = spec.num_tasks;
+  stream_opt.classes_per_task = spec.classes_per_task;
+  stream_opt.train_per_class = spec.train_per_class;
+  stream_opt.test_per_class = spec.test_per_class;
+  stream_opt.seed = spec.seed;
+  Result<data::CrossDomainTaskStream> stream =
+      data::CrossDomainTaskStream::Make(stream_opt);
+  if (!stream.ok()) return stream.status();
+
+  Result<data::BenchmarkSpec> bench = data::GetBenchmark(spec.family);
+  if (!bench.ok()) return bench.status();
+  baselines::TrainerOptions resolved = options;
+  resolved.model.image_hw = bench->image_hw;
+  resolved.model.channels = bench->channels;
+  resolved.seed = spec.seed;
+
+  Result<std::unique_ptr<cl::ContinualTrainer>> trainer =
+      MakeTrainerByName(method, resolved);
+  if (!trainer.ok()) return trainer.status();
+  return cl::RunContinualExperiment(trainer->get(), *stream);
+}
+
+void ApplyEnvOverrides(ExperimentSpec* spec,
+                       baselines::TrainerOptions* options) {
+  CDCL_CHECK(spec != nullptr);
+  CDCL_CHECK(options != nullptr);
+  spec->num_tasks = EnvInt("CDCL_TASKS", spec->num_tasks);
+  spec->train_per_class = EnvInt("CDCL_TRAIN_PER_CLASS", spec->train_per_class);
+  spec->test_per_class = EnvInt("CDCL_TEST_PER_CLASS", spec->test_per_class);
+  options->epochs = EnvInt("CDCL_EPOCHS", options->epochs);
+  options->warmup_epochs = EnvInt("CDCL_WARMUP", options->warmup_epochs);
+  options->batch_size = EnvInt("CDCL_BATCH", options->batch_size);
+  options->memory_size = EnvInt("CDCL_MEMORY", options->memory_size);
+  options->model.embed_dim = EnvInt("CDCL_EMBED_DIM", options->model.embed_dim);
+  options->model.num_layers = EnvInt("CDCL_LAYERS", options->model.num_layers);
+}
+
+}  // namespace core
+}  // namespace cdcl

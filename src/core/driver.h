@@ -1,0 +1,49 @@
+#ifndef CDCL_CORE_DRIVER_H_
+#define CDCL_CORE_DRIVER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/trainer_base.h"
+#include "cl/experiment.h"
+#include "core/cdcl_trainer.h"
+#include "data/task_stream.h"
+
+namespace cdcl {
+namespace core {
+
+/// One source->target continual experiment configuration.
+struct ExperimentSpec {
+  std::string family;
+  std::string source_domain;
+  std::string target_domain;
+  int64_t num_tasks = 5;
+  int64_t classes_per_task = 2;
+  int64_t train_per_class = 20;
+  int64_t test_per_class = 10;
+  uint64_t seed = 0;
+};
+
+/// Method registry shared by benches and examples. Known names:
+/// "CDCL", "DER", "DER++", "HAL", "MSL", "ER", "Finetune",
+/// "CDTrans-S", "CDTrans-B", "TVT". NotFound otherwise.
+Result<std::unique_ptr<cl::ContinualTrainer>> MakeTrainerByName(
+    const std::string& name, const baselines::TrainerOptions& options);
+
+std::vector<std::string> KnownMethods();
+
+/// Builds the stream for `spec` and runs one continual experiment.
+Result<cl::ContinualResult> RunMethodOnPair(
+    const std::string& method, const ExperimentSpec& spec,
+    const baselines::TrainerOptions& options);
+
+/// Reads the common CDCL_* environment knobs on top of the given defaults
+/// (CDCL_EPOCHS, CDCL_WARMUP, CDCL_BATCH, CDCL_MEMORY, CDCL_TRAIN_PER_CLASS,
+/// CDCL_TEST_PER_CLASS, CDCL_TASKS, CDCL_EMBED_DIM, CDCL_LAYERS).
+void ApplyEnvOverrides(ExperimentSpec* spec, baselines::TrainerOptions* options);
+
+}  // namespace core
+}  // namespace cdcl
+
+#endif  // CDCL_CORE_DRIVER_H_

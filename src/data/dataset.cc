@@ -1,0 +1,90 @@
+#include "data/dataset.h"
+
+#include <cstring>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace cdcl {
+namespace data {
+
+const Example& TensorDataset::Get(int64_t index) const {
+  CDCL_CHECK_GE(index, 0);
+  CDCL_CHECK_LT(index, size());
+  return examples_[static_cast<size_t>(index)];
+}
+
+Batch TensorDataset::MakeBatch(const std::vector<int64_t>& indices) const {
+  std::vector<const Example*> ptrs;
+  ptrs.reserve(indices.size());
+  for (int64_t i : indices) ptrs.push_back(&Get(i));
+  return StackExamples(ptrs);
+}
+
+Batch StackExamples(const std::vector<const Example*>& examples) {
+  CDCL_CHECK(!examples.empty());
+  const Shape& img_shape = examples[0]->image.shape();
+  CDCL_CHECK_EQ(img_shape.ndim(), 3);
+  const int64_t b = static_cast<int64_t>(examples.size());
+  const int64_t per = img_shape.NumElements();
+  Batch batch;
+  std::vector<int64_t> dims = {b};
+  for (int64_t d : img_shape.dims()) dims.push_back(d);
+  batch.images = Tensor(Shape(dims));
+  batch.labels.reserve(static_cast<size_t>(b));
+  batch.task_labels.reserve(static_cast<size_t>(b));
+  for (int64_t i = 0; i < b; ++i) {
+    CDCL_CHECK(examples[static_cast<size_t>(i)]->image.shape() == img_shape);
+    std::memcpy(batch.images.data() + i * per,
+                examples[static_cast<size_t>(i)]->image.data(),
+                static_cast<size_t>(per) * sizeof(float));
+    batch.labels.push_back(examples[static_cast<size_t>(i)]->label);
+    batch.task_labels.push_back(examples[static_cast<size_t>(i)]->task_label);
+  }
+  return batch;
+}
+
+DataLoader::DataLoader(const Dataset* dataset, int64_t batch_size, Rng* rng,
+                       bool shuffle, bool drop_last)
+    : dataset_(dataset),
+      batch_size_(batch_size),
+      rng_(rng),
+      shuffle_(shuffle),
+      drop_last_(drop_last) {
+  CDCL_CHECK(dataset != nullptr);
+  CDCL_CHECK_GT(batch_size, 0);
+  CDCL_CHECK(!shuffle || rng != nullptr);
+  order_.resize(static_cast<size_t>(dataset->size()));
+  std::iota(order_.begin(), order_.end(), 0);
+  Reset();
+}
+
+void DataLoader::Reset() {
+  cursor_ = 0;
+  if (shuffle_) rng_->Shuffle(&order_);
+}
+
+bool DataLoader::Next(Batch* batch) {
+  CDCL_CHECK(batch != nullptr);
+  const int64_t n = dataset_->size();
+  if (cursor_ >= n) return false;
+  int64_t take = std::min(batch_size_, n - cursor_);
+  if (drop_last_ && take < batch_size_) return false;
+  std::vector<const Example*> examples;
+  examples.reserve(static_cast<size_t>(take));
+  for (int64_t i = 0; i < take; ++i) {
+    examples.push_back(&dataset_->Get(order_[static_cast<size_t>(cursor_ + i)]));
+  }
+  cursor_ += take;
+  *batch = StackExamples(examples);
+  return true;
+}
+
+int64_t DataLoader::num_batches() const {
+  const int64_t n = dataset_->size();
+  if (drop_last_) return n / batch_size_;
+  return (n + batch_size_ - 1) / batch_size_;
+}
+
+}  // namespace data
+}  // namespace cdcl

@@ -1,0 +1,88 @@
+#ifndef CDCL_DATA_DATASET_H_
+#define CDCL_DATA_DATASET_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace cdcl {
+namespace data {
+
+/// One labeled image sample. `label` is the benchmark-global class id;
+/// `task_label` is the within-task id used by TIL heads.
+struct Example {
+  Tensor image;  // (c, h, w)
+  int64_t label = -1;
+  int64_t task_label = -1;
+};
+
+/// A mini-batch assembled by DataLoader.
+struct Batch {
+  Tensor images;                    // (b, c, h, w)
+  std::vector<int64_t> labels;      // global class ids
+  std::vector<int64_t> task_labels; // within-task ids
+  int64_t size() const { return images.defined() ? images.dim(0) : 0; }
+};
+
+/// Random-access dataset interface.
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+  virtual int64_t size() const = 0;
+  virtual const Example& Get(int64_t index) const = 0;
+};
+
+/// In-memory dataset.
+class TensorDataset : public Dataset {
+ public:
+  TensorDataset() = default;
+  explicit TensorDataset(std::vector<Example> examples)
+      : examples_(std::move(examples)) {}
+
+  int64_t size() const override {
+    return static_cast<int64_t>(examples_.size());
+  }
+  const Example& Get(int64_t index) const override;
+
+  void Add(Example example) { examples_.push_back(std::move(example)); }
+
+  /// Stacks the given example indices into one batch.
+  Batch MakeBatch(const std::vector<int64_t>& indices) const;
+
+ private:
+  std::vector<Example> examples_;
+};
+
+/// Stacks arbitrary examples into a batch (shared helper).
+Batch StackExamples(const std::vector<const Example*>& examples);
+
+/// Shuffled mini-batch iterator over a dataset. Each Epoch() reshuffles.
+class DataLoader {
+ public:
+  DataLoader(const Dataset* dataset, int64_t batch_size, Rng* rng,
+             bool shuffle = true, bool drop_last = false);
+
+  /// Starts a new epoch (reshuffles when enabled).
+  void Reset();
+
+  /// Returns false when the epoch is exhausted.
+  bool Next(Batch* batch);
+
+  int64_t num_batches() const;
+
+ private:
+  const Dataset* dataset_;
+  int64_t batch_size_;
+  Rng* rng_;
+  bool shuffle_;
+  bool drop_last_;
+  std::vector<int64_t> order_;
+  int64_t cursor_ = 0;
+};
+
+}  // namespace data
+}  // namespace cdcl
+
+#endif  // CDCL_DATA_DATASET_H_

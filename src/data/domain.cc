@@ -1,0 +1,224 @@
+#include "data/domain.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cdcl {
+namespace data {
+
+float DomainStyle::DistanceTo(const DomainStyle& other) const {
+  auto sq = [](float v) { return v * v; };
+  float d = 0.0f;
+  d += sq(rotation_mean - other.rotation_mean);
+  d += sq(scale_mean - other.scale_mean);
+  d += sq(shear - other.shear);
+  d += sq(stroke_gamma - other.stroke_gamma);
+  d += sq(contrast - other.contrast);
+  d += sq(brightness - other.brightness);
+  // Channel mixing and blur are down-weighted: a conv encoder absorbs them
+  // far more easily than geometric or tonal changes, so they contribute less
+  // to the *behavioural* gap this scalar approximates.
+  for (size_t i = 0; i < 9; ++i) {
+    d += 0.3f * sq(channel_mix[i] - other.channel_mix[i]);
+  }
+  d += sq(clutter_amp - other.clutter_amp);
+  d += sq(static_cast<float>(blur_passes - other.blur_passes) * 0.1f);
+  d += sq((noise_std - other.noise_std) * 2.0f);
+  d += sq(static_cast<float>(binarize) - static_cast<float>(other.binarize));
+  return std::sqrt(d);
+}
+
+PrototypeBank::PrototypeBank(uint64_t family_seed, int64_t num_classes) {
+  CDCL_CHECK_GT(num_classes, 0);
+  prototypes_.reserve(static_cast<size_t>(num_classes));
+  for (int64_t k = 0; k < num_classes; ++k) {
+    Rng rng(family_seed * 0x51E3779BULL + static_cast<uint64_t>(k) + 1);
+    ClassPrototype proto;
+    // 4-7 stroke blobs arranged along a class-specific path so classes are
+    // separable by geometry, not just intensity statistics.
+    const int num_blobs = 4 + static_cast<int>(rng.NextBelow(4));
+    const float path_angle = static_cast<float>(rng.Uniform(0.0, 2.0 * M_PI));
+    const float path_curve = static_cast<float>(rng.Uniform(-2.5, 2.5));
+    for (int bi = 0; bi < num_blobs; ++bi) {
+      const float t = static_cast<float>(bi) / static_cast<float>(num_blobs - 1);
+      const float angle = path_angle + path_curve * t;
+      ClassPrototype::Blob blob;
+      blob.x = 0.5f + 0.28f * (t - 0.5f) * std::cos(angle) +
+               static_cast<float>(rng.Uniform(-0.08, 0.08));
+      blob.y = 0.5f + 0.28f * (t - 0.5f) * std::sin(angle) +
+               static_cast<float>(rng.Uniform(-0.08, 0.08));
+      blob.x = std::clamp(blob.x, 0.12f, 0.88f);
+      blob.y = std::clamp(blob.y, 0.12f, 0.88f);
+      blob.sigma = static_cast<float>(rng.Uniform(0.05, 0.14));
+      blob.amplitude = static_cast<float>(rng.Uniform(0.6, 1.0));
+      for (auto& c : blob.color) c = static_cast<float>(rng.Uniform(0.35, 1.0));
+      proto.blobs.push_back(blob);
+    }
+    proto.tex_fx = static_cast<float>(rng.Uniform(1.0, 4.0));
+    proto.tex_fy = static_cast<float>(rng.Uniform(1.0, 4.0));
+    proto.tex_phase = static_cast<float>(rng.Uniform(0.0, 2.0 * M_PI));
+    proto.tex_amp = static_cast<float>(rng.Uniform(0.05, 0.18));
+    prototypes_.push_back(std::move(proto));
+  }
+}
+
+const ClassPrototype& PrototypeBank::prototype(int64_t class_id) const {
+  CDCL_CHECK_GE(class_id, 0);
+  CDCL_CHECK_LT(class_id, num_classes());
+  return prototypes_[static_cast<size_t>(class_id)];
+}
+
+namespace {
+
+void BoxBlur(std::vector<float>* img, int64_t channels, int64_t hw) {
+  std::vector<float> tmp(img->size());
+  for (int64_t c = 0; c < channels; ++c) {
+    const float* src = img->data() + c * hw * hw;
+    float* dst = tmp.data() + c * hw * hw;
+    for (int64_t i = 0; i < hw; ++i) {
+      for (int64_t j = 0; j < hw; ++j) {
+        float acc = 0.0f;
+        int cnt = 0;
+        for (int64_t di = -1; di <= 1; ++di) {
+          for (int64_t dj = -1; dj <= 1; ++dj) {
+            const int64_t ii = i + di, jj = j + dj;
+            if (ii < 0 || ii >= hw || jj < 0 || jj >= hw) continue;
+            acc += src[ii * hw + jj];
+            ++cnt;
+          }
+        }
+        dst[i * hw + j] = acc / static_cast<float>(cnt);
+      }
+    }
+  }
+  img->swap(tmp);
+}
+
+}  // namespace
+
+Tensor RenderSample(const ClassPrototype& proto, const DomainStyle& style,
+                    int64_t hw, int64_t channels, Rng* sample_rng) {
+  CDCL_CHECK(sample_rng != nullptr);
+  CDCL_CHECK_GE(hw, 4);
+  CDCL_CHECK(channels == 1 || channels == 3);
+
+  // Per-sample pose drawn around the domain mean.
+  const float rot = style.rotation_mean +
+                    static_cast<float>(sample_rng->Gaussian(0, style.rotation_jitter));
+  const float scale = std::max(
+      0.3f, style.scale_mean +
+                static_cast<float>(sample_rng->Gaussian(0, style.scale_jitter)));
+  const float shift_x =
+      static_cast<float>(sample_rng->Gaussian(0, style.shift_jitter));
+  const float shift_y =
+      static_cast<float>(sample_rng->Gaussian(0, style.shift_jitter));
+  const float cos_r = std::cos(rot), sin_r = std::sin(rot);
+
+  std::vector<float> img(static_cast<size_t>(channels * hw * hw), 0.0f);
+
+  // Rasterize blobs + class texture in canonical coordinates; pixels are
+  // mapped through the inverse pose transform.
+  for (int64_t i = 0; i < hw; ++i) {
+    for (int64_t j = 0; j < hw; ++j) {
+      const float px = (static_cast<float>(j) + 0.5f) / static_cast<float>(hw);
+      const float py = (static_cast<float>(i) + 0.5f) / static_cast<float>(hw);
+      // Inverse affine around the image center.
+      float ux = (px - 0.5f - shift_x) / scale;
+      float uy = (py - 0.5f - shift_y) / scale;
+      const float rx = cos_r * ux + sin_r * uy + style.shear * uy;
+      const float ry = -sin_r * ux + cos_r * uy;
+      const float cx = rx + 0.5f, cy = ry + 0.5f;
+
+      float structure = 0.0f;
+      for (const auto& blob : proto.blobs) {
+        const float dx = cx - blob.x, dy = cy - blob.y;
+        const float r2 = dx * dx + dy * dy;
+        structure += blob.amplitude *
+                     std::exp(-r2 / (2.0f * blob.sigma * blob.sigma));
+      }
+      const float texture =
+          proto.tex_amp *
+          std::sin(2.0f * static_cast<float>(M_PI) *
+                       (proto.tex_fx * cx + proto.tex_fy * cy) +
+                   proto.tex_phase);
+      float base = std::clamp(structure + texture, 0.0f, 1.5f);
+      // Stroke gamma shapes perceived thickness of the bright structure.
+      base = std::pow(std::clamp(base, 0.0f, 1.0f), style.stroke_gamma);
+
+      for (int64_t ch = 0; ch < channels; ++ch) {
+        float v = base;
+        if (channels == 3) {
+          float cw = 0.0f, wsum = 0.0f;
+          for (const auto& blob : proto.blobs) {
+            cw += blob.color[static_cast<size_t>(ch)];
+            wsum += 1.0f;
+          }
+          v *= cw / std::max(wsum, 1.0f);
+        }
+        img[static_cast<size_t>((ch * hw + i) * hw + j)] = v;
+      }
+    }
+  }
+
+  // Channel mixing (color domains only).
+  if (channels == 3) {
+    std::vector<float> mixed(img.size());
+    const auto& m = style.channel_mix;
+    for (int64_t p = 0; p < hw * hw; ++p) {
+      const float r = img[static_cast<size_t>(p)];
+      const float g = img[static_cast<size_t>(hw * hw + p)];
+      const float b = img[static_cast<size_t>(2 * hw * hw + p)];
+      mixed[static_cast<size_t>(p)] = m[0] * r + m[1] * g + m[2] * b;
+      mixed[static_cast<size_t>(hw * hw + p)] = m[3] * r + m[4] * g + m[5] * b;
+      mixed[static_cast<size_t>(2 * hw * hw + p)] = m[6] * r + m[7] * g + m[8] * b;
+    }
+    img.swap(mixed);
+  }
+
+  // Photometric transform + clutter.
+  const float clutter_phase_x =
+      static_cast<float>(sample_rng->Uniform(0.0, 2.0 * M_PI));
+  const float clutter_phase_y =
+      static_cast<float>(sample_rng->Uniform(0.0, 2.0 * M_PI));
+  for (int64_t ch = 0; ch < channels; ++ch) {
+    for (int64_t i = 0; i < hw; ++i) {
+      for (int64_t j = 0; j < hw; ++j) {
+        float& v = img[static_cast<size_t>((ch * hw + i) * hw + j)];
+        v = style.contrast * (v - 0.5f) + 0.5f + style.brightness;
+        if (style.clutter_amp > 0.0f) {
+          const float fx = static_cast<float>(j) / static_cast<float>(hw);
+          const float fy = static_cast<float>(i) / static_cast<float>(hw);
+          v += style.clutter_amp *
+               (std::sin(2.0f * static_cast<float>(M_PI) * style.clutter_freq *
+                             fx +
+                         clutter_phase_x) *
+                std::cos(2.0f * static_cast<float>(M_PI) * style.clutter_freq *
+                             fy +
+                         clutter_phase_y));
+        }
+      }
+    }
+  }
+
+  for (int pass = 0; pass < style.blur_passes; ++pass) BoxBlur(&img, channels, hw);
+
+  if (style.binarize) {
+    for (float& v : img) v = v > style.binarize_threshold ? 1.0f : 0.0f;
+  }
+
+  if (style.noise_std > 0.0f) {
+    for (float& v : img) {
+      v += static_cast<float>(sample_rng->Gaussian(0, style.noise_std));
+    }
+  }
+
+  // Center to roughly [-1, 1].
+  for (float& v : img) v = std::clamp(v, 0.0f, 1.0f) * 2.0f - 1.0f;
+
+  return Tensor::FromVector(Shape{channels, hw, hw}, std::move(img));
+}
+
+}  // namespace data
+}  // namespace cdcl

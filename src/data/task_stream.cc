@@ -1,0 +1,110 @@
+#include "data/task_stream.h"
+
+#include "util/logging.h"
+
+namespace cdcl {
+namespace data {
+namespace {
+
+/// Fills `out` with `per_class` rendered samples for each class id.
+/// `task_first_class` maps global ids to task-local ids.
+Status FillSplit(const BenchmarkSpec& spec, const DomainStyle& style,
+                 const PrototypeBank& bank, const std::vector<int64_t>& classes,
+                 int64_t per_class, int64_t task_first_class, uint64_t seed,
+                 TensorDataset* out) {
+  Rng rng(seed);
+  for (int64_t cls : classes) {
+    if (cls < 0 || cls >= bank.num_classes()) {
+      return Status::OutOfRange("class id out of prototype bank range");
+    }
+    for (int64_t i = 0; i < per_class; ++i) {
+      Example ex;
+      Rng sample_rng = rng.Fork();
+      ex.image = RenderSample(bank.prototype(cls), style, spec.image_hw,
+                              spec.channels, &sample_rng);
+      ex.label = cls;
+      ex.task_label = cls - task_first_class;
+      out->Add(std::move(ex));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+const CrossDomainTask& CrossDomainTaskStream::task(int64_t i) const {
+  CDCL_CHECK_GE(i, 0);
+  CDCL_CHECK_LT(i, num_tasks());
+  return tasks_[static_cast<size_t>(i)];
+}
+
+Result<CrossDomainTaskStream> CrossDomainTaskStream::Make(
+    const TaskStreamOptions& options) {
+  if (options.num_tasks <= 0 || options.classes_per_task <= 0) {
+    return Status::InvalidArgument("need positive tasks and classes_per_task");
+  }
+  if (options.train_per_class <= 0 || options.test_per_class <= 0) {
+    return Status::InvalidArgument("need positive sample counts");
+  }
+  Result<BenchmarkSpec> spec = GetBenchmark(options.family);
+  if (!spec.ok()) return spec.status();
+  Result<DomainStyle> source_style =
+      GetDomainStyle(options.family, options.source_domain);
+  if (!source_style.ok()) return source_style.status();
+  Result<DomainStyle> target_style =
+      GetDomainStyle(options.family, options.target_domain);
+  if (!target_style.ok()) return target_style.status();
+
+  CrossDomainTaskStream stream;
+  stream.options_ = options;
+  stream.spec_ = *spec;
+
+  const int64_t total_classes = options.num_tasks * options.classes_per_task;
+  PrototypeBank bank(spec->family_seed, total_classes);
+
+  for (int64_t t = 0; t < options.num_tasks; ++t) {
+    CrossDomainTask task;
+    task.task_id = t;
+    const int64_t first = t * options.classes_per_task;
+    for (int64_t c = 0; c < options.classes_per_task; ++c) {
+      task.classes.push_back(first + c);
+    }
+    const uint64_t base = options.seed * 7919ULL + static_cast<uint64_t>(t);
+    CDCL_RETURN_NOT_OK(FillSplit(*spec, *source_style, bank, task.classes,
+                                 options.train_per_class, first, base * 4 + 0,
+                                 &task.source_train));
+    CDCL_RETURN_NOT_OK(FillSplit(*spec, *target_style, bank, task.classes,
+                                 options.train_per_class, first, base * 4 + 1,
+                                 &task.target_train));
+    CDCL_RETURN_NOT_OK(FillSplit(*spec, *source_style, bank, task.classes,
+                                 options.test_per_class, first, base * 4 + 2,
+                                 &task.source_test));
+    CDCL_RETURN_NOT_OK(FillSplit(*spec, *target_style, bank, task.classes,
+                                 options.test_per_class, first, base * 4 + 3,
+                                 &task.target_test));
+    stream.tasks_.push_back(std::move(task));
+  }
+  return stream;
+}
+
+Result<TensorDataset> MakeDomainDataset(const std::string& family,
+                                        const std::string& domain,
+                                        const std::vector<int64_t>& classes,
+                                        int64_t per_class, int64_t class_offset,
+                                        uint64_t seed) {
+  Result<BenchmarkSpec> spec = GetBenchmark(family);
+  if (!spec.ok()) return spec.status();
+  Result<DomainStyle> style = GetDomainStyle(family, domain);
+  if (!style.ok()) return style.status();
+  int64_t max_class = 0;
+  for (int64_t c : classes) max_class = std::max(max_class, c);
+  PrototypeBank bank(spec->family_seed, max_class + 1);
+  TensorDataset out;
+  Status st = FillSplit(*spec, *style, bank, classes, per_class, class_offset,
+                        seed, &out);
+  if (!st.ok()) return st;
+  return out;
+}
+
+}  // namespace data
+}  // namespace cdcl

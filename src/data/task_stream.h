@@ -1,0 +1,75 @@
+#ifndef CDCL_DATA_TASK_STREAM_H_
+#define CDCL_DATA_TASK_STREAM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/benchmarks.h"
+#include "data/dataset.h"
+#include "data/domain.h"
+#include "util/status.h"
+
+namespace cdcl {
+namespace data {
+
+/// One task of a cross-domain continual stream (problem formulation §III):
+/// labeled source-domain data, unlabeled target-domain data and a held-out
+/// labeled target test set (labels used for evaluation only).
+struct CrossDomainTask {
+  int64_t task_id = 0;
+  std::vector<int64_t> classes;  // global class ids in this task
+  TensorDataset source_train;    // labeled
+  TensorDataset target_train;    // treat labels as hidden during training
+  TensorDataset source_test;
+  TensorDataset target_test;
+};
+
+/// Configuration for building a stream.
+struct TaskStreamOptions {
+  std::string family = "digits";
+  std::string source_domain;
+  std::string target_domain;
+  int64_t num_tasks = 5;
+  int64_t classes_per_task = 2;
+  int64_t train_per_class = 20;  // per domain
+  int64_t test_per_class = 10;
+  uint64_t seed = 0;
+};
+
+/// Generates the full task sequence for a source->target experiment. Classes
+/// are assigned to tasks in id order (task t owns classes
+/// [t*cpt, (t+1)*cpt)), matching the paper's class splits.
+class CrossDomainTaskStream {
+ public:
+  static Result<CrossDomainTaskStream> Make(const TaskStreamOptions& options);
+
+  int64_t num_tasks() const { return static_cast<int64_t>(tasks_.size()); }
+  const CrossDomainTask& task(int64_t i) const;
+  const TaskStreamOptions& options() const { return options_; }
+  const BenchmarkSpec& spec() const { return spec_; }
+  int64_t classes_per_task() const { return options_.classes_per_task; }
+  int64_t total_classes() const {
+    return options_.num_tasks * options_.classes_per_task;
+  }
+
+ private:
+  CrossDomainTaskStream() = default;
+
+  TaskStreamOptions options_;
+  BenchmarkSpec spec_;
+  std::vector<CrossDomainTask> tasks_;
+};
+
+/// Builds a single-domain dataset (used by tests and the static upper bound):
+/// `count` samples per class for the listed global classes.
+Result<TensorDataset> MakeDomainDataset(const std::string& family,
+                                        const std::string& domain,
+                                        const std::vector<int64_t>& classes,
+                                        int64_t per_class, int64_t class_offset,
+                                        uint64_t seed);
+
+}  // namespace data
+}  // namespace cdcl
+
+#endif  // CDCL_DATA_TASK_STREAM_H_

@@ -1,0 +1,201 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cdcl {
+namespace nn {
+
+TaskConditionedAttention::TaskConditionedAttention(int64_t dim, int64_t seq_len,
+                                                   Rng* rng, bool softmax_scores,
+                                                   bool freeze_old_keys)
+    : dim_(dim),
+      seq_len_(seq_len),
+      rng_(rng),
+      softmax_scores_(softmax_scores),
+      freeze_old_keys_(freeze_old_keys) {
+  CDCL_CHECK(rng != nullptr);
+  // Attention projections carry no affine bias; the task bias b_i plays that
+  // role in the score matrix (eq. 2).
+  wq_ = std::make_unique<Linear>(dim, dim, rng, /*bias=*/false);
+  wv_ = std::make_unique<Linear>(dim, dim, rng, /*bias=*/false);
+  RegisterModule("wq", wq_.get());
+  RegisterModule("wv", wv_.get());
+}
+
+int64_t TaskConditionedAttention::AddTask() {
+  if (freeze_old_keys_ && !wk_tasks_.empty()) {
+    // Freeze K_{1..i-1} and b_{1..i-1}: the paper preserves previous feature-
+    // aligned knowledge in these projections.
+    for (Tensor& t : wk_tasks_.back()->Parameters()) t.set_requires_grad(false);
+    bias_tasks_.back().set_requires_grad(false);
+  }
+  const int64_t task = num_tasks();
+  wk_tasks_.push_back(std::make_unique<Linear>(dim_, dim_, rng_, /*bias=*/false));
+  RegisterModule(StrFormat("wk_task%lld", static_cast<long long>(task)),
+                 wk_tasks_.back().get());
+  bias_tasks_.push_back(RegisterParameter(
+      StrFormat("bias_task%lld", static_cast<long long>(task)),
+      Tensor::Zeros(Shape{seq_len_})));
+  return task;
+}
+
+Tensor TaskConditionedAttention::Attend(const Tensor& q_input,
+                                        const Tensor& kv_input,
+                                        int64_t task) const {
+  CDCL_CHECK_GE(task, 0);
+  CDCL_CHECK_LT(task, num_tasks());
+  CDCL_CHECK_EQ(q_input.ndim(), 3);
+  CDCL_CHECK_EQ(kv_input.ndim(), 3);
+  CDCL_CHECK_EQ(q_input.dim(2), dim_);
+  CDCL_CHECK_EQ(kv_input.dim(1), seq_len_);
+
+  Tensor q = wq_->Forward(q_input);                         // (b,n,d)
+  Tensor v = wv_->Forward(kv_input);                        // (b,n,d)
+  Tensor k = wk_tasks_[static_cast<size_t>(task)]->Forward(kv_input);
+  const Tensor& bias = bias_tasks_[static_cast<size_t>(task)];
+
+  // scores = (Q K_i^T + b_i) / sqrt(d); b_i broadcasts over query positions.
+  Tensor scores = ops::BatchMatMul(q, ops::TransposeLast2(k));  // (b,n,n)
+  scores = ops::Add(scores, bias);
+  scores = ops::MulScalar(scores, 1.0f / std::sqrt(static_cast<float>(dim_)));
+  if (softmax_scores_) scores = ops::Softmax(scores);
+  return ops::BatchMatMul(scores, v);  // (b,n,d)
+}
+
+Tensor TaskConditionedAttention::SelfAttention(const Tensor& x,
+                                               int64_t task) const {
+  return Attend(x, x, task);
+}
+
+Tensor TaskConditionedAttention::CrossAttention(const Tensor& x_source,
+                                                const Tensor& x_target,
+                                                int64_t task) const {
+  return Attend(x_source, x_target, task);
+}
+
+FeedForward::FeedForward(int64_t dim, int64_t hidden_dim, Rng* rng) {
+  fc1_ = std::make_unique<Linear>(dim, hidden_dim, rng);
+  fc2_ = std::make_unique<Linear>(hidden_dim, dim, rng);
+  RegisterModule("fc1", fc1_.get());
+  RegisterModule("fc2", fc2_.get());
+}
+
+Tensor FeedForward::Forward(const Tensor& x) const {
+  return fc2_->Forward(ops::Gelu(fc1_->Forward(x)));
+}
+
+TransformerEncoderLayer::TransformerEncoderLayer(int64_t dim, int64_t seq_len,
+                                                 int64_t mlp_dim, Rng* rng,
+                                                 bool softmax_scores,
+                                                 bool freeze_old_keys) {
+  attention_ = std::make_unique<TaskConditionedAttention>(
+      dim, seq_len, rng, softmax_scores, freeze_old_keys);
+  mlp_ = std::make_unique<FeedForward>(dim, mlp_dim, rng);
+  norm1_ = std::make_unique<LayerNorm>(dim);
+  norm2_ = std::make_unique<LayerNorm>(dim);
+  RegisterModule("attention", attention_.get());
+  RegisterModule("mlp", mlp_.get());
+  RegisterModule("norm1", norm1_.get());
+  RegisterModule("norm2", norm2_.get());
+}
+
+Tensor TransformerEncoderLayer::SelfForward(const Tensor& x,
+                                            int64_t task) const {
+  Tensor h = ops::Add(x, attention_->SelfAttention(norm1_->Forward(x), task));
+  return ops::Add(h, mlp_->Forward(norm2_->Forward(h)));
+}
+
+Tensor TransformerEncoderLayer::CrossForward(const Tensor& source_hidden,
+                                             const Tensor& target_hidden,
+                                             const Tensor& mixed,
+                                             int64_t task) const {
+  Tensor cross = attention_->CrossAttention(norm1_->Forward(source_hidden),
+                                            norm1_->Forward(target_hidden),
+                                            task);
+  Tensor m = mixed.defined() ? ops::Add(mixed, cross) : cross;
+  return ops::Add(m, mlp_->Forward(norm2_->Forward(m)));
+}
+
+SequencePool::SequencePool(int64_t dim, Rng* rng) {
+  g_ = std::make_unique<Linear>(dim, 1, rng);
+  RegisterModule("g", g_.get());
+}
+
+Tensor SequencePool::Forward(const Tensor& x) const {
+  CDCL_CHECK_EQ(x.ndim(), 3);
+  const int64_t b = x.dim(0), n = x.dim(1), d = x.dim(2);
+  Tensor logits = ops::Reshape(g_->Forward(x), Shape{b, n});  // (b,n)
+  Tensor weights = ops::Softmax(logits);                      // eq. 4
+  Tensor wrow = ops::Reshape(weights, Shape{b, 1, n});
+  Tensor z = ops::BatchMatMul(wrow, x);  // eq. 5: (b,1,d)
+  return ops::Reshape(z, Shape{b, d});   // eq. 6 flatten
+}
+
+MultiHeadOutput::MultiHeadOutput(int64_t feature_dim)
+    : feature_dim_(feature_dim) {}
+
+int64_t MultiHeadOutput::AddTask(int64_t num_classes, Rng* rng) {
+  const int64_t task = num_tasks();
+  heads_.push_back(std::make_unique<Linear>(feature_dim_, num_classes, rng));
+  RegisterModule(StrFormat("head%lld", static_cast<long long>(task)),
+                 heads_.back().get());
+  return task;
+}
+
+int64_t MultiHeadOutput::num_classes(int64_t task) const {
+  CDCL_CHECK_GE(task, 0);
+  CDCL_CHECK_LT(task, num_tasks());
+  return heads_[static_cast<size_t>(task)]->out_features();
+}
+
+Tensor MultiHeadOutput::Forward(const Tensor& z, int64_t task) const {
+  CDCL_CHECK_GE(task, 0);
+  CDCL_CHECK_LT(task, num_tasks());
+  return heads_[static_cast<size_t>(task)]->Forward(z);
+}
+
+GrowingHead::GrowingHead(int64_t feature_dim) : feature_dim_(feature_dim) {}
+
+int64_t GrowingHead::AddTask(int64_t num_classes, Rng* rng) {
+  const int64_t task = num_tasks();
+  offsets_.push_back(total_classes_);
+  total_classes_ += num_classes;
+  blocks_.push_back(std::make_unique<Linear>(feature_dim_, num_classes, rng));
+  RegisterModule(StrFormat("block%lld", static_cast<long long>(task)),
+                 blocks_.back().get());
+  return task;
+}
+
+int64_t GrowingHead::class_offset(int64_t task) const {
+  CDCL_CHECK_GE(task, 0);
+  CDCL_CHECK_LT(task, num_tasks());
+  return offsets_[static_cast<size_t>(task)];
+}
+
+int64_t GrowingHead::block_classes(int64_t task) const {
+  CDCL_CHECK_GE(task, 0);
+  CDCL_CHECK_LT(task, num_tasks());
+  return blocks_[static_cast<size_t>(task)]->out_features();
+}
+
+Tensor GrowingHead::Forward(const Tensor& z) const {
+  return ForwardUpTo(z, num_tasks());
+}
+
+Tensor GrowingHead::ForwardUpTo(const Tensor& z, int64_t tasks) const {
+  CDCL_CHECK_GT(tasks, 0);
+  CDCL_CHECK_LE(tasks, num_tasks());
+  std::vector<Tensor> parts;
+  parts.reserve(static_cast<size_t>(tasks));
+  for (int64_t t = 0; t < tasks; ++t) {
+    parts.push_back(blocks_[static_cast<size_t>(t)]->Forward(z));
+  }
+  return parts.size() == 1 ? parts[0] : ops::ConcatLast(parts);
+}
+
+}  // namespace nn
+}  // namespace cdcl

@@ -1,0 +1,37 @@
+#include "nn/losses.h"
+
+#include "tensor/tensor_ops.h"
+#include "util/logging.h"
+
+namespace cdcl {
+namespace nn {
+
+Tensor MixingLoss(const Tensor& mixed_logits, const Tensor& target_logits) {
+  Tensor mixed_probs = ops::Softmax(mixed_logits);
+  return ops::SoftCrossEntropy(target_logits, mixed_probs);
+}
+
+Tensor LogitReplayLoss(const Tensor& current_source_logits,
+                       const Tensor& current_target_logits,
+                       const Tensor& stored_source_logits,
+                       const Tensor& stored_target_logits) {
+  Tensor kl_s =
+      ops::KlDivergenceToTarget(current_source_logits, stored_source_logits);
+  Tensor kl_t =
+      ops::KlDivergenceToTarget(current_target_logits, stored_target_logits);
+  return ops::MulScalar(ops::Add(kl_s, kl_t), 0.5f);
+}
+
+double Accuracy(const Tensor& logits, const std::vector<int64_t>& labels) {
+  CDCL_CHECK_EQ(logits.dim(0), static_cast<int64_t>(labels.size()));
+  if (labels.empty()) return 0.0;
+  const std::vector<int64_t> pred = ops::Argmax(logits);
+  int64_t correct = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (pred[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+}  // namespace nn
+}  // namespace cdcl

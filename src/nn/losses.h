@@ -1,0 +1,35 @@
+#ifndef CDCL_NN_LOSSES_H_
+#define CDCL_NN_LOSSES_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace cdcl {
+namespace nn {
+
+/// Mixing/distillation loss behind the paper's L_D terms (eqs. 11 and 14):
+/// the distribution predicted from the cross-attention (mixed) stream is
+/// aligned with the distribution predicted from the target stream. The
+/// paper's eqs. omit the conventional minus sign; we implement the
+/// cross-entropy form -mean_b sum_c softmax(mixed)_c * log softmax(target)_c
+/// (gradients flow through both streams), which is the variant that actually
+/// decreases under alignment.
+Tensor MixingLoss(const Tensor& mixed_logits, const Tensor& target_logits);
+
+/// Logit-replay loss behind eq. 22 (L_R^Z): anchors current CIL outputs on
+/// replayed samples to the logits recorded when the memory entry was stored
+/// (dark-knowledge replay a la DER). Implemented as
+/// KL(softmax(stored) || softmax(current)) averaged over the two domains.
+Tensor LogitReplayLoss(const Tensor& current_source_logits,
+                       const Tensor& current_target_logits,
+                       const Tensor& stored_source_logits,
+                       const Tensor& stored_target_logits);
+
+/// Classification accuracy of logits against hard labels, in [0, 1].
+double Accuracy(const Tensor& logits, const std::vector<int64_t>& labels);
+
+}  // namespace nn
+}  // namespace cdcl
+
+#endif  // CDCL_NN_LOSSES_H_

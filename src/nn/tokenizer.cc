@@ -1,0 +1,48 @@
+#include "nn/tokenizer.h"
+
+#include "tensor/tensor_ops.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cdcl {
+namespace nn {
+
+ConvTokenizer::ConvTokenizer(int64_t input_hw, int64_t input_channels,
+                             int64_t embed_dim, int64_t num_layers,
+                             int64_t kernel, Rng* rng)
+    : embed_dim_(embed_dim) {
+  CDCL_CHECK_GE(num_layers, 1);
+  CDCL_CHECK_EQ(kernel % 2, 1) << "tokenizer uses same-padding odd kernels";
+  int64_t channels = input_channels;
+  int64_t hw = input_hw;
+  for (int64_t l = 0; l < num_layers; ++l) {
+    // Intermediate layers use half the embedding width, the final layer emits
+    // embed_dim filters (eq. 1's d filters).
+    const int64_t out = (l + 1 == num_layers) ? embed_dim
+                                              : std::max<int64_t>(embed_dim / 2, 4);
+    convs_.push_back(std::make_unique<Conv2d>(channels, out, kernel,
+                                              /*stride=*/1,
+                                              /*padding=*/kernel / 2, rng));
+    RegisterModule(StrFormat("conv%lld", static_cast<long long>(l)),
+                   convs_.back().get());
+    channels = out;
+    hw = (hw - 2) / 2 + 1;  // 2x2 max pool, stride 2
+    CDCL_CHECK_GT(hw, 0) << "input too small for tokenizer depth";
+  }
+  sequence_length_ = hw * hw;
+}
+
+Tensor ConvTokenizer::Forward(const Tensor& x) const {
+  CDCL_CHECK_EQ(x.ndim(), 4);
+  Tensor h = x;
+  for (const auto& conv : convs_) {
+    h = ops::MaxPool2d(ops::Relu(conv->Forward(h)), 2, 2);
+  }
+  // (b, d, h', w') -> (b, n, d): tokens are spatial positions.
+  const int64_t b = h.dim(0), d = h.dim(1), hw = h.dim(2) * h.dim(3);
+  Tensor flat = ops::Reshape(h, Shape{b, d, hw});
+  return ops::TransposeLast2(flat);
+}
+
+}  // namespace nn
+}  // namespace cdcl

@@ -1,0 +1,41 @@
+#ifndef CDCL_NN_TOKENIZER_H_
+#define CDCL_NN_TOKENIZER_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace cdcl {
+namespace nn {
+
+/// CCT convolutional tokenizer (paper eq. 1):
+///   x_ct = MaxPool(ReLU(Conv2d(x)))
+/// stacked `num_layers` times; the final conv has `embed_dim` filters so the
+/// flattened spatial positions become the transformer's token sequence with
+/// local spatial information preserved (no positional embedding needed).
+class ConvTokenizer : public Module {
+ public:
+  /// `input_hw` and `input_channels` describe the image; each layer applies a
+  /// stride-1 padded conv followed by 2x2/2 max pooling, halving the side.
+  ConvTokenizer(int64_t input_hw, int64_t input_channels, int64_t embed_dim,
+                int64_t num_layers, int64_t kernel, Rng* rng);
+
+  /// (b, c, h, w) -> (b, n, d) tokens.
+  Tensor Forward(const Tensor& x) const;
+
+  /// Token count n produced for the configured input size.
+  int64_t sequence_length() const { return sequence_length_; }
+  int64_t embed_dim() const { return embed_dim_; }
+
+ private:
+  int64_t embed_dim_;
+  int64_t sequence_length_;
+  std::vector<std::unique_ptr<Conv2d>> convs_;
+};
+
+}  // namespace nn
+}  // namespace cdcl
+
+#endif  // CDCL_NN_TOKENIZER_H_

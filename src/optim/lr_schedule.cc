@@ -1,0 +1,45 @@
+#include "optim/lr_schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cdcl {
+namespace optim {
+
+WarmupCosineLr::WarmupCosineLr(float warmup_lr, float base_lr, float min_lr,
+                               int64_t warmup_steps, int64_t total_steps)
+    : warmup_lr_(warmup_lr),
+      base_lr_(base_lr),
+      min_lr_(min_lr),
+      warmup_steps_(warmup_steps),
+      total_steps_(total_steps) {
+  CDCL_CHECK_GE(warmup_steps, 0);
+  CDCL_CHECK_GT(total_steps, 0);
+}
+
+float WarmupCosineLr::LrAt(int64_t step) const {
+  if (step < warmup_steps_) return warmup_lr_;
+  const int64_t decay_steps = std::max<int64_t>(total_steps_ - warmup_steps_, 1);
+  const double progress =
+      std::min<double>(static_cast<double>(step - warmup_steps_) /
+                           static_cast<double>(decay_steps),
+                       1.0);
+  const double cosine = 0.5 * (1.0 + std::cos(M_PI * progress));
+  return static_cast<float>(min_lr_ + (base_lr_ - min_lr_) * cosine);
+}
+
+LinearDecayLr::LinearDecayLr(float base_lr, float min_lr, int64_t total_steps)
+    : base_lr_(base_lr), min_lr_(min_lr), total_steps_(total_steps) {
+  CDCL_CHECK_GT(total_steps, 0);
+}
+
+float LinearDecayLr::LrAt(int64_t step) const {
+  const double progress = std::min<double>(
+      static_cast<double>(step) / static_cast<double>(total_steps_), 1.0);
+  return static_cast<float>(base_lr_ + (min_lr_ - base_lr_) * progress);
+}
+
+}  // namespace optim
+}  // namespace cdcl

@@ -1,0 +1,59 @@
+#ifndef CDCL_OPTIM_LR_SCHEDULE_H_
+#define CDCL_OPTIM_LR_SCHEDULE_H_
+
+#include <cstdint>
+
+namespace cdcl {
+namespace optim {
+
+/// Learning-rate schedule interface: maps a 0-based step index to a rate.
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  virtual float LrAt(int64_t step) const = 0;
+};
+
+/// Constant rate.
+class ConstantLr : public LrSchedule {
+ public:
+  explicit ConstantLr(float lr) : lr_(lr) {}
+  float LrAt(int64_t) const override { return lr_; }
+
+ private:
+  float lr_;
+};
+
+/// The paper's recipe (§V-B): a flat warm-up rate for `warmup_steps`, then
+/// cosine annealing from `base_lr` down to `min_lr` over the remaining steps.
+class WarmupCosineLr : public LrSchedule {
+ public:
+  WarmupCosineLr(float warmup_lr, float base_lr, float min_lr,
+                 int64_t warmup_steps, int64_t total_steps);
+
+  float LrAt(int64_t step) const override;
+
+ private:
+  float warmup_lr_;
+  float base_lr_;
+  float min_lr_;
+  int64_t warmup_steps_;
+  int64_t total_steps_;
+};
+
+/// Linear decay from base_lr to min_lr.
+class LinearDecayLr : public LrSchedule {
+ public:
+  LinearDecayLr(float base_lr, float min_lr, int64_t total_steps);
+
+  float LrAt(int64_t step) const override;
+
+ private:
+  float base_lr_;
+  float min_lr_;
+  int64_t total_steps_;
+};
+
+}  // namespace optim
+}  // namespace cdcl
+
+#endif  // CDCL_OPTIM_LR_SCHEDULE_H_

@@ -1,0 +1,91 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cdcl {
+namespace optim {
+
+Optimizer::Optimizer(std::vector<Tensor> params, float lr)
+    : params_(std::move(params)), lr_(lr) {}
+
+void Optimizer::ZeroGrad() {
+  for (Tensor& p : params_) p.ZeroGrad();
+}
+
+void Optimizer::SetParameters(std::vector<Tensor> params) {
+  params_ = std::move(params);
+}
+
+Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum)
+    : Optimizer(std::move(params), lr), momentum_(momentum) {}
+
+void Sgd::Step() {
+  for (Tensor& p : params_) {
+    if (!p.requires_grad() || !p.has_grad()) continue;
+    float* w = p.data();
+    const float* g = p.grad_data();
+    const int64_t n = p.NumElements();
+    if (momentum_ > 0.0f) {
+      auto& vel = velocity_[p.impl().get()];
+      if (vel.size() != static_cast<size_t>(n)) vel.assign(n, 0.0f);
+      for (int64_t i = 0; i < n; ++i) {
+        vel[static_cast<size_t>(i)] =
+            momentum_ * vel[static_cast<size_t>(i)] + g[i];
+        w[i] -= lr_ * vel[static_cast<size_t>(i)];
+      }
+    } else {
+      for (int64_t i = 0; i < n; ++i) w[i] -= lr_ * g[i];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params), lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {}
+
+void Adam::Step() {
+  for (Tensor& p : params_) {
+    if (!p.requires_grad() || !p.has_grad()) continue;
+    float* w = p.data();
+    const float* g = p.grad_data();
+    const int64_t n = p.NumElements();
+    State& st = state_[p.impl().get()];
+    if (st.m.size() != static_cast<size_t>(n)) {
+      st.m.assign(n, 0.0f);
+      st.v.assign(n, 0.0f);
+      st.step = 0;
+    }
+    ++st.step;
+    const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(st.step));
+    const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(st.step));
+    for (int64_t i = 0; i < n; ++i) {
+      float grad = g[i];
+      if (weight_decay_ > 0.0f && !decoupled_decay()) {
+        grad += weight_decay_ * w[i];
+      }
+      float& m = st.m[static_cast<size_t>(i)];
+      float& v = st.v[static_cast<size_t>(i)];
+      m = beta1_ * m + (1.0f - beta1_) * grad;
+      v = beta2_ * v + (1.0f - beta2_) * grad * grad;
+      const float mhat = m / bc1;
+      const float vhat = v / bc2;
+      w[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+      if (weight_decay_ > 0.0f && decoupled_decay()) {
+        w[i] -= lr_ * weight_decay_ * w[i];
+      }
+    }
+  }
+}
+
+AdamW::AdamW(std::vector<Tensor> params, float lr, float beta1, float beta2,
+             float eps, float weight_decay)
+    : Adam(std::move(params), lr, beta1, beta2, eps, weight_decay) {}
+
+}  // namespace optim
+}  // namespace cdcl

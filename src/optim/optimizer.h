@@ -1,0 +1,93 @@
+#ifndef CDCL_OPTIM_OPTIMIZER_H_
+#define CDCL_OPTIM_OPTIMIZER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace cdcl {
+namespace optim {
+
+/// Base class for first-order optimizers over a fixed-or-growing parameter
+/// list. Parameters are shared-storage tensors; Step() updates them in place
+/// using their accumulated gradients and skips parameters that are frozen
+/// (requires_grad == false) or have no gradient yet.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params, float lr);
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update using current gradients.
+  virtual void Step() = 0;
+
+  /// Clears gradients on all managed parameters.
+  void ZeroGrad();
+
+  /// Replaces the managed parameter list (e.g., after a model grew new task
+  /// heads); per-parameter state for retained tensors is preserved.
+  void SetParameters(std::vector<Tensor> params);
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ protected:
+  std::vector<Tensor> params_;
+  float lr_;
+};
+
+/// SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, float lr, float momentum = 0.0f);
+
+  void Step() override;
+
+ private:
+  float momentum_;
+  std::unordered_map<const void*, std::vector<float>> velocity_;
+};
+
+/// Adam (Kingma & Ba). Bias-corrected first/second moments.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+
+  void Step() override;
+
+ protected:
+  struct State {
+    std::vector<float> m;
+    std::vector<float> v;
+    int64_t step = 0;
+  };
+
+  /// L2-style decay (added to the gradient); AdamW overrides with decoupled
+  /// decay per Loshchilov & Hutter.
+  virtual bool decoupled_decay() const { return false; }
+
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  std::unordered_map<const void*, State> state_;
+};
+
+/// AdamW: Adam with decoupled weight decay (the paper's optimizer, §V-B).
+class AdamW : public Adam {
+ public:
+  AdamW(std::vector<Tensor> params, float lr, float beta1 = 0.9f,
+        float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.01f);
+
+ protected:
+  bool decoupled_decay() const override { return true; }
+};
+
+}  // namespace optim
+}  // namespace cdcl
+
+#endif  // CDCL_OPTIM_OPTIMIZER_H_

@@ -1,0 +1,256 @@
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor_ops.h"
+#include "util/logging.h"
+
+namespace cdcl {
+namespace ops {
+namespace {
+
+using internal::GradNode;
+using internal::TensorImpl;
+
+// Local copy of the attach helper (kept file-private intentionally; the ops
+// library does not expose tape plumbing).
+void AttachNode(Tensor* out, std::vector<Tensor> inputs, const char* name,
+                std::function<void(TensorImpl&)> backward) {
+  if (!GradModeEnabled()) return;
+  bool any = false;
+  for (const Tensor& t : inputs) any = any || t.requires_grad();
+  if (!any) return;
+  auto node = std::make_shared<GradNode>();
+  node->inputs.reserve(inputs.size());
+  for (const Tensor& t : inputs) node->inputs.push_back(t.impl());
+  node->backward = std::move(backward);
+  node->op_name = name;
+  out->impl()->node = std::move(node);
+  out->impl()->requires_grad = true;
+}
+
+/// Unfolds one padded sample into a (C*kh*kw, oh*ow) column matrix.
+void Im2Col(const float* x, int64_t c, int64_t h, int64_t w, int64_t kh,
+            int64_t kw, int64_t stride, int64_t pad, int64_t oh, int64_t ow,
+            float* col) {
+  for (int64_t ci = 0; ci < c; ++ci) {
+    for (int64_t ki = 0; ki < kh; ++ki) {
+      for (int64_t kj = 0; kj < kw; ++kj) {
+        const int64_t col_row = (ci * kh + ki) * kw + kj;
+        float* dst = col + col_row * oh * ow;
+        for (int64_t oi = 0; oi < oh; ++oi) {
+          const int64_t ii = oi * stride + ki - pad;
+          for (int64_t oj = 0; oj < ow; ++oj) {
+            const int64_t jj = oj * stride + kj - pad;
+            dst[oi * ow + oj] = (ii >= 0 && ii < h && jj >= 0 && jj < w)
+                                    ? x[(ci * h + ii) * w + jj]
+                                    : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Scatters a column-matrix gradient back onto the (padded) input gradient.
+void Col2ImAccumulate(const float* col, int64_t c, int64_t h, int64_t w,
+                      int64_t kh, int64_t kw, int64_t stride, int64_t pad,
+                      int64_t oh, int64_t ow, float* gx) {
+  for (int64_t ci = 0; ci < c; ++ci) {
+    for (int64_t ki = 0; ki < kh; ++ki) {
+      for (int64_t kj = 0; kj < kw; ++kj) {
+        const int64_t col_row = (ci * kh + ki) * kw + kj;
+        const float* src = col + col_row * oh * ow;
+        for (int64_t oi = 0; oi < oh; ++oi) {
+          const int64_t ii = oi * stride + ki - pad;
+          if (ii < 0 || ii >= h) continue;
+          for (int64_t oj = 0; oj < ow; ++oj) {
+            const int64_t jj = oj * stride + kj - pad;
+            if (jj < 0 || jj >= w) continue;
+            gx[(ci * h + ii) * w + jj] += src[oi * ow + oj];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Tensor Conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
+              int64_t stride, int64_t padding) {
+  CDCL_CHECK_EQ(x.ndim(), 4);
+  CDCL_CHECK_EQ(w.ndim(), 4);
+  CDCL_CHECK_GE(stride, 1);
+  CDCL_CHECK_GE(padding, 0);
+  const int64_t b = x.dim(0), c = x.dim(1), h = x.dim(2), ww = x.dim(3);
+  const int64_t o = w.dim(0), kh = w.dim(2), kw = w.dim(3);
+  CDCL_CHECK_EQ(w.dim(1), c);
+  const int64_t oh = (h + 2 * padding - kh) / stride + 1;
+  const int64_t ow = (ww + 2 * padding - kw) / stride + 1;
+  CDCL_CHECK_GT(oh, 0);
+  CDCL_CHECK_GT(ow, 0);
+  if (bias.defined()) CDCL_CHECK_EQ(bias.NumElements(), o);
+
+  const int64_t ckk = c * kh * kw;
+  const int64_t spatial = oh * ow;
+  // Columns are saved for the backward pass; inputs here are small images so
+  // the memory cost (b * ckk * spatial floats) is acceptable.
+  auto cols = std::make_shared<std::vector<float>>(
+      static_cast<size_t>(b * ckk * spatial));
+
+  Tensor out(Shape{b, o, oh, ow});
+  const float* px = x.data();
+  const float* pw = w.data();
+  const float* pbias = bias.defined() ? bias.data() : nullptr;
+  float* po = out.data();
+  for (int64_t bi = 0; bi < b; ++bi) {
+    float* col = cols->data() + bi * ckk * spatial;
+    Im2Col(px + bi * c * h * ww, c, h, ww, kh, kw, stride, padding, oh, ow, col);
+    float* out_b = po + bi * o * spatial;
+    for (int64_t oi = 0; oi < o; ++oi) {
+      float* orow = out_b + oi * spatial;
+      const float base = pbias != nullptr ? pbias[oi] : 0.0f;
+      for (int64_t s = 0; s < spatial; ++s) orow[s] = base;
+      const float* wrow = pw + oi * ckk;
+      for (int64_t k = 0; k < ckk; ++k) {
+        const float wv = wrow[k];
+        if (wv == 0.0f) continue;
+        const float* crow = col + k * spatial;
+        for (int64_t s = 0; s < spatial; ++s) orow[s] += wv * crow[s];
+      }
+    }
+  }
+
+  auto x_impl = x.impl();
+  auto w_impl = w.impl();
+  auto b_impl = bias.defined() ? bias.impl() : nullptr;
+  std::vector<Tensor> inputs = {x, w};
+  if (bias.defined()) inputs.push_back(bias);
+  AttachNode(&out, inputs, "conv2d",
+             [x_impl, w_impl, b_impl, cols, b, c, h, ww, o, kh, kw, stride,
+              padding, oh, ow, ckk, spatial](TensorImpl& node_out) {
+               const float* g = node_out.grad.data();
+               const bool need_x = x_impl->requires_grad;
+               const bool need_w = w_impl->requires_grad;
+               const bool need_b = b_impl != nullptr && b_impl->requires_grad;
+               if (need_x) x_impl->EnsureGrad();
+               if (need_w) w_impl->EnsureGrad();
+               if (need_b) b_impl->EnsureGrad();
+               std::vector<float> gcol;
+               if (need_x) gcol.assign(static_cast<size_t>(ckk * spatial), 0.0f);
+               for (int64_t bi = 0; bi < b; ++bi) {
+                 const float* gout = g + bi * o * spatial;
+                 const float* col = cols->data() + bi * ckk * spatial;
+                 if (need_b) {
+                   float* gb = b_impl->grad.data();
+                   for (int64_t oi = 0; oi < o; ++oi) {
+                     const float* grow = gout + oi * spatial;
+                     float acc = 0.0f;
+                     for (int64_t s = 0; s < spatial; ++s) acc += grow[s];
+                     gb[oi] += acc;
+                   }
+                 }
+                 if (need_w) {
+                   float* gw = w_impl->grad.data();
+                   for (int64_t oi = 0; oi < o; ++oi) {
+                     const float* grow = gout + oi * spatial;
+                     float* gwrow = gw + oi * ckk;
+                     for (int64_t k = 0; k < ckk; ++k) {
+                       const float* crow = col + k * spatial;
+                       float acc = 0.0f;
+                       for (int64_t s = 0; s < spatial; ++s) {
+                         acc += grow[s] * crow[s];
+                       }
+                       gwrow[k] += acc;
+                     }
+                   }
+                 }
+                 if (need_x) {
+                   std::fill(gcol.begin(), gcol.end(), 0.0f);
+                   const float* pw = w_impl->data.data();
+                   for (int64_t oi = 0; oi < o; ++oi) {
+                     const float* grow = gout + oi * spatial;
+                     const float* wrow = pw + oi * ckk;
+                     for (int64_t k = 0; k < ckk; ++k) {
+                       const float wv = wrow[k];
+                       if (wv == 0.0f) continue;
+                       float* gcrow = gcol.data() + k * spatial;
+                       for (int64_t s = 0; s < spatial; ++s) {
+                         gcrow[s] += wv * grow[s];
+                       }
+                     }
+                   }
+                   Col2ImAccumulate(gcol.data(), c, h, ww, kh, kw, stride,
+                                    padding, oh, ow,
+                                    x_impl->grad.data() + bi * c * h * ww);
+                 }
+               }
+             });
+  return out;
+}
+
+Tensor MaxPool2d(const Tensor& x, int64_t kernel, int64_t stride) {
+  CDCL_CHECK_EQ(x.ndim(), 4);
+  CDCL_CHECK_GE(kernel, 1);
+  CDCL_CHECK_GE(stride, 1);
+  const int64_t b = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int64_t oh = (h - kernel) / stride + 1;
+  const int64_t ow = (w - kernel) / stride + 1;
+  CDCL_CHECK_GT(oh, 0);
+  CDCL_CHECK_GT(ow, 0);
+
+  Tensor out(Shape{b, c, oh, ow});
+  auto argmax = std::make_shared<std::vector<int64_t>>(
+      static_cast<size_t>(b * c * oh * ow));
+  const float* px = x.data();
+  float* po = out.data();
+  for (int64_t bi = 0; bi < b; ++bi) {
+    for (int64_t ci = 0; ci < c; ++ci) {
+      const float* plane = px + (bi * c + ci) * h * w;
+      float* oplane = po + (bi * c + ci) * oh * ow;
+      int64_t* aplane = argmax->data() + (bi * c + ci) * oh * ow;
+      for (int64_t oi = 0; oi < oh; ++oi) {
+        for (int64_t oj = 0; oj < ow; ++oj) {
+          float best = -std::numeric_limits<float>::infinity();
+          int64_t best_idx = 0;
+          for (int64_t ki = 0; ki < kernel; ++ki) {
+            for (int64_t kj = 0; kj < kernel; ++kj) {
+              const int64_t ii = oi * stride + ki;
+              const int64_t jj = oj * stride + kj;
+              const float v = plane[ii * w + jj];
+              if (v > best) {
+                best = v;
+                best_idx = ii * w + jj;
+              }
+            }
+          }
+          oplane[oi * ow + oj] = best;
+          aplane[oi * ow + oj] = best_idx;
+        }
+      }
+    }
+  }
+
+  auto x_impl = x.impl();
+  AttachNode(&out, {x}, "max_pool2d",
+             [x_impl, argmax, b, c, h, w, oh, ow](TensorImpl& o) {
+               if (!x_impl->requires_grad) return;
+               x_impl->EnsureGrad();
+               const float* g = o.grad.data();
+               for (int64_t plane = 0; plane < b * c; ++plane) {
+                 const float* gplane = g + plane * oh * ow;
+                 const int64_t* aplane = argmax->data() + plane * oh * ow;
+                 float* gx = x_impl->grad.data() + plane * h * w;
+                 for (int64_t s = 0; s < oh * ow; ++s) {
+                   gx[aplane[s]] += gplane[s];
+                 }
+               }
+             });
+  return out;
+}
+
+}  // namespace ops
+}  // namespace cdcl

@@ -1,0 +1,66 @@
+#include "tensor/gradcheck.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cdcl {
+
+GradCheckResult GradCheck(
+    const std::function<Tensor(const std::vector<Tensor>&)>& fn,
+    std::vector<Tensor> inputs, double epsilon, double tolerance) {
+  GradCheckResult result;
+
+  // Analytic pass.
+  for (Tensor& t : inputs) {
+    CDCL_CHECK(t.requires_grad());
+    t.ZeroGrad();
+  }
+  Tensor loss = fn(inputs);
+  CDCL_CHECK_EQ(loss.NumElements(), 1);
+  loss.Backward();
+  std::vector<std::vector<float>> analytic;
+  analytic.reserve(inputs.size());
+  for (Tensor& t : inputs) {
+    analytic.push_back(t.GradTensor().ToVector());
+  }
+
+  // Numeric pass (central differences); graph building is unnecessary.
+  result.passed = true;
+  for (size_t ti = 0; ti < inputs.size(); ++ti) {
+    Tensor& t = inputs[ti];
+    const int64_t n = t.NumElements();
+    for (int64_t i = 0; i < n; ++i) {
+      const float saved = t.data()[i];
+      double plus = 0.0, minus = 0.0;
+      {
+        NoGradGuard no_grad;
+        t.data()[i] = saved + static_cast<float>(epsilon);
+        plus = fn(inputs).item();
+        t.data()[i] = saved - static_cast<float>(epsilon);
+        minus = fn(inputs).item();
+        t.data()[i] = saved;
+      }
+      const double numeric = (plus - minus) / (2.0 * epsilon);
+      const double got = analytic[ti][static_cast<size_t>(i)];
+      const double abs_err = std::abs(numeric - got);
+      const double denom = std::max({std::abs(numeric), std::abs(got), 1.0});
+      const double rel_err = abs_err / denom;
+      result.max_abs_error = std::max(result.max_abs_error, abs_err);
+      result.max_rel_error = std::max(result.max_rel_error, rel_err);
+      if (rel_err > tolerance && abs_err > tolerance) {
+        result.passed = false;
+        if (result.detail.empty()) {
+          result.detail = StrFormat(
+              "input %zu elem %lld: analytic=%.6f numeric=%.6f", ti,
+              static_cast<long long>(i), got, numeric);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace cdcl

@@ -1,0 +1,29 @@
+#ifndef CDCL_TENSOR_GRADCHECK_H_
+#define CDCL_TENSOR_GRADCHECK_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace cdcl {
+
+/// Result of a finite-difference gradient comparison.
+struct GradCheckResult {
+  bool passed = false;
+  double max_abs_error = 0.0;
+  double max_rel_error = 0.0;
+  std::string detail;
+};
+
+/// Verifies analytic gradients of `fn` (a scalar-valued function of `inputs`)
+/// against central finite differences. Each input must have requires_grad
+/// set. Tolerance is on max(|abs err|, rel err).
+GradCheckResult GradCheck(
+    const std::function<Tensor(const std::vector<Tensor>&)>& fn,
+    std::vector<Tensor> inputs, double epsilon = 1e-3, double tolerance = 5e-2);
+
+}  // namespace cdcl
+
+#endif  // CDCL_TENSOR_GRADCHECK_H_

@@ -1,0 +1,37 @@
+#include "tensor/shape.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cdcl {
+
+int64_t Shape::dim(int64_t i) const {
+  if (i < 0) i += ndim();
+  CDCL_CHECK_GE(i, 0);
+  CDCL_CHECK_LT(i, ndim());
+  return dims_[static_cast<size_t>(i)];
+}
+
+int64_t Shape::NumElements() const {
+  int64_t n = 1;
+  for (int64_t d : dims_) n *= d;
+  return n;
+}
+
+bool Shape::IsSuffixOf(const Shape& other) const {
+  if (ndim() > other.ndim()) return false;
+  const int64_t offset = other.ndim() - ndim();
+  for (int64_t i = 0; i < ndim(); ++i) {
+    if (dims_[static_cast<size_t>(i)] != other.dim(offset + i)) return false;
+  }
+  return true;
+}
+
+std::string Shape::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(dims_.size());
+  for (int64_t d : dims_) parts.push_back(std::to_string(d));
+  return "[" + JoinStrings(parts, ", ") + "]";
+}
+
+}  // namespace cdcl

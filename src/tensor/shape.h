@@ -1,0 +1,41 @@
+#ifndef CDCL_TENSOR_SHAPE_H_
+#define CDCL_TENSOR_SHAPE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace cdcl {
+
+/// Dense row-major tensor shape. Rank 0 denotes a scalar.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims) : dims_(dims) {}
+  explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {}
+
+  int64_t ndim() const { return static_cast<int64_t>(dims_.size()); }
+  int64_t dim(int64_t i) const;
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  /// Product of all dims (1 for scalars).
+  int64_t NumElements() const;
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return dims_ != other.dims_; }
+
+  /// True when `other` equals the trailing dims of this shape (suffix
+  /// broadcast, e.g. (b,n,d) vs (d) or (n,d)).
+  bool IsSuffixOf(const Shape& other) const;
+
+  /// "[2, 3, 4]"
+  std::string ToString() const;
+
+ private:
+  std::vector<int64_t> dims_;
+};
+
+}  // namespace cdcl
+
+#endif  // CDCL_TENSOR_SHAPE_H_

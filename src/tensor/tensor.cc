@@ -1,0 +1,272 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace cdcl {
+
+namespace internal {
+
+void TensorImpl::EnsureGrad() {
+  if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+}
+
+void TensorImpl::AccumulateGrad(const float* src, int64_t n) {
+  EnsureGrad();
+  CDCL_DCHECK(static_cast<size_t>(n) == grad.size());
+  for (int64_t i = 0; i < n; ++i) grad[static_cast<size_t>(i)] += src[i];
+}
+
+}  // namespace internal
+
+namespace {
+
+thread_local bool g_grad_mode_enabled = true;
+
+std::shared_ptr<internal::TensorImpl> NewImpl(const Shape& shape,
+                                              bool requires_grad) {
+  auto impl = std::make_shared<internal::TensorImpl>();
+  impl->shape = shape;
+  impl->data.assign(static_cast<size_t>(shape.NumElements()), 0.0f);
+  impl->requires_grad = requires_grad;
+  return impl;
+}
+
+}  // namespace
+
+bool GradModeEnabled() { return g_grad_mode_enabled; }
+
+NoGradGuard::NoGradGuard() : previous_(g_grad_mode_enabled) {
+  g_grad_mode_enabled = false;
+}
+
+NoGradGuard::~NoGradGuard() { g_grad_mode_enabled = previous_; }
+
+Tensor::Tensor(const Shape& shape, bool requires_grad)
+    : impl_(NewImpl(shape, requires_grad)) {}
+
+Tensor Tensor::Zeros(const Shape& shape, bool requires_grad) {
+  return Tensor(shape, requires_grad);
+}
+
+Tensor Tensor::Ones(const Shape& shape, bool requires_grad) {
+  return Full(shape, 1.0f, requires_grad);
+}
+
+Tensor Tensor::Full(const Shape& shape, float value, bool requires_grad) {
+  Tensor t(shape, requires_grad);
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::Scalar(float value, bool requires_grad) {
+  return Full(Shape{}, value, requires_grad);
+}
+
+Tensor Tensor::FromVector(const Shape& shape, std::vector<float> values,
+                          bool requires_grad) {
+  CDCL_CHECK_EQ(static_cast<int64_t>(values.size()), shape.NumElements());
+  Tensor t;
+  t.impl_ = std::make_shared<internal::TensorImpl>();
+  t.impl_->shape = shape;
+  t.impl_->data = std::move(values);
+  t.impl_->requires_grad = requires_grad;
+  return t;
+}
+
+Tensor Tensor::Randn(const Shape& shape, Rng* rng, float stddev,
+                     bool requires_grad) {
+  CDCL_CHECK(rng != nullptr);
+  Tensor t(shape, requires_grad);
+  float* d = t.data();
+  const int64_t n = t.NumElements();
+  for (int64_t i = 0; i < n; ++i) {
+    d[i] = static_cast<float>(rng->NextGaussian()) * stddev;
+  }
+  return t;
+}
+
+Tensor Tensor::RandUniform(const Shape& shape, Rng* rng, float lo, float hi,
+                           bool requires_grad) {
+  CDCL_CHECK(rng != nullptr);
+  Tensor t(shape, requires_grad);
+  float* d = t.data();
+  const int64_t n = t.NumElements();
+  for (int64_t i = 0; i < n; ++i) {
+    d[i] = static_cast<float>(rng->Uniform(lo, hi));
+  }
+  return t;
+}
+
+const Shape& Tensor::shape() const {
+  CDCL_CHECK(defined());
+  return impl_->shape;
+}
+
+float* Tensor::data() {
+  CDCL_CHECK(defined());
+  return impl_->data.data();
+}
+
+const float* Tensor::data() const {
+  CDCL_CHECK(defined());
+  return impl_->data.data();
+}
+
+float& Tensor::at(int64_t i) {
+  CDCL_DCHECK(ndim() <= 1);
+  return data()[i];
+}
+float Tensor::at(int64_t i) const {
+  CDCL_DCHECK(ndim() <= 1);
+  return data()[i];
+}
+float& Tensor::at(int64_t i, int64_t j) {
+  CDCL_DCHECK(ndim() == 2);
+  return data()[i * dim(1) + j];
+}
+float Tensor::at(int64_t i, int64_t j) const {
+  CDCL_DCHECK(ndim() == 2);
+  return data()[i * dim(1) + j];
+}
+float& Tensor::at(int64_t i, int64_t j, int64_t k) {
+  CDCL_DCHECK(ndim() == 3);
+  return data()[(i * dim(1) + j) * dim(2) + k];
+}
+float Tensor::at(int64_t i, int64_t j, int64_t k) const {
+  CDCL_DCHECK(ndim() == 3);
+  return data()[(i * dim(1) + j) * dim(2) + k];
+}
+float& Tensor::at(int64_t i, int64_t j, int64_t k, int64_t l) {
+  CDCL_DCHECK(ndim() == 4);
+  return data()[((i * dim(1) + j) * dim(2) + k) * dim(3) + l];
+}
+float Tensor::at(int64_t i, int64_t j, int64_t k, int64_t l) const {
+  CDCL_DCHECK(ndim() == 4);
+  return data()[((i * dim(1) + j) * dim(2) + k) * dim(3) + l];
+}
+
+float Tensor::item() const {
+  CDCL_CHECK_EQ(NumElements(), 1);
+  return data()[0];
+}
+
+std::vector<float> Tensor::ToVector() const {
+  CDCL_CHECK(defined());
+  return impl_->data;
+}
+
+bool Tensor::requires_grad() const { return defined() && impl_->requires_grad; }
+
+Tensor& Tensor::set_requires_grad(bool value) {
+  CDCL_CHECK(defined());
+  impl_->requires_grad = value;
+  return *this;
+}
+
+bool Tensor::has_grad() const {
+  return defined() && impl_->grad.size() == impl_->data.size();
+}
+
+float* Tensor::grad_data() {
+  CDCL_CHECK(defined());
+  impl_->EnsureGrad();
+  return impl_->grad.data();
+}
+
+const float* Tensor::grad_data() const {
+  CDCL_CHECK(has_grad());
+  return impl_->grad.data();
+}
+
+Tensor Tensor::GradTensor() const {
+  CDCL_CHECK(defined());
+  Tensor g(shape());
+  if (has_grad()) {
+    std::memcpy(g.data(), impl_->grad.data(), impl_->grad.size() * sizeof(float));
+  }
+  return g;
+}
+
+void Tensor::Backward() {
+  CDCL_CHECK(defined());
+  CDCL_CHECK_EQ(NumElements(), 1);
+
+  // Topological order via iterative post-order DFS over grad nodes.
+  std::vector<internal::TensorImpl*> order;
+  std::unordered_set<internal::TensorImpl*> visited;
+  std::vector<std::pair<internal::TensorImpl*, size_t>> stack;
+  stack.emplace_back(impl_.get(), 0);
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    auto& [impl, next_child] = stack.back();
+    if (impl->node == nullptr || next_child >= impl->node->inputs.size()) {
+      order.push_back(impl);
+      stack.pop_back();
+      continue;
+    }
+    internal::TensorImpl* child = impl->node->inputs[next_child].get();
+    ++next_child;
+    if (child->node != nullptr && visited.insert(child).second) {
+      stack.emplace_back(child, 0);
+    }
+  }
+
+  impl_->EnsureGrad();
+  impl_->grad[0] = 1.0f;
+
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    internal::TensorImpl* impl = *it;
+    if (impl->node == nullptr) continue;
+    if (impl->grad.size() != impl->data.size()) {
+      // This intermediate never received a gradient; skip its subtree work
+      // (its inputs may still get gradients through other paths).
+      impl->EnsureGrad();
+    }
+    impl->node->backward(*impl);
+  }
+
+  // Single-use tape: free nodes so intermediates can be reclaimed.
+  for (internal::TensorImpl* impl : order) impl->node = nullptr;
+}
+
+void Tensor::ZeroGrad() {
+  CDCL_CHECK(defined());
+  std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
+}
+
+Tensor Tensor::Detach() const {
+  CDCL_CHECK(defined());
+  Tensor t;
+  t.impl_ = std::make_shared<internal::TensorImpl>();
+  t.impl_->shape = impl_->shape;
+  t.impl_->data = impl_->data;  // value copy keeps detach semantics simple
+  t.impl_->requires_grad = false;
+  return t;
+}
+
+Tensor Tensor::Clone() const { return Detach(); }
+
+void Tensor::Fill(float value) {
+  CDCL_CHECK(defined());
+  std::fill(impl_->data.begin(), impl_->data.end(), value);
+}
+
+void Tensor::CopyDataFrom(const Tensor& other) {
+  CDCL_CHECK(defined());
+  CDCL_CHECK(other.defined());
+  CDCL_CHECK_EQ(NumElements(), other.NumElements());
+  std::memcpy(impl_->data.data(), other.data(),
+              impl_->data.size() * sizeof(float));
+}
+
+Tensor Tensor::WrapImpl(std::shared_ptr<internal::TensorImpl> impl) {
+  Tensor t;
+  t.impl_ = std::move(impl);
+  return t;
+}
+
+}  // namespace cdcl

@@ -1,0 +1,146 @@
+#ifndef CDCL_TENSOR_TENSOR_H_
+#define CDCL_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/shape.h"
+#include "util/rng.h"
+
+namespace cdcl {
+
+namespace internal {
+struct TensorImpl;
+
+/// One recorded autograd operation: holds the inputs it must propagate into
+/// and a closure that maps the output gradient onto input gradients.
+struct GradNode {
+  std::vector<std::shared_ptr<TensorImpl>> inputs;
+  std::function<void(TensorImpl&)> backward;
+  const char* op_name = "?";
+};
+
+struct TensorImpl {
+  Shape shape;
+  std::vector<float> data;
+  std::vector<float> grad;  // lazily allocated, same size as data
+  bool requires_grad = false;
+  std::shared_ptr<GradNode> node;  // null for leaves / detached values
+
+  void EnsureGrad();
+  void AccumulateGrad(const float* src, int64_t n);
+};
+
+}  // namespace internal
+
+/// Float32 dense tensor with reverse-mode autodiff.
+///
+/// `Tensor` is a value-semantic handle to shared storage: copies alias the
+/// same buffer (like torch.Tensor). Every op in tensor_ops.h records a tape
+/// node when any input has `requires_grad` and gradient mode is enabled;
+/// `Backward()` on a scalar then fills `grad()` on all participating leaves.
+class Tensor {
+ public:
+  /// Empty (null) tensor; `defined()` is false.
+  Tensor() = default;
+
+  /// Uninitialized-to-zero tensor of the given shape.
+  explicit Tensor(const Shape& shape, bool requires_grad = false);
+
+  // -- Factories ------------------------------------------------------------
+  static Tensor Zeros(const Shape& shape, bool requires_grad = false);
+  static Tensor Ones(const Shape& shape, bool requires_grad = false);
+  static Tensor Full(const Shape& shape, float value, bool requires_grad = false);
+  static Tensor Scalar(float value, bool requires_grad = false);
+  static Tensor FromVector(const Shape& shape, std::vector<float> values,
+                           bool requires_grad = false);
+  /// N(0, stddev^2) entries.
+  static Tensor Randn(const Shape& shape, Rng* rng, float stddev = 1.0f,
+                      bool requires_grad = false);
+  /// U[lo, hi) entries.
+  static Tensor RandUniform(const Shape& shape, Rng* rng, float lo, float hi,
+                            bool requires_grad = false);
+
+  // -- Introspection ---------------------------------------------------------
+  bool defined() const { return impl_ != nullptr; }
+  const Shape& shape() const;
+  int64_t ndim() const { return shape().ndim(); }
+  int64_t dim(int64_t i) const { return shape().dim(i); }
+  int64_t NumElements() const { return shape().NumElements(); }
+
+  float* data();
+  const float* data() const;
+
+  /// Element accessors (rank-checked in debug builds).
+  float& at(int64_t i);
+  float at(int64_t i) const;
+  float& at(int64_t i, int64_t j);
+  float at(int64_t i, int64_t j) const;
+  float& at(int64_t i, int64_t j, int64_t k);
+  float at(int64_t i, int64_t j, int64_t k) const;
+  float& at(int64_t i, int64_t j, int64_t k, int64_t l);
+  float at(int64_t i, int64_t j, int64_t k, int64_t l) const;
+
+  /// Value of a one-element tensor.
+  float item() const;
+
+  /// Copies values out.
+  std::vector<float> ToVector() const;
+
+  // -- Autograd ---------------------------------------------------------------
+  bool requires_grad() const;
+  /// Marks this tensor as a trainable leaf.
+  Tensor& set_requires_grad(bool value);
+
+  /// True once a backward pass has produced a gradient for this tensor.
+  bool has_grad() const;
+  float* grad_data();
+  const float* grad_data() const;
+  /// Gradient as a (detached) tensor copy; zeros if none accumulated.
+  Tensor GradTensor() const;
+
+  /// Runs reverse-mode autodiff from this scalar tensor. Frees the recorded
+  /// tape afterwards (single-use graphs, like PyTorch's default).
+  void Backward();
+
+  /// Clears accumulated gradient (keeps allocation).
+  void ZeroGrad();
+
+  /// Same storage, but cut out of the autograd graph.
+  Tensor Detach() const;
+  /// Deep copy of the values (no graph, no grad).
+  Tensor Clone() const;
+
+  /// In-place fill / copy helpers (do not record autograd).
+  void Fill(float value);
+  void CopyDataFrom(const Tensor& other);
+
+  // -- Internal ---------------------------------------------------------------
+  std::shared_ptr<internal::TensorImpl> impl() const { return impl_; }
+  static Tensor WrapImpl(std::shared_ptr<internal::TensorImpl> impl);
+
+ private:
+  std::shared_ptr<internal::TensorImpl> impl_;
+};
+
+/// RAII guard disabling tape recording (evaluation / inference mode).
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// Whether ops should currently record tape nodes.
+bool GradModeEnabled();
+
+}  // namespace cdcl
+
+#endif  // CDCL_TENSOR_TENSOR_H_

@@ -1,0 +1,898 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace cdcl {
+namespace ops {
+namespace {
+
+using internal::GradNode;
+using internal::TensorImpl;
+
+/// Attaches a tape node to `out` when grad recording is active and at least
+/// one input participates in differentiation.
+void AttachNode(Tensor* out, std::vector<Tensor> inputs, const char* name,
+                std::function<void(TensorImpl&)> backward) {
+  if (!GradModeEnabled()) return;
+  bool any = false;
+  for (const Tensor& t : inputs) any = any || t.requires_grad();
+  if (!any) return;
+  auto node = std::make_shared<GradNode>();
+  node->inputs.reserve(inputs.size());
+  for (const Tensor& t : inputs) node->inputs.push_back(t.impl());
+  node->backward = std::move(backward);
+  node->op_name = name;
+  out->impl()->node = std::move(node);
+  out->impl()->requires_grad = true;
+}
+
+bool NeedsGrad(const std::shared_ptr<TensorImpl>& impl) {
+  return impl->requires_grad;
+}
+
+enum class BinaryKind { kAdd, kSub, kMul, kDiv };
+
+/// Shared implementation for broadcasting binary ops. `b` must be the same
+/// shape as `a`, a scalar, or a suffix of `a`'s shape.
+Tensor BinaryOp(const Tensor& a, const Tensor& b, BinaryKind kind,
+                const char* name) {
+  CDCL_CHECK(a.defined());
+  CDCL_CHECK(b.defined());
+  const int64_t na = a.NumElements();
+  const int64_t nb = b.NumElements();
+  const bool same = a.shape() == b.shape();
+  const bool suffix = same || b.shape().IsSuffixOf(a.shape()) || nb == 1;
+  CDCL_CHECK(suffix) << name << ": incompatible shapes " << a.shape().ToString()
+                     << " vs " << b.shape().ToString();
+  CDCL_CHECK(na % std::max<int64_t>(nb, 1) == 0);
+
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < na; ++i) {
+    const float va = pa[i];
+    const float vb = pb[i % nb];
+    switch (kind) {
+      case BinaryKind::kAdd:
+        po[i] = va + vb;
+        break;
+      case BinaryKind::kSub:
+        po[i] = va - vb;
+        break;
+      case BinaryKind::kMul:
+        po[i] = va * vb;
+        break;
+      case BinaryKind::kDiv:
+        po[i] = va / vb;
+        break;
+    }
+  }
+
+  auto a_impl = a.impl();
+  auto b_impl = b.impl();
+  AttachNode(&out, {a, b}, name, [a_impl, b_impl, kind, na, nb](TensorImpl& o) {
+    const float* g = o.grad.data();
+    const float* pa = a_impl->data.data();
+    const float* pb = b_impl->data.data();
+    if (NeedsGrad(a_impl)) {
+      a_impl->EnsureGrad();
+      float* ga = a_impl->grad.data();
+      for (int64_t i = 0; i < na; ++i) {
+        switch (kind) {
+          case BinaryKind::kAdd:
+          case BinaryKind::kSub:
+            ga[i] += g[i];
+            break;
+          case BinaryKind::kMul:
+            ga[i] += g[i] * pb[i % nb];
+            break;
+          case BinaryKind::kDiv:
+            ga[i] += g[i] / pb[i % nb];
+            break;
+        }
+      }
+    }
+    if (NeedsGrad(b_impl)) {
+      b_impl->EnsureGrad();
+      float* gb = b_impl->grad.data();
+      for (int64_t i = 0; i < na; ++i) {
+        const int64_t j = i % nb;
+        switch (kind) {
+          case BinaryKind::kAdd:
+            gb[j] += g[i];
+            break;
+          case BinaryKind::kSub:
+            gb[j] -= g[i];
+            break;
+          case BinaryKind::kMul:
+            gb[j] += g[i] * pa[i];
+            break;
+          case BinaryKind::kDiv: {
+            const float vb = pb[j];
+            gb[j] -= g[i] * pa[i] / (vb * vb);
+            break;
+          }
+        }
+      }
+    }
+  });
+  return out;
+}
+
+/// Shared implementation for elementwise unary ops given value and local
+/// derivative (as a function of input value x and output value y).
+template <typename Fwd, typename Bwd>
+Tensor UnaryOp(const Tensor& a, const char* name, Fwd fwd, Bwd dydx) {
+  CDCL_CHECK(a.defined());
+  Tensor out(a.shape());
+  const int64_t n = a.NumElements();
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n; ++i) po[i] = fwd(pa[i]);
+
+  auto a_impl = a.impl();
+  auto out_impl = out.impl();
+  AttachNode(&out, {a}, name, [a_impl, dydx, n](TensorImpl& o) {
+    if (!NeedsGrad(a_impl)) return;
+    a_impl->EnsureGrad();
+    const float* g = o.grad.data();
+    const float* px = a_impl->data.data();
+    const float* py = o.data.data();
+    float* ga = a_impl->grad.data();
+    for (int64_t i = 0; i < n; ++i) ga[i] += g[i] * dydx(px[i], py[i]);
+  });
+  return out;
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, BinaryKind::kAdd, "add");
+}
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, BinaryKind::kSub, "sub");
+}
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, BinaryKind::kMul, "mul");
+}
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, BinaryKind::kDiv, "div");
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return UnaryOp(
+      a, "add_scalar", [s](float x) { return x + s; },
+      [](float, float) { return 1.0f; });
+}
+
+Tensor MulScalar(const Tensor& a, float s) {
+  return UnaryOp(
+      a, "mul_scalar", [s](float x) { return x * s; },
+      [s](float, float) { return s; });
+}
+
+Tensor Neg(const Tensor& a) { return MulScalar(a, -1.0f); }
+
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(
+      a, "relu", [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor Gelu(const Tensor& a) {
+  // tanh approximation of GELU.
+  constexpr float kC = 0.7978845608f;  // sqrt(2/pi)
+  return UnaryOp(
+      a, "gelu",
+      [](float x) {
+        const float t = std::tanh(kC * (x + 0.044715f * x * x * x));
+        return 0.5f * x * (1.0f + t);
+      },
+      [](float x, float) {
+        const float u = kC * (x + 0.044715f * x * x * x);
+        const float t = std::tanh(u);
+        const float sech2 = 1.0f - t * t;
+        const float du = kC * (1.0f + 3.0f * 0.044715f * x * x);
+        return 0.5f * (1.0f + t) + 0.5f * x * sech2 * du;
+      });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(
+      a, "tanh", [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(
+      a, "sigmoid", [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(
+      a, "exp", [](float x) { return std::exp(x); },
+      [](float, float y) { return y; });
+}
+
+Tensor Log(const Tensor& a) {
+  return UnaryOp(
+      a, "log", [](float x) { return std::log(std::max(x, 1e-12f)); },
+      [](float x, float) { return 1.0f / std::max(x, 1e-12f); });
+}
+
+Tensor Sqrt(const Tensor& a) {
+  return UnaryOp(
+      a, "sqrt", [](float x) { return std::sqrt(std::max(x, 0.0f)); },
+      [](float, float y) { return 0.5f / std::max(y, 1e-12f); });
+}
+
+Tensor Square(const Tensor& a) {
+  return UnaryOp(
+      a, "square", [](float x) { return x * x; },
+      [](float x, float) { return 2.0f * x; });
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  CDCL_CHECK_EQ(a.ndim(), 2);
+  CDCL_CHECK_EQ(b.ndim(), 2);
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  CDCL_CHECK_EQ(b.dim(0), k);
+  Tensor out(Shape{m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  // (i,k)-ordered loop keeps unit-stride access on b and out.
+  for (int64_t i = 0; i < m; ++i) {
+    float* orow = po + i * n;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = pa[i * k + kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+
+  auto a_impl = a.impl();
+  auto b_impl = b.impl();
+  AttachNode(&out, {a, b}, "matmul", [a_impl, b_impl, m, k, n](TensorImpl& o) {
+    const float* g = o.grad.data();
+    if (NeedsGrad(a_impl)) {
+      a_impl->EnsureGrad();
+      float* ga = a_impl->grad.data();
+      const float* pb = b_impl->data.data();
+      // dA = G * B^T
+      for (int64_t i = 0; i < m; ++i) {
+        for (int64_t kk = 0; kk < k; ++kk) {
+          const float* grow = g + i * n;
+          const float* brow = pb + kk * n;
+          float acc = 0.0f;
+          for (int64_t j = 0; j < n; ++j) acc += grow[j] * brow[j];
+          ga[i * k + kk] += acc;
+        }
+      }
+    }
+    if (NeedsGrad(b_impl)) {
+      b_impl->EnsureGrad();
+      float* gb = b_impl->grad.data();
+      const float* pa = a_impl->data.data();
+      // dB = A^T * G
+      for (int64_t i = 0; i < m; ++i) {
+        const float* grow = g + i * n;
+        for (int64_t kk = 0; kk < k; ++kk) {
+          const float av = pa[i * k + kk];
+          if (av == 0.0f) continue;
+          float* gbrow = gb + kk * n;
+          for (int64_t j = 0; j < n; ++j) gbrow[j] += av * grow[j];
+        }
+      }
+    }
+  });
+  return out;
+}
+
+Tensor BatchMatMul(const Tensor& a, const Tensor& b) {
+  CDCL_CHECK_EQ(a.ndim(), 3);
+  CDCL_CHECK_EQ(b.ndim(), 3);
+  const int64_t bs = a.dim(0), m = a.dim(1), k = a.dim(2), n = b.dim(2);
+  CDCL_CHECK_EQ(b.dim(0), bs);
+  CDCL_CHECK_EQ(b.dim(1), k);
+  Tensor out(Shape{bs, m, n});
+  for (int64_t bi = 0; bi < bs; ++bi) {
+    const float* pa = a.data() + bi * m * k;
+    const float* pb = b.data() + bi * k * n;
+    float* po = out.data() + bi * m * n;
+    for (int64_t i = 0; i < m; ++i) {
+      float* orow = po + i * n;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float av = pa[i * k + kk];
+        if (av == 0.0f) continue;
+        const float* brow = pb + kk * n;
+        for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
+    }
+  }
+
+  auto a_impl = a.impl();
+  auto b_impl = b.impl();
+  AttachNode(&out, {a, b}, "bmm", [a_impl, b_impl, bs, m, k, n](TensorImpl& o) {
+    const float* g_all = o.grad.data();
+    for (int64_t bi = 0; bi < bs; ++bi) {
+      const float* g = g_all + bi * m * n;
+      if (NeedsGrad(a_impl)) {
+        a_impl->EnsureGrad();
+        float* ga = a_impl->grad.data() + bi * m * k;
+        const float* pb = b_impl->data.data() + bi * k * n;
+        for (int64_t i = 0; i < m; ++i) {
+          for (int64_t kk = 0; kk < k; ++kk) {
+            const float* grow = g + i * n;
+            const float* brow = pb + kk * n;
+            float acc = 0.0f;
+            for (int64_t j = 0; j < n; ++j) acc += grow[j] * brow[j];
+            ga[i * k + kk] += acc;
+          }
+        }
+      }
+      if (NeedsGrad(b_impl)) {
+        b_impl->EnsureGrad();
+        float* gb = b_impl->grad.data() + bi * k * n;
+        const float* pa = a_impl->data.data() + bi * m * k;
+        for (int64_t i = 0; i < m; ++i) {
+          const float* grow = g + i * n;
+          for (int64_t kk = 0; kk < k; ++kk) {
+            const float av = pa[i * k + kk];
+            if (av == 0.0f) continue;
+            float* gbrow = gb + kk * n;
+            for (int64_t j = 0; j < n; ++j) gbrow[j] += av * grow[j];
+          }
+        }
+      }
+    }
+  });
+  return out;
+}
+
+Tensor Transpose(const Tensor& a) {
+  CDCL_CHECK_EQ(a.ndim(), 2);
+  const int64_t m = a.dim(0), n = a.dim(1);
+  Tensor out(Shape{n, m});
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) po[j * m + i] = pa[i * n + j];
+  }
+  auto a_impl = a.impl();
+  AttachNode(&out, {a}, "transpose", [a_impl, m, n](TensorImpl& o) {
+    if (!NeedsGrad(a_impl)) return;
+    a_impl->EnsureGrad();
+    const float* g = o.grad.data();
+    float* ga = a_impl->grad.data();
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < n; ++j) ga[i * n + j] += g[j * m + i];
+    }
+  });
+  return out;
+}
+
+Tensor TransposeLast2(const Tensor& a) {
+  CDCL_CHECK_EQ(a.ndim(), 3);
+  const int64_t b = a.dim(0), m = a.dim(1), n = a.dim(2);
+  Tensor out(Shape{b, n, m});
+  for (int64_t bi = 0; bi < b; ++bi) {
+    const float* pa = a.data() + bi * m * n;
+    float* po = out.data() + bi * m * n;
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < n; ++j) po[j * m + i] = pa[i * n + j];
+    }
+  }
+  auto a_impl = a.impl();
+  AttachNode(&out, {a}, "transpose_last2", [a_impl, b, m, n](TensorImpl& o) {
+    if (!NeedsGrad(a_impl)) return;
+    a_impl->EnsureGrad();
+    for (int64_t bi = 0; bi < b; ++bi) {
+      const float* g = o.grad.data() + bi * m * n;
+      float* ga = a_impl->grad.data() + bi * m * n;
+      for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = 0; j < n; ++j) ga[i * n + j] += g[j * m + i];
+      }
+    }
+  });
+  return out;
+}
+
+Tensor Reshape(const Tensor& a, const Shape& shape) {
+  CDCL_CHECK_EQ(a.NumElements(), shape.NumElements());
+  Tensor out = Tensor::FromVector(shape, a.ToVector());
+  auto a_impl = a.impl();
+  const int64_t n = a.NumElements();
+  AttachNode(&out, {a}, "reshape", [a_impl, n](TensorImpl& o) {
+    if (!NeedsGrad(a_impl)) return;
+    a_impl->AccumulateGrad(o.grad.data(), n);
+  });
+  return out;
+}
+
+Tensor Concat0(const std::vector<Tensor>& parts) {
+  CDCL_CHECK(!parts.empty());
+  std::vector<int64_t> dims = parts[0].shape().dims();
+  CDCL_CHECK(!dims.empty());
+  int64_t total_rows = 0;
+  int64_t row_size = parts[0].NumElements() / std::max<int64_t>(dims[0], 1);
+  for (const Tensor& p : parts) {
+    CDCL_CHECK_EQ(p.ndim(), static_cast<int64_t>(dims.size()));
+    for (size_t d = 1; d < dims.size(); ++d) {
+      CDCL_CHECK_EQ(p.dim(static_cast<int64_t>(d)), dims[d]);
+    }
+    total_rows += p.dim(0);
+  }
+  dims[0] = total_rows;
+  Tensor out{Shape(dims)};
+  int64_t offset = 0;
+  for (const Tensor& p : parts) {
+    const int64_t bytes_n = p.NumElements();
+    std::memcpy(out.data() + offset, p.data(),
+                static_cast<size_t>(bytes_n) * sizeof(float));
+    offset += bytes_n;
+  }
+
+  std::vector<std::shared_ptr<TensorImpl>> impls;
+  impls.reserve(parts.size());
+  for (const Tensor& p : parts) impls.push_back(p.impl());
+  AttachNode(&out, parts, "concat0", [impls, row_size](TensorImpl& o) {
+    (void)row_size;
+    int64_t offset = 0;
+    for (const auto& impl : impls) {
+      const int64_t n = static_cast<int64_t>(impl->data.size());
+      if (NeedsGrad(impl)) {
+        impl->AccumulateGrad(o.grad.data() + offset, n);
+      }
+      offset += n;
+    }
+  });
+  return out;
+}
+
+Tensor ConcatLast(const std::vector<Tensor>& parts) {
+  CDCL_CHECK(!parts.empty());
+  const int64_t b = parts[0].dim(0);
+  int64_t total = 0;
+  for (const Tensor& p : parts) {
+    CDCL_CHECK_EQ(p.ndim(), 2);
+    CDCL_CHECK_EQ(p.dim(0), b);
+    total += p.dim(1);
+  }
+  Tensor out(Shape{b, total});
+  float* po = out.data();
+  int64_t col = 0;
+  for (const Tensor& p : parts) {
+    const int64_t c = p.dim(1);
+    const float* pp = p.data();
+    for (int64_t i = 0; i < b; ++i) {
+      std::memcpy(po + i * total + col, pp + i * c,
+                  static_cast<size_t>(c) * sizeof(float));
+    }
+    col += c;
+  }
+
+  std::vector<std::shared_ptr<TensorImpl>> impls;
+  std::vector<int64_t> widths;
+  for (const Tensor& p : parts) {
+    impls.push_back(p.impl());
+    widths.push_back(p.dim(1));
+  }
+  AttachNode(&out, parts, "concat_last", [impls, widths, b, total](TensorImpl& o) {
+    const float* g = o.grad.data();
+    int64_t col = 0;
+    for (size_t pi = 0; pi < impls.size(); ++pi) {
+      const int64_t c = widths[pi];
+      if (NeedsGrad(impls[pi])) {
+        impls[pi]->EnsureGrad();
+        float* gp = impls[pi]->grad.data();
+        for (int64_t i = 0; i < b; ++i) {
+          const float* grow = g + i * total + col;
+          float* prow = gp + i * c;
+          for (int64_t j = 0; j < c; ++j) prow[j] += grow[j];
+        }
+      }
+      col += c;
+    }
+  });
+  return out;
+}
+
+Tensor Slice0(const Tensor& a, int64_t start, int64_t length) {
+  CDCL_CHECK_GE(a.ndim(), 1);
+  CDCL_CHECK_GE(start, 0);
+  CDCL_CHECK_GE(length, 0);
+  CDCL_CHECK_LE(start + length, a.dim(0));
+  std::vector<int64_t> dims = a.shape().dims();
+  const int64_t row = a.NumElements() / std::max<int64_t>(dims[0], 1);
+  dims[0] = length;
+  Tensor out{Shape(dims)};
+  std::memcpy(out.data(), a.data() + start * row,
+              static_cast<size_t>(length * row) * sizeof(float));
+  auto a_impl = a.impl();
+  AttachNode(&out, {a}, "slice0", [a_impl, start, length, row](TensorImpl& o) {
+    if (!NeedsGrad(a_impl)) return;
+    a_impl->EnsureGrad();
+    const float* g = o.grad.data();
+    float* ga = a_impl->grad.data() + start * row;
+    for (int64_t i = 0; i < length * row; ++i) ga[i] += g[i];
+  });
+  return out;
+}
+
+Tensor IndexRows(const Tensor& a, const std::vector<int64_t>& indices) {
+  CDCL_CHECK_GE(a.ndim(), 1);
+  std::vector<int64_t> dims = a.shape().dims();
+  const int64_t row = a.NumElements() / std::max<int64_t>(dims[0], 1);
+  const int64_t rows_in = dims[0];
+  dims[0] = static_cast<int64_t>(indices.size());
+  Tensor out{Shape(dims)};
+  for (size_t i = 0; i < indices.size(); ++i) {
+    CDCL_CHECK_GE(indices[i], 0);
+    CDCL_CHECK_LT(indices[i], rows_in);
+    std::memcpy(out.data() + static_cast<int64_t>(i) * row,
+                a.data() + indices[i] * row,
+                static_cast<size_t>(row) * sizeof(float));
+  }
+  auto a_impl = a.impl();
+  auto idx = indices;
+  AttachNode(&out, {a}, "index_rows", [a_impl, idx, row](TensorImpl& o) {
+    if (!NeedsGrad(a_impl)) return;
+    a_impl->EnsureGrad();
+    const float* g = o.grad.data();
+    float* ga = a_impl->grad.data();
+    for (size_t i = 0; i < idx.size(); ++i) {
+      const float* grow = g + static_cast<int64_t>(i) * row;
+      float* garow = ga + idx[i] * row;
+      for (int64_t j = 0; j < row; ++j) garow[j] += grow[j];
+    }
+  });
+  return out;
+}
+
+Tensor Sum(const Tensor& a) {
+  const int64_t n = a.NumElements();
+  const float* pa = a.data();
+  double acc = 0.0;
+  for (int64_t i = 0; i < n; ++i) acc += pa[i];
+  Tensor out = Tensor::Scalar(static_cast<float>(acc));
+  auto a_impl = a.impl();
+  AttachNode(&out, {a}, "sum", [a_impl, n](TensorImpl& o) {
+    if (!NeedsGrad(a_impl)) return;
+    a_impl->EnsureGrad();
+    const float g = o.grad[0];
+    float* ga = a_impl->grad.data();
+    for (int64_t i = 0; i < n; ++i) ga[i] += g;
+  });
+  return out;
+}
+
+Tensor Mean(const Tensor& a) {
+  const int64_t n = std::max<int64_t>(a.NumElements(), 1);
+  return MulScalar(Sum(a), 1.0f / static_cast<float>(n));
+}
+
+Tensor SumLastDim(const Tensor& a) {
+  CDCL_CHECK_GE(a.ndim(), 1);
+  const int64_t d = a.dim(-1);
+  const int64_t rows = a.NumElements() / d;
+  std::vector<int64_t> dims = a.shape().dims();
+  dims.pop_back();
+  Tensor out{Shape(dims)};
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    float acc = 0.0f;
+    for (int64_t j = 0; j < d; ++j) acc += pa[r * d + j];
+    po[r] = acc;
+  }
+  auto a_impl = a.impl();
+  AttachNode(&out, {a}, "sum_last", [a_impl, rows, d](TensorImpl& o) {
+    if (!NeedsGrad(a_impl)) return;
+    a_impl->EnsureGrad();
+    const float* g = o.grad.data();
+    float* ga = a_impl->grad.data();
+    for (int64_t r = 0; r < rows; ++r) {
+      for (int64_t j = 0; j < d; ++j) ga[r * d + j] += g[r];
+    }
+  });
+  return out;
+}
+
+Tensor MeanLastDim(const Tensor& a) {
+  const int64_t d = std::max<int64_t>(a.dim(-1), 1);
+  return MulScalar(SumLastDim(a), 1.0f / static_cast<float>(d));
+}
+
+Tensor Softmax(const Tensor& a) {
+  CDCL_CHECK_GE(a.ndim(), 1);
+  const int64_t d = a.dim(-1);
+  const int64_t rows = a.NumElements() / d;
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = pa + r * d;
+    float* yr = po + r * d;
+    float mx = xr[0];
+    for (int64_t j = 1; j < d; ++j) mx = std::max(mx, xr[j]);
+    float z = 0.0f;
+    for (int64_t j = 0; j < d; ++j) {
+      yr[j] = std::exp(xr[j] - mx);
+      z += yr[j];
+    }
+    const float inv = 1.0f / z;
+    for (int64_t j = 0; j < d; ++j) yr[j] *= inv;
+  }
+  auto a_impl = a.impl();
+  AttachNode(&out, {a}, "softmax", [a_impl, rows, d](TensorImpl& o) {
+    if (!NeedsGrad(a_impl)) return;
+    a_impl->EnsureGrad();
+    const float* g = o.grad.data();
+    const float* y = o.data.data();
+    float* ga = a_impl->grad.data();
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* gr = g + r * d;
+      const float* yr = y + r * d;
+      float dot = 0.0f;
+      for (int64_t j = 0; j < d; ++j) dot += gr[j] * yr[j];
+      float* gar = ga + r * d;
+      for (int64_t j = 0; j < d; ++j) gar[j] += yr[j] * (gr[j] - dot);
+    }
+  });
+  return out;
+}
+
+Tensor LogSoftmax(const Tensor& a) {
+  CDCL_CHECK_GE(a.ndim(), 1);
+  const int64_t d = a.dim(-1);
+  const int64_t rows = a.NumElements() / d;
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = pa + r * d;
+    float* yr = po + r * d;
+    float mx = xr[0];
+    for (int64_t j = 1; j < d; ++j) mx = std::max(mx, xr[j]);
+    float z = 0.0f;
+    for (int64_t j = 0; j < d; ++j) z += std::exp(xr[j] - mx);
+    const float lse = mx + std::log(z);
+    for (int64_t j = 0; j < d; ++j) yr[j] = xr[j] - lse;
+  }
+  auto a_impl = a.impl();
+  AttachNode(&out, {a}, "log_softmax", [a_impl, rows, d](TensorImpl& o) {
+    if (!NeedsGrad(a_impl)) return;
+    a_impl->EnsureGrad();
+    const float* g = o.grad.data();
+    const float* y = o.data.data();
+    float* ga = a_impl->grad.data();
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* gr = g + r * d;
+      const float* yr = y + r * d;
+      float gsum = 0.0f;
+      for (int64_t j = 0; j < d; ++j) gsum += gr[j];
+      float* gar = ga + r * d;
+      for (int64_t j = 0; j < d; ++j) {
+        gar[j] += gr[j] - std::exp(yr[j]) * gsum;
+      }
+    }
+  });
+  return out;
+}
+
+Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                 float eps) {
+  CDCL_CHECK_GE(x.ndim(), 1);
+  const int64_t d = x.dim(-1);
+  CDCL_CHECK_EQ(gamma.NumElements(), d);
+  CDCL_CHECK_EQ(beta.NumElements(), d);
+  const int64_t rows = x.NumElements() / d;
+  Tensor out(x.shape());
+  std::vector<float> inv_std(static_cast<size_t>(rows));
+  std::vector<float> xhat(static_cast<size_t>(rows * d));
+  const float* px = x.data();
+  const float* pg = gamma.data();
+  const float* pb = beta.data();
+  float* po = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = px + r * d;
+    float mean = 0.0f;
+    for (int64_t j = 0; j < d; ++j) mean += xr[j];
+    mean /= static_cast<float>(d);
+    float var = 0.0f;
+    for (int64_t j = 0; j < d; ++j) {
+      const float c = xr[j] - mean;
+      var += c * c;
+    }
+    var /= static_cast<float>(d);
+    const float istd = 1.0f / std::sqrt(var + eps);
+    inv_std[static_cast<size_t>(r)] = istd;
+    for (int64_t j = 0; j < d; ++j) {
+      const float h = (xr[j] - mean) * istd;
+      xhat[static_cast<size_t>(r * d + j)] = h;
+      po[r * d + j] = h * pg[j] + pb[j];
+    }
+  }
+
+  auto x_impl = x.impl();
+  auto g_impl = gamma.impl();
+  auto b_impl = beta.impl();
+  AttachNode(&out, {x, gamma, beta}, "layer_norm",
+             [x_impl, g_impl, b_impl, rows, d, inv_std = std::move(inv_std),
+              xhat = std::move(xhat)](TensorImpl& o) {
+               const float* g = o.grad.data();
+               const float* pg = g_impl->data.data();
+               if (NeedsGrad(g_impl)) g_impl->EnsureGrad();
+               if (NeedsGrad(b_impl)) b_impl->EnsureGrad();
+               if (NeedsGrad(x_impl)) x_impl->EnsureGrad();
+               for (int64_t r = 0; r < rows; ++r) {
+                 const float* gr = g + r * d;
+                 const float* hr = xhat.data() + r * d;
+                 if (NeedsGrad(g_impl)) {
+                   float* gg = g_impl->grad.data();
+                   for (int64_t j = 0; j < d; ++j) gg[j] += gr[j] * hr[j];
+                 }
+                 if (NeedsGrad(b_impl)) {
+                   float* gb = b_impl->grad.data();
+                   for (int64_t j = 0; j < d; ++j) gb[j] += gr[j];
+                 }
+                 if (NeedsGrad(x_impl)) {
+                   // dx = istd * (dyg - mean(dyg) - xhat * mean(dyg*xhat))
+                   float m1 = 0.0f, m2 = 0.0f;
+                   for (int64_t j = 0; j < d; ++j) {
+                     const float dyg = gr[j] * pg[j];
+                     m1 += dyg;
+                     m2 += dyg * hr[j];
+                   }
+                   m1 /= static_cast<float>(d);
+                   m2 /= static_cast<float>(d);
+                   const float istd = inv_std[static_cast<size_t>(r)];
+                   float* gx = x_impl->grad.data() + r * d;
+                   for (int64_t j = 0; j < d; ++j) {
+                     const float dyg = gr[j] * pg[j];
+                     gx[j] += istd * (dyg - m1 - hr[j] * m2);
+                   }
+                 }
+               }
+             });
+  return out;
+}
+
+Tensor Dropout(const Tensor& x, float p, Rng* rng) {
+  if (p <= 0.0f) return x;
+  CDCL_CHECK_LT(p, 1.0f);
+  CDCL_CHECK(rng != nullptr);
+  const int64_t n = x.NumElements();
+  std::vector<float> mask(static_cast<size_t>(n));
+  const float scale = 1.0f / (1.0f - p);
+  for (int64_t i = 0; i < n; ++i) {
+    mask[static_cast<size_t>(i)] = rng->NextBool(p) ? 0.0f : scale;
+  }
+  Tensor m = Tensor::FromVector(x.shape(), std::move(mask));
+  return Mul(x, m);
+}
+
+Tensor CrossEntropy(const Tensor& logits, const std::vector<int64_t>& labels) {
+  CDCL_CHECK_EQ(logits.ndim(), 2);
+  const int64_t b = logits.dim(0), c = logits.dim(1);
+  CDCL_CHECK_EQ(static_cast<int64_t>(labels.size()), b);
+  CDCL_CHECK_GT(b, 0);
+  // Save the softmax probabilities for the backward pass.
+  std::vector<float> probs(static_cast<size_t>(b * c));
+  const float* pl = logits.data();
+  double loss = 0.0;
+  for (int64_t i = 0; i < b; ++i) {
+    const float* xr = pl + i * c;
+    float mx = xr[0];
+    for (int64_t j = 1; j < c; ++j) mx = std::max(mx, xr[j]);
+    float z = 0.0f;
+    for (int64_t j = 0; j < c; ++j) z += std::exp(xr[j] - mx);
+    const float lse = mx + std::log(z);
+    CDCL_CHECK_GE(labels[static_cast<size_t>(i)], 0);
+    CDCL_CHECK_LT(labels[static_cast<size_t>(i)], c);
+    loss += lse - xr[labels[static_cast<size_t>(i)]];
+    for (int64_t j = 0; j < c; ++j) {
+      probs[static_cast<size_t>(i * c + j)] = std::exp(xr[j] - lse);
+    }
+  }
+  Tensor out = Tensor::Scalar(static_cast<float>(loss / static_cast<double>(b)));
+  auto l_impl = logits.impl();
+  auto lbl = labels;
+  AttachNode(&out, {logits}, "cross_entropy",
+             [l_impl, lbl, b, c, probs = std::move(probs)](TensorImpl& o) {
+               if (!NeedsGrad(l_impl)) return;
+               l_impl->EnsureGrad();
+               const float g = o.grad[0] / static_cast<float>(b);
+               float* gl = l_impl->grad.data();
+               for (int64_t i = 0; i < b; ++i) {
+                 for (int64_t j = 0; j < c; ++j) {
+                   float p = probs[static_cast<size_t>(i * c + j)];
+                   if (j == lbl[static_cast<size_t>(i)]) p -= 1.0f;
+                   gl[i * c + j] += g * p;
+                 }
+               }
+             });
+  return out;
+}
+
+Tensor SoftCrossEntropy(const Tensor& logits, const Tensor& target_probs) {
+  CDCL_CHECK_EQ(logits.ndim(), 2);
+  CDCL_CHECK(logits.shape() == target_probs.shape());
+  const int64_t b = logits.dim(0);
+  CDCL_CHECK_GT(b, 0);
+  Tensor log_probs = LogSoftmax(logits);
+  Tensor per_elem = Mul(target_probs, log_probs);
+  return MulScalar(Sum(per_elem), -1.0f / static_cast<float>(b));
+}
+
+Tensor KlDivergenceToTarget(const Tensor& logits, const Tensor& target_logits) {
+  CDCL_CHECK(logits.shape() == target_logits.shape());
+  const int64_t b = logits.dim(0);
+  CDCL_CHECK_GT(b, 0);
+  Tensor target = Softmax(target_logits).Detach();
+  Tensor log_q = LogSoftmax(logits);
+  // KL(p||q) = sum p log p - sum p log q; the first term is constant.
+  Tensor log_p = LogSoftmax(target_logits).Detach();
+  Tensor kl = Sub(Mul(target, log_p), Mul(target, log_q));
+  return MulScalar(Sum(kl), 1.0f / static_cast<float>(b));
+}
+
+Tensor MseLoss(const Tensor& a, const Tensor& b) {
+  CDCL_CHECK(a.shape() == b.shape());
+  Tensor diff = Sub(a, b);
+  return Mean(Square(diff));
+}
+
+std::vector<int64_t> Argmax(const Tensor& logits) {
+  CDCL_CHECK_EQ(logits.ndim(), 2);
+  const int64_t b = logits.dim(0), c = logits.dim(1);
+  std::vector<int64_t> out(static_cast<size_t>(b));
+  const float* p = logits.data();
+  for (int64_t i = 0; i < b; ++i) {
+    const float* row = p + i * c;
+    int64_t best = 0;
+    for (int64_t j = 1; j < c; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    out[static_cast<size_t>(i)] = best;
+  }
+  return out;
+}
+
+std::vector<float> RowMax(const Tensor& values) {
+  CDCL_CHECK_EQ(values.ndim(), 2);
+  const int64_t b = values.dim(0), c = values.dim(1);
+  std::vector<float> out(static_cast<size_t>(b));
+  const float* p = values.data();
+  for (int64_t i = 0; i < b; ++i) {
+    const float* row = p + i * c;
+    float best = row[0];
+    for (int64_t j = 1; j < c; ++j) best = std::max(best, row[j]);
+    out[static_cast<size_t>(i)] = best;
+  }
+  return out;
+}
+
+Tensor OneHot(const std::vector<int64_t>& labels, int64_t num_classes) {
+  const int64_t b = static_cast<int64_t>(labels.size());
+  Tensor out(Shape{b, num_classes});
+  for (int64_t i = 0; i < b; ++i) {
+    CDCL_CHECK_GE(labels[static_cast<size_t>(i)], 0);
+    CDCL_CHECK_LT(labels[static_cast<size_t>(i)], num_classes);
+    out.at(i, labels[static_cast<size_t>(i)]) = 1.0f;
+  }
+  return out;
+}
+
+}  // namespace ops
+}  // namespace cdcl

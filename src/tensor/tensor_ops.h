@@ -1,0 +1,122 @@
+#ifndef CDCL_TENSOR_TENSOR_OPS_H_
+#define CDCL_TENSOR_TENSOR_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace cdcl {
+namespace ops {
+
+// ---------------------------------------------------------------------------
+// Elementwise arithmetic. Binary ops support suffix broadcasting: shapes must
+// be equal, or `b` must be a scalar or a suffix of `a`'s shape (bias-add
+// style); gradients are reduced over the broadcast dims.
+// ---------------------------------------------------------------------------
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Div(const Tensor& a, const Tensor& b);
+Tensor AddScalar(const Tensor& a, float s);
+Tensor MulScalar(const Tensor& a, float s);
+Tensor Neg(const Tensor& a);
+
+// Unary math.
+Tensor Relu(const Tensor& a);
+Tensor Gelu(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+Tensor Exp(const Tensor& a);
+Tensor Log(const Tensor& a);  ///< log(max(a, 1e-12)) for numeric safety
+Tensor Sqrt(const Tensor& a);
+Tensor Square(const Tensor& a);
+
+// ---------------------------------------------------------------------------
+// Linear algebra.
+// ---------------------------------------------------------------------------
+/// (m,k) x (k,n) -> (m,n)
+Tensor MatMul(const Tensor& a, const Tensor& b);
+/// (b,m,k) x (b,k,n) -> (b,m,n)
+Tensor BatchMatMul(const Tensor& a, const Tensor& b);
+/// 2D transpose.
+Tensor Transpose(const Tensor& a);
+/// Swap the last two dims of a 3D tensor.
+Tensor TransposeLast2(const Tensor& a);
+
+// ---------------------------------------------------------------------------
+// Shape manipulation.
+// ---------------------------------------------------------------------------
+Tensor Reshape(const Tensor& a, const Shape& shape);
+/// Concatenation along dim 0; all inputs share trailing dims.
+Tensor Concat0(const std::vector<Tensor>& parts);
+/// Concatenation of 2D tensors along the last dim: (b,c1)+(b,c2) -> (b,c1+c2).
+Tensor ConcatLast(const std::vector<Tensor>& parts);
+/// Rows [start, start+length) along dim 0.
+Tensor Slice0(const Tensor& a, int64_t start, int64_t length);
+/// Gathers rows along dim 0 (duplicates allowed; grads accumulate).
+Tensor IndexRows(const Tensor& a, const std::vector<int64_t>& indices);
+
+// ---------------------------------------------------------------------------
+// Reductions and normalization.
+// ---------------------------------------------------------------------------
+Tensor Sum(const Tensor& a);   ///< scalar
+Tensor Mean(const Tensor& a);  ///< scalar
+/// Sum/mean over the last dim: (..., d) -> (...).
+Tensor SumLastDim(const Tensor& a);
+Tensor MeanLastDim(const Tensor& a);
+/// Softmax / log-softmax over the last dim.
+Tensor Softmax(const Tensor& a);
+Tensor LogSoftmax(const Tensor& a);
+/// LayerNorm over the last dim with affine params gamma/beta of shape (d).
+Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                 float eps = 1e-5f);
+/// Inverted dropout; identity when p == 0. Caller gates on training mode.
+Tensor Dropout(const Tensor& x, float p, Rng* rng);
+
+// ---------------------------------------------------------------------------
+// Convolution ops (NCHW).
+// ---------------------------------------------------------------------------
+/// x: (B,C,H,W), w: (O,C,kh,kw), bias: (O) or undefined. Zero padding.
+Tensor Conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
+              int64_t stride, int64_t padding);
+/// Max pooling with square kernel/stride.
+Tensor MaxPool2d(const Tensor& x, int64_t kernel, int64_t stride);
+
+// ---------------------------------------------------------------------------
+// Losses (mean over the batch dim; return scalars).
+// ---------------------------------------------------------------------------
+/// Hard-label cross entropy on logits (B,C).
+Tensor CrossEntropy(const Tensor& logits, const std::vector<int64_t>& labels);
+/// -sum_c target_c * log_softmax(logits)_c averaged over rows. Gradient flows
+/// into *both* arguments (the paper's mixing losses differentiate through the
+/// target distribution too).
+Tensor SoftCrossEntropy(const Tensor& logits, const Tensor& target_probs);
+/// KL(softmax(target_logits) || softmax(logits)); gradient only into logits.
+Tensor KlDivergenceToTarget(const Tensor& logits, const Tensor& target_logits);
+/// Mean squared error.
+Tensor MseLoss(const Tensor& a, const Tensor& b);
+
+// ---------------------------------------------------------------------------
+// Non-differentiable helpers.
+// ---------------------------------------------------------------------------
+/// Row-wise argmax of a 2D tensor.
+std::vector<int64_t> Argmax(const Tensor& logits);
+/// Row-wise max value of a 2D tensor.
+std::vector<float> RowMax(const Tensor& values);
+/// One-hot rows (B, num_classes).
+Tensor OneHot(const std::vector<int64_t>& labels, int64_t num_classes);
+
+}  // namespace ops
+
+// Operator sugar used throughout model code.
+inline Tensor operator+(const Tensor& a, const Tensor& b) { return ops::Add(a, b); }
+inline Tensor operator-(const Tensor& a, const Tensor& b) { return ops::Sub(a, b); }
+inline Tensor operator*(const Tensor& a, const Tensor& b) { return ops::Mul(a, b); }
+inline Tensor operator/(const Tensor& a, const Tensor& b) { return ops::Div(a, b); }
+inline Tensor operator*(const Tensor& a, float s) { return ops::MulScalar(a, s); }
+inline Tensor operator*(float s, const Tensor& a) { return ops::MulScalar(a, s); }
+
+}  // namespace cdcl
+
+#endif  // CDCL_TENSOR_TENSOR_OPS_H_

@@ -1,0 +1,117 @@
+#include "uda/discrepancy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace cdcl {
+namespace uda {
+
+double ProxyADistance(const Tensor& features_a, const Tensor& features_b,
+                      Rng* rng, int epochs, float lr) {
+  CDCL_CHECK_EQ(features_a.ndim(), 2);
+  CDCL_CHECK_EQ(features_b.ndim(), 2);
+  CDCL_CHECK_EQ(features_a.dim(1), features_b.dim(1));
+  CDCL_CHECK(rng != nullptr);
+  const int64_t na = features_a.dim(0), nb = features_b.dim(0);
+  const int64_t d = features_a.dim(1);
+  CDCL_CHECK_GT(na, 0);
+  CDCL_CHECK_GT(nb, 0);
+
+  // Logistic regression, domain A -> label 0, domain B -> label 1. Plain
+  // full-batch gradient descent is plenty for a linear probe.
+  std::vector<float> w(static_cast<size_t>(d), 0.0f);
+  float b = 0.0f;
+  const float inv_n = 1.0f / static_cast<float>(na + nb);
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    std::vector<float> gw(static_cast<size_t>(d), 0.0f);
+    float gb = 0.0f;
+    auto accumulate = [&](const Tensor& f, int64_t n, float label) {
+      for (int64_t i = 0; i < n; ++i) {
+        const float* row = f.data() + i * d;
+        float z = b;
+        for (int64_t j = 0; j < d; ++j) z += w[static_cast<size_t>(j)] * row[j];
+        const float p = 1.0f / (1.0f + std::exp(-z));
+        const float err = p - label;
+        for (int64_t j = 0; j < d; ++j) gw[static_cast<size_t>(j)] += err * row[j];
+        gb += err;
+      }
+    };
+    accumulate(features_a, na, 0.0f);
+    accumulate(features_b, nb, 1.0f);
+    for (int64_t j = 0; j < d; ++j) w[static_cast<size_t>(j)] -= lr * inv_n * gw[static_cast<size_t>(j)];
+    b -= lr * inv_n * gb;
+  }
+
+  int64_t errors = 0;
+  auto count_errors = [&](const Tensor& f, int64_t n, bool is_b) {
+    for (int64_t i = 0; i < n; ++i) {
+      const float* row = f.data() + i * d;
+      float z = b;
+      for (int64_t j = 0; j < d; ++j) z += w[static_cast<size_t>(j)] * row[j];
+      const bool predict_b = z > 0.0f;
+      if (predict_b != is_b) ++errors;
+    }
+  };
+  count_errors(features_a, na, false);
+  count_errors(features_b, nb, true);
+  const double err = static_cast<double>(errors) / static_cast<double>(na + nb);
+  return std::max(0.0, 2.0 * (1.0 - 2.0 * err));
+}
+
+namespace {
+
+double SquaredDistance(const float* a, const float* b, int64_t d) {
+  double acc = 0.0;
+  for (int64_t j = 0; j < d; ++j) {
+    const double diff = a[j] - b[j];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+}  // namespace
+
+double MmdRbf(const Tensor& features_a, const Tensor& features_b) {
+  CDCL_CHECK_EQ(features_a.ndim(), 2);
+  CDCL_CHECK_EQ(features_b.ndim(), 2);
+  CDCL_CHECK_EQ(features_a.dim(1), features_b.dim(1));
+  const int64_t na = features_a.dim(0), nb = features_b.dim(0);
+  const int64_t d = features_a.dim(1);
+  CDCL_CHECK_GT(na, 1);
+  CDCL_CHECK_GT(nb, 1);
+
+  // Median heuristic bandwidth over the pooled pairwise distances.
+  std::vector<double> dists;
+  auto row = [&](const Tensor& f, int64_t i) { return f.data() + i * d; };
+  for (int64_t i = 0; i < na; ++i) {
+    for (int64_t j = 0; j < nb; ++j) {
+      dists.push_back(SquaredDistance(row(features_a, i), row(features_b, j), d));
+    }
+  }
+  std::nth_element(dists.begin(), dists.begin() + dists.size() / 2, dists.end());
+  const double sigma2 = std::max(dists[dists.size() / 2], 1e-9);
+
+  auto kernel_mean = [&](const Tensor& x, int64_t nx, const Tensor& y,
+                         int64_t ny, bool skip_diagonal) {
+    double acc = 0.0;
+    int64_t count = 0;
+    for (int64_t i = 0; i < nx; ++i) {
+      for (int64_t j = 0; j < ny; ++j) {
+        if (skip_diagonal && i == j) continue;
+        acc += std::exp(-SquaredDistance(row(x, i), row(y, j), d) / sigma2);
+        ++count;
+      }
+    }
+    return acc / static_cast<double>(std::max<int64_t>(count, 1));
+  };
+  const double kaa = kernel_mean(features_a, na, features_a, na, true);
+  const double kbb = kernel_mean(features_b, nb, features_b, nb, true);
+  const double kab = kernel_mean(features_a, na, features_b, nb, false);
+  return std::max(0.0, kaa + kbb - 2.0 * kab);
+}
+
+}  // namespace uda
+}  // namespace cdcl

@@ -1,0 +1,26 @@
+#ifndef CDCL_UDA_DISCREPANCY_H_
+#define CDCL_UDA_DISCREPANCY_H_
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace cdcl {
+namespace uda {
+
+/// Empirical domain-discrepancy estimators used as measurable stand-ins for
+/// the H-delta-H divergence in Theorems 1-3 (bench_bound_diagnostics).
+
+/// Proxy A-distance: train a linear logistic domain discriminator between
+/// the two feature sets and return 2 * (1 - 2 * err). 0 means the domains
+/// are indistinguishable by a linear probe; 2 means perfectly separable.
+double ProxyADistance(const Tensor& features_a, const Tensor& features_b,
+                      Rng* rng, int epochs = 30, float lr = 0.1f);
+
+/// Squared Maximum Mean Discrepancy with an RBF kernel whose bandwidth is
+/// the median pairwise distance (median heuristic).
+double MmdRbf(const Tensor& features_a, const Tensor& features_b);
+
+}  // namespace uda
+}  // namespace cdcl
+
+#endif  // CDCL_UDA_DISCREPANCY_H_

@@ -1,0 +1,40 @@
+#include "uda/distance.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cdcl {
+namespace uda {
+
+float Distance(const float* a, const float* b, int64_t d, DistanceMetric metric) {
+  if (metric == DistanceMetric::kEuclidean) {
+    float acc = 0.0f;
+    for (int64_t i = 0; i < d; ++i) {
+      const float diff = a[i] - b[i];
+      acc += diff * diff;
+    }
+    return std::sqrt(acc);
+  }
+  float dot = 0.0f, na = 0.0f, nb = 0.0f;
+  for (int64_t i = 0; i < d; ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  const float denom = std::sqrt(na) * std::sqrt(nb);
+  if (denom < 1e-12f) return 1.0f;
+  return 1.0f - dot / denom;
+}
+
+float RowDistance(const Tensor& a, int64_t i, const Tensor& b, int64_t j,
+                  DistanceMetric metric) {
+  CDCL_CHECK_EQ(a.ndim(), 2);
+  CDCL_CHECK_EQ(b.ndim(), 2);
+  CDCL_CHECK_EQ(a.dim(1), b.dim(1));
+  const int64_t d = a.dim(1);
+  return Distance(a.data() + i * d, b.data() + j * d, d, metric);
+}
+
+}  // namespace uda
+}  // namespace cdcl

@@ -1,0 +1,26 @@
+#ifndef CDCL_UDA_DISTANCE_H_
+#define CDCL_UDA_DISTANCE_H_
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace cdcl {
+namespace uda {
+
+/// Distance metric used by the center-aware pseudo-labeler (paper eq. 18
+/// allows "cosine similarity or Euclidean distance").
+enum class DistanceMetric { kCosine, kEuclidean };
+
+/// Distance between two length-`d` feature vectors. Cosine distance is
+/// 1 - cos(a, b) (0 for parallel vectors).
+float Distance(const float* a, const float* b, int64_t d, DistanceMetric metric);
+
+/// Row-to-row distance between row `i` of `a` (n_a, d) and row `j` of `b`.
+float RowDistance(const Tensor& a, int64_t i, const Tensor& b, int64_t j,
+                  DistanceMetric metric);
+
+}  // namespace uda
+}  // namespace cdcl
+
+#endif  // CDCL_UDA_DISTANCE_H_

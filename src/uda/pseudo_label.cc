@@ -1,0 +1,136 @@
+#include "uda/pseudo_label.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace cdcl {
+namespace uda {
+
+Tensor ComputeWeightedCentroids(const Tensor& features, const Tensor& probs) {
+  CDCL_CHECK_EQ(features.ndim(), 2);
+  CDCL_CHECK_EQ(probs.ndim(), 2);
+  CDCL_CHECK_EQ(features.dim(0), probs.dim(0));
+  const int64_t n = features.dim(0), d = features.dim(1), k = probs.dim(1);
+  Tensor centroids(Shape{k, d});
+  std::vector<double> weight(static_cast<size_t>(k), 0.0);
+  std::vector<double> acc(static_cast<size_t>(k * d), 0.0);
+  const float* f = features.data();
+  const float* p = probs.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t c = 0; c < k; ++c) {
+      const double w = p[i * k + c];
+      if (w <= 0.0) continue;
+      weight[static_cast<size_t>(c)] += w;
+      for (int64_t j = 0; j < d; ++j) {
+        acc[static_cast<size_t>(c * d + j)] += w * f[i * d + j];
+      }
+    }
+  }
+  float* out = centroids.data();
+  for (int64_t c = 0; c < k; ++c) {
+    const double w = weight[static_cast<size_t>(c)];
+    if (w <= 1e-12) continue;  // keep zero centroid for unsupported classes
+    for (int64_t j = 0; j < d; ++j) {
+      out[c * d + j] = static_cast<float>(acc[static_cast<size_t>(c * d + j)] / w);
+    }
+  }
+  return centroids;
+}
+
+std::vector<int64_t> AssignPseudoLabels(const Tensor& centroids,
+                                        const Tensor& features,
+                                        DistanceMetric metric) {
+  CDCL_CHECK_EQ(centroids.ndim(), 2);
+  CDCL_CHECK_EQ(features.ndim(), 2);
+  CDCL_CHECK_EQ(centroids.dim(1), features.dim(1));
+  const int64_t n = features.dim(0), k = centroids.dim(0);
+  std::vector<int64_t> labels(static_cast<size_t>(n), 0);
+  for (int64_t i = 0; i < n; ++i) {
+    float best = std::numeric_limits<float>::infinity();
+    int64_t best_k = 0;
+    for (int64_t c = 0; c < k; ++c) {
+      const float dist = RowDistance(features, i, centroids, c, metric);
+      if (dist < best) {
+        best = dist;
+        best_k = c;
+      }
+    }
+    labels[static_cast<size_t>(i)] = best_k;
+  }
+  return labels;
+}
+
+PseudoLabelResult CenterAwarePseudoLabels(const Tensor& target_features,
+                                          const Tensor& target_probs,
+                                          DistanceMetric metric,
+                                          int refine_iters) {
+  PseudoLabelResult result;
+  result.centroids = ComputeWeightedCentroids(target_features, target_probs);
+  result.labels = AssignPseudoLabels(result.centroids, target_features, metric);
+  const int64_t k = target_probs.dim(1);
+  for (int iter = 1; iter < refine_iters; ++iter) {
+    // Rebuild centroids from the hard assignments (k-means step) and
+    // re-assign; usually 1-2 rounds suffice at this scale.
+    Tensor hard(Shape{target_features.dim(0), k});
+    for (int64_t i = 0; i < target_features.dim(0); ++i) {
+      hard.at(i, result.labels[static_cast<size_t>(i)]) = 1.0f;
+    }
+    result.centroids = ComputeWeightedCentroids(target_features, hard);
+    result.labels = AssignPseudoLabels(result.centroids, target_features, metric);
+  }
+  return result;
+}
+
+std::vector<std::pair<int64_t, int64_t>> BuildPairSet(
+    const Tensor& source_features, const std::vector<int64_t>& source_labels,
+    const Tensor& target_features, const std::vector<int64_t>& pseudo_labels,
+    DistanceMetric metric, double keep_fraction) {
+  CDCL_CHECK_EQ(source_features.dim(0),
+                static_cast<int64_t>(source_labels.size()));
+  CDCL_CHECK_EQ(target_features.dim(0),
+                static_cast<int64_t>(pseudo_labels.size()));
+  CDCL_CHECK_GT(keep_fraction, 0.0);
+  CDCL_CHECK_LE(keep_fraction, 1.0);
+  struct ScoredPair {
+    int64_t source;
+    int64_t target;
+    float distance;
+  };
+  std::vector<ScoredPair> scored;
+  const int64_t nt = target_features.dim(0);
+  const int64_t ns = source_features.dim(0);
+  for (int64_t j = 0; j < nt; ++j) {
+    const int64_t want = pseudo_labels[static_cast<size_t>(j)];
+    float best = std::numeric_limits<float>::infinity();
+    int64_t best_i = -1;
+    for (int64_t i = 0; i < ns; ++i) {
+      if (source_labels[static_cast<size_t>(i)] != want) continue;
+      const float dist = RowDistance(source_features, i, target_features, j,
+                                     metric);
+      if (dist < best) {
+        best = dist;
+        best_i = i;
+      }
+    }
+    if (best_i >= 0) scored.push_back({best_i, j, best});
+  }
+  if (keep_fraction < 1.0 && scored.size() > 1) {
+    std::sort(scored.begin(), scored.end(),
+              [](const ScoredPair& a, const ScoredPair& b) {
+                return a.distance < b.distance;
+              });
+    const size_t keep = std::max<size_t>(
+        1, static_cast<size_t>(keep_fraction *
+                               static_cast<double>(scored.size())));
+    scored.resize(keep);
+  }
+  std::vector<std::pair<int64_t, int64_t>> pairs;
+  pairs.reserve(scored.size());
+  for (const ScoredPair& p : scored) pairs.emplace_back(p.source, p.target);
+  return pairs;
+}
+
+}  // namespace uda
+}  // namespace cdcl

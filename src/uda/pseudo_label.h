@@ -1,0 +1,54 @@
+#ifndef CDCL_UDA_PSEUDO_LABEL_H_
+#define CDCL_UDA_PSEUDO_LABEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "uda/distance.h"
+
+namespace cdcl {
+namespace uda {
+
+/// Prediction-weighted class centroids (paper eq. 17):
+///   c_k = sum_i p_ik * f_i / sum_i p_ik
+/// `features` (n, d), `probs` (n, k) intra-task prediction probabilities.
+/// Classes with zero total weight keep a zero centroid.
+/// Returns (k, d).
+Tensor ComputeWeightedCentroids(const Tensor& features, const Tensor& probs);
+
+/// Nearest-centroid pseudo-labels (paper eq. 18). Returns one label in
+/// [0, k) per feature row.
+std::vector<int64_t> AssignPseudoLabels(const Tensor& centroids,
+                                        const Tensor& features,
+                                        DistanceMetric metric);
+
+/// The paper's intra-task center-aware pseudo-label procedure: weighted
+/// k-means centroids from the *current task's* predictions only, then
+/// nearest-centroid assignment, optionally re-iterated (centroids rebuilt
+/// from hard assignments) for `refine_iters` rounds.
+struct PseudoLabelResult {
+  Tensor centroids;              // (k, d)
+  std::vector<int64_t> labels;   // per target sample
+};
+PseudoLabelResult CenterAwarePseudoLabels(const Tensor& target_features,
+                                          const Tensor& target_probs,
+                                          DistanceMetric metric,
+                                          int refine_iters = 1);
+
+/// Source/target pairing (paper eq. 19): for every target sample whose
+/// pseudo-label matches some source label, pair it with the nearest such
+/// source sample. Returns (source_index, target_index) pairs; targets whose
+/// pseudo-label has no source support are dropped (noise rejection).
+/// `keep_fraction` < 1 additionally keeps only that fraction of pairs with
+/// the smallest feature distance - the paper's "discarding noise" step, which
+/// matters on many-class tasks where early pseudo-labels are unreliable.
+std::vector<std::pair<int64_t, int64_t>> BuildPairSet(
+    const Tensor& source_features, const std::vector<int64_t>& source_labels,
+    const Tensor& target_features, const std::vector<int64_t>& pseudo_labels,
+    DistanceMetric metric, double keep_fraction = 1.0);
+
+}  // namespace uda
+}  // namespace cdcl
+
+#endif  // CDCL_UDA_PSEUDO_LABEL_H_

@@ -1,0 +1,41 @@
+#include "util/env.h"
+
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace cdcl {
+
+int64_t EnvInt(const char* name, int64_t default_value) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return default_value;
+  return std::strtoll(v, nullptr, 10);
+}
+
+double EnvDouble(const char* name, double default_value) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return default_value;
+  return std::strtod(v, nullptr);
+}
+
+bool EnvBool(const char* name, bool default_value) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return default_value;
+  std::string s(v);
+  return s == "1" || s == "true" || s == "yes" || s == "on";
+}
+
+std::string EnvString(const char* name, const std::string& default_value) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return default_value;
+  return std::string(v);
+}
+
+std::vector<std::string> EnvStringList(const char* name,
+                                       const std::vector<std::string>& default_value) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return default_value;
+  return SplitString(v, ',');
+}
+
+}  // namespace cdcl

@@ -1,0 +1,24 @@
+#ifndef CDCL_UTIL_ENV_H_
+#define CDCL_UTIL_ENV_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cdcl {
+
+/// Environment-variable configuration helpers. Benchmark harnesses use these
+/// so default runs stay quick while `CDCL_EPOCHS=... CDCL_SEEDS=...` scale a
+/// run up without recompiling.
+int64_t EnvInt(const char* name, int64_t default_value);
+double EnvDouble(const char* name, double default_value);
+bool EnvBool(const char* name, bool default_value);
+std::string EnvString(const char* name, const std::string& default_value);
+
+/// Comma-separated list; returns default when unset or empty.
+std::vector<std::string> EnvStringList(const char* name,
+                                       const std::vector<std::string>& default_value);
+
+}  // namespace cdcl
+
+#endif  // CDCL_UTIL_ENV_H_

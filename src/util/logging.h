@@ -1,0 +1,77 @@
+#ifndef CDCL_UTIL_LOGGING_H_
+#define CDCL_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace cdcl {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Minimum level actually emitted; default kInfo, override with env
+/// CDCL_LOG_LEVEL in {debug,info,warning,error}.
+LogLevel GlobalLogLevel();
+void SetGlobalLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Stream-style log line; flushes (and aborts for kFatal) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is filtered out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace cdcl
+
+#define CDCL_LOG_INTERNAL(level) \
+  ::cdcl::internal::LogMessage(level, __FILE__, __LINE__).stream()
+
+#define CDCL_LOG(severity) CDCL_LOG_INTERNAL(::cdcl::LogLevel::k##severity)
+
+/// Programmer-error invariants: always on, abort on failure.
+#define CDCL_CHECK(condition)                                          \
+  if (!(condition))                                                    \
+  CDCL_LOG_INTERNAL(::cdcl::LogLevel::kFatal)                          \
+      << "Check failed: " #condition " "
+
+#define CDCL_CHECK_BINARY(lhs, rhs, op)                                 \
+  if (!((lhs)op(rhs)))                                                  \
+  CDCL_LOG_INTERNAL(::cdcl::LogLevel::kFatal)                           \
+      << "Check failed: " #lhs " " #op " " #rhs " (" << (lhs) << " vs " \
+      << (rhs) << ") "
+
+#define CDCL_CHECK_EQ(lhs, rhs) CDCL_CHECK_BINARY(lhs, rhs, ==)
+#define CDCL_CHECK_NE(lhs, rhs) CDCL_CHECK_BINARY(lhs, rhs, !=)
+#define CDCL_CHECK_LT(lhs, rhs) CDCL_CHECK_BINARY(lhs, rhs, <)
+#define CDCL_CHECK_LE(lhs, rhs) CDCL_CHECK_BINARY(lhs, rhs, <=)
+#define CDCL_CHECK_GT(lhs, rhs) CDCL_CHECK_BINARY(lhs, rhs, >)
+#define CDCL_CHECK_GE(lhs, rhs) CDCL_CHECK_BINARY(lhs, rhs, >=)
+
+#ifdef NDEBUG
+#define CDCL_DCHECK(condition) \
+  while (false) CDCL_CHECK(condition)
+#else
+#define CDCL_DCHECK(condition) CDCL_CHECK(condition)
+#endif
+
+#endif  // CDCL_UTIL_LOGGING_H_

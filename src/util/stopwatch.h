@@ -1,0 +1,28 @@
+#ifndef CDCL_UTIL_STOPWATCH_H_
+#define CDCL_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace cdcl {
+
+/// Monotonic wall-clock timer for bench harness reporting.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cdcl
+
+#endif  // CDCL_UTIL_STOPWATCH_H_

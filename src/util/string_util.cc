@@ -1,0 +1,74 @@
+#include "util/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace cdcl {
+
+std::string TrimString(const std::string& s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) --end;
+  return s.substr(begin, end - begin);
+}
+
+std::vector<std::string> SplitString(const std::string& input, char delim) {
+  std::vector<std::string> pieces;
+  std::string current;
+  for (char c : input) {
+    if (c == delim) {
+      std::string trimmed = TrimString(current);
+      if (!trimmed.empty()) pieces.push_back(std::move(trimmed));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  std::string trimmed = TrimString(current);
+  if (!trimmed.empty()) pieces.push_back(std::move(trimmed));
+  return pieces;
+}
+
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (needed <= 0) {
+    va_end(args_copy);
+    return std::string();
+  }
+  std::string out(static_cast<size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+std::string PadLeft(const std::string& s, size_t width) {
+  if (s.size() >= width) return s;
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string PadRight(const std::string& s, size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+std::string FormatPercent(double value_percent) {
+  return StrFormat("%.2f", value_percent);
+}
+
+}  // namespace cdcl

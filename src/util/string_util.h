@@ -1,0 +1,32 @@
+#ifndef CDCL_UTIL_STRING_UTIL_H_
+#define CDCL_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace cdcl {
+
+/// Splits on `delim`, trimming surrounding whitespace from each piece and
+/// dropping empty pieces.
+std::vector<std::string> SplitString(const std::string& input, char delim);
+
+/// Joins pieces with `sep`.
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        const std::string& sep);
+
+/// Strips leading/trailing whitespace.
+std::string TrimString(const std::string& s);
+
+/// printf-style formatting into std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Fixed-width helpers for plain-text result tables.
+std::string PadLeft(const std::string& s, size_t width);
+std::string PadRight(const std::string& s, size_t width);
+
+/// Formats a fraction in [0,1] or a percentage value with two decimals.
+std::string FormatPercent(double value_percent);
+
+}  // namespace cdcl
+
+#endif  // CDCL_UTIL_STRING_UTIL_H_

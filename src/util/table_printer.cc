@@ -1,0 +1,52 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cdcl {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  CDCL_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::ToText() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += " " + PadRight(row[c], widths[c]) + " |";
+    }
+    return line + "\n";
+  };
+  std::string out = render_row(header_);
+  std::string rule = "|";
+  for (size_t c = 0; c < header_.size(); ++c) {
+    rule += std::string(widths[c] + 2, '-') + "|";
+  }
+  out += rule + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string TablePrinter::ToCsv() const {
+  std::string out = JoinStrings(header_, ",") + "\n";
+  for (const auto& row : rows_) out += JoinStrings(row, ",") + "\n";
+  return out;
+}
+
+void TablePrinter::Print() const { std::fputs(ToText().c_str(), stdout); }
+
+}  // namespace cdcl

@@ -1,0 +1,35 @@
+#ifndef CDCL_UTIL_TABLE_PRINTER_H_
+#define CDCL_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace cdcl {
+
+/// Renders aligned plain-text tables matching the paper's row/column layout,
+/// plus optional CSV output for downstream plotting.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Aligned, pipe-separated table.
+  std::string ToText() const;
+
+  /// RFC-ish CSV (no quoting needed for our numeric content).
+  std::string ToCsv() const;
+
+  /// Prints ToText() to stdout.
+  void Print() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cdcl
+
+#endif  // CDCL_UTIL_TABLE_PRINTER_H_

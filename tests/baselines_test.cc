@@ -1,0 +1,174 @@
+#include "baselines/cdtrans.h"
+#include "baselines/rehearsal_baselines.h"
+#include "baselines/static_uda.h"
+#include "data/task_stream.h"
+#include "gtest/gtest.h"
+
+namespace cdcl {
+namespace baselines {
+namespace {
+
+data::CrossDomainTaskStream TinyStream(int64_t tasks = 2) {
+  data::TaskStreamOptions opt;
+  opt.family = "digits";
+  opt.source_domain = "MN";
+  opt.target_domain = "US";
+  opt.num_tasks = tasks;
+  opt.classes_per_task = 2;
+  opt.train_per_class = 8;
+  opt.test_per_class = 4;
+  opt.seed = 11;
+  return *data::CrossDomainTaskStream::Make(opt);
+}
+
+TrainerOptions TinyOptions() {
+  TrainerOptions opt;
+  opt.model.image_hw = 16;
+  opt.model.channels = 1;
+  opt.model.embed_dim = 12;
+  opt.model.num_layers = 1;
+  opt.epochs = 3;
+  opt.warmup_epochs = 1;
+  opt.batch_size = 8;
+  opt.memory_size = 20;
+  opt.seed = 7;
+  return opt;
+}
+
+TEST(RehearsalTrainerTest, MethodNamesRoundTrip) {
+  EXPECT_EQ(RehearsalMethodName(RehearsalMethod::kFinetune), "Finetune");
+  EXPECT_EQ(RehearsalMethodName(RehearsalMethod::kEr), "ER");
+  EXPECT_EQ(RehearsalMethodName(RehearsalMethod::kDer), "DER");
+  EXPECT_EQ(RehearsalMethodName(RehearsalMethod::kDerPp), "DER++");
+  EXPECT_EQ(RehearsalMethodName(RehearsalMethod::kHal), "HAL");
+  EXPECT_EQ(RehearsalMethodName(RehearsalMethod::kMsl), "MSL");
+}
+
+TEST(RehearsalTrainerTest, FinetuneWritesNoMemory) {
+  auto stream = TinyStream();
+  RehearsalTrainer trainer(RehearsalMethod::kFinetune, TinyOptions());
+  ASSERT_TRUE(trainer.ObserveTask(stream.task(0)).ok());
+  EXPECT_TRUE(trainer.memory().empty());
+}
+
+TEST(RehearsalTrainerTest, DerStoresLogitsAndFeatures) {
+  auto stream = TinyStream();
+  RehearsalTrainer trainer(RehearsalMethod::kDer, TinyOptions());
+  ASSERT_TRUE(trainer.ObserveTask(stream.task(0)).ok());
+  ASSERT_FALSE(trainer.memory().empty());
+  const cl::MemoryRecord& rec = trainer.memory().records().front();
+  EXPECT_EQ(rec.logit_tasks, 1);
+  EXPECT_EQ(static_cast<int64_t>(rec.source_logits.size()), 2);  // 2 classes
+  EXPECT_EQ(static_cast<int64_t>(rec.feature.size()),
+            trainer.model().feature_dim());
+  EXPECT_GE(rec.confidence, 0.0f);
+  EXPECT_LE(rec.confidence, 1.0f);
+}
+
+TEST(RehearsalTrainerTest, BaselinesUseSharedKeys) {
+  RehearsalTrainer trainer(RehearsalMethod::kDer, TinyOptions());
+  EXPECT_FALSE(trainer.model().config().per_task_keys);
+}
+
+TEST(RehearsalTrainerTest, AllMethodsSurviveThreeTasks) {
+  auto stream = TinyStream(3);
+  for (RehearsalMethod method :
+       {RehearsalMethod::kFinetune, RehearsalMethod::kEr, RehearsalMethod::kDer,
+        RehearsalMethod::kDerPp, RehearsalMethod::kHal, RehearsalMethod::kMsl}) {
+    RehearsalTrainer trainer(method, TinyOptions());
+    for (int64_t t = 0; t < 3; ++t) {
+      ASSERT_TRUE(trainer.ObserveTask(stream.task(t)).ok())
+          << RehearsalMethodName(method);
+    }
+    const double acc = trainer.EvaluateTil(stream.task(0).target_test, 0);
+    EXPECT_GE(acc, 0.0);
+    EXPECT_LE(acc, 1.0);
+  }
+}
+
+TEST(RehearsalTrainerTest, MemoryQuotaSplitsAcrossTasks) {
+  auto stream = TinyStream(2);
+  TrainerOptions opt = TinyOptions();
+  opt.memory_size = 10;
+  RehearsalTrainer trainer(RehearsalMethod::kEr, opt);
+  ASSERT_TRUE(trainer.ObserveTask(stream.task(0)).ok());
+  ASSERT_TRUE(trainer.ObserveTask(stream.task(1)).ok());
+  EXPECT_LE(trainer.memory().size(), 10);
+  EXPECT_EQ(trainer.memory().StoredTaskIds(), (std::vector<int64_t>{0, 1}));
+}
+
+TEST(CdTransTest, SmallIsNarrowerThanBase) {
+  CdTransTrainer small(CdTransSize::kSmall, TinyOptions());
+  CdTransTrainer base(CdTransSize::kBase, TinyOptions());
+  EXPECT_LT(small.model().config().embed_dim, base.model().config().embed_dim);
+  EXPECT_EQ(small.name(), "CDTrans-S");
+  EXPECT_EQ(base.name(), "CDTrans-B");
+}
+
+TEST(CdTransTest, NoMemoryEverWritten) {
+  auto stream = TinyStream(2);
+  CdTransTrainer trainer(CdTransSize::kSmall, TinyOptions());
+  ASSERT_TRUE(trainer.ObserveTask(stream.task(0)).ok());
+  ASSERT_TRUE(trainer.ObserveTask(stream.task(1)).ok());
+  EXPECT_TRUE(trainer.memory().empty());
+}
+
+TEST(CdTransTest, TilEvalIgnoresTaskId) {
+  auto stream = TinyStream(2);
+  CdTransTrainer trainer(CdTransSize::kSmall, TinyOptions());
+  ASSERT_TRUE(trainer.ObserveTask(stream.task(0)).ok());
+  ASSERT_TRUE(trainer.ObserveTask(stream.task(1)).ok());
+  // Both task ids route through the same head; results must be identical.
+  EXPECT_DOUBLE_EQ(trainer.EvaluateTil(stream.task(0).target_test, 0),
+                   trainer.EvaluateTil(stream.task(0).target_test, 1));
+}
+
+TEST(StaticUdaTest, AccumulatesTasks) {
+  auto stream = TinyStream(2);
+  StaticUdaTrainer trainer(TinyOptions());
+  ASSERT_TRUE(trainer.ObserveTask(stream.task(0)).ok());
+  ASSERT_TRUE(trainer.ObserveTask(stream.task(1)).ok());
+  EXPECT_EQ(trainer.tasks_seen(), 2);
+  EXPECT_EQ(trainer.model().num_tasks(), 2);
+}
+
+TEST(TrainerBaseTest, FullBatchStacksWholeDataset) {
+  auto stream = TinyStream(1);
+  data::Batch all = TrainerBase::FullBatch(stream.task(0).source_train);
+  EXPECT_EQ(all.size(), stream.task(0).source_train.size());
+}
+
+TEST(TrainerBaseTest, EvaluateBoundsAreSane) {
+  auto stream = TinyStream(1);
+  RehearsalTrainer trainer(RehearsalMethod::kEr, TinyOptions());
+  ASSERT_TRUE(trainer.ObserveTask(stream.task(0)).ok());
+  const double til = trainer.EvaluateTil(stream.task(0).target_test, 0);
+  const double cil = trainer.EvaluateCil(stream.task(0).target_test);
+  EXPECT_GE(til, 0.0);
+  EXPECT_LE(til, 1.0);
+  EXPECT_GE(cil, 0.0);
+  EXPECT_LE(cil, 1.0);
+}
+
+// Property sweep: every rehearsal method keeps memory within budget for any
+// memory size.
+class MemoryBudgetSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MemoryBudgetSweep, BudgetNeverExceeded) {
+  const int budget = GetParam();
+  auto stream = TinyStream(3);
+  TrainerOptions opt = TinyOptions();
+  opt.memory_size = budget;
+  RehearsalTrainer trainer(RehearsalMethod::kDerPp, opt);
+  for (int64_t t = 0; t < 3; ++t) {
+    ASSERT_TRUE(trainer.ObserveTask(stream.task(t)).ok());
+    EXPECT_LE(trainer.memory().size(), budget);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, MemoryBudgetSweep,
+                         ::testing::Values(3, 10, 50));
+
+}  // namespace
+}  // namespace baselines
+}  // namespace cdcl

@@ -1,0 +1,90 @@
+#include "core/bound_diagnostics.h"
+#include "core/cdcl_trainer.h"
+#include "cl/experiment.h"
+#include "gtest/gtest.h"
+
+namespace cdcl {
+namespace core {
+namespace {
+
+data::CrossDomainTaskStream TinyStream() {
+  data::TaskStreamOptions opt;
+  opt.family = "digits";
+  opt.source_domain = "MN";
+  opt.target_domain = "US";
+  opt.num_tasks = 2;
+  opt.classes_per_task = 2;
+  opt.train_per_class = 10;
+  opt.test_per_class = 6;
+  opt.seed = 21;
+  return *data::CrossDomainTaskStream::Make(opt);
+}
+
+CdclOptions TinyOptions() {
+  CdclOptions opt;
+  opt.base.model.image_hw = 16;
+  opt.base.model.channels = 1;
+  opt.base.model.embed_dim = 12;
+  opt.base.model.num_layers = 1;
+  opt.base.epochs = 5;
+  opt.base.warmup_epochs = 2;
+  opt.base.batch_size = 8;
+  opt.base.memory_size = 20;
+  opt.base.seed = 4;
+  return opt;
+}
+
+TEST(BoundDiagnosticsTest, TermsArePerTaskAndInRange) {
+  auto stream = TinyStream();
+  CdclTrainer trainer(TinyOptions());
+  ASSERT_TRUE(cl::RunContinualExperiment(&trainer, stream).ok());
+  std::vector<BoundTerms> terms = ComputeBoundDiagnostics(trainer, stream);
+  ASSERT_EQ(terms.size(), 2u);
+  for (const BoundTerms& t : terms) {
+    EXPECT_GE(t.source_error, 0.0);
+    EXPECT_LE(t.source_error, 1.0);
+    EXPECT_GE(t.target_error, 0.0);
+    EXPECT_LE(t.target_error, 1.0);
+    EXPECT_GE(t.lambda, 0.0);
+    EXPECT_LE(t.lambda, 1.0);  // proxy-A / 2
+    EXPECT_GE(t.memory_kl, 0.0);
+  }
+  EXPECT_EQ(terms[0].task_id, 0);
+  EXPECT_EQ(terms[1].task_id, 1);
+}
+
+TEST(BoundDiagnosticsTest, BoundHoldsEmpirically) {
+  auto stream = TinyStream();
+  CdclTrainer trainer(TinyOptions());
+  ASSERT_TRUE(cl::RunContinualExperiment(&trainer, stream).ok());
+  auto terms = ComputeBoundDiagnostics(trainer, stream);
+  BoundSummary summary = SummarizeBound(terms);
+  // Theorem 3: observed target error below the accumulated RHS (which even
+  // omits the incomputable C* slack).
+  EXPECT_LE(summary.observed_error, summary.bound_rhs + 1e-9);
+}
+
+TEST(BoundSummaryTest, AggregationMath) {
+  std::vector<BoundTerms> terms(2);
+  terms[0].source_error = 0.1;
+  terms[0].lambda = 0.2;
+  terms[0].memory_kl = 0.05;
+  terms[0].target_error = 0.3;
+  terms[1].source_error = 0.2;
+  terms[1].lambda = 0.1;
+  terms[1].memory_kl = 0.0;
+  terms[1].target_error = 0.5;
+  BoundSummary s = SummarizeBound(terms);
+  EXPECT_NEAR(s.bound_rhs, 0.1 + 0.2 + 0.05 + 0.2 + 0.1, 1e-12);
+  EXPECT_NEAR(s.observed_error, 0.4, 1e-12);
+}
+
+TEST(BoundSummaryTest, EmptyTermsAreZero) {
+  BoundSummary s = SummarizeBound({});
+  EXPECT_EQ(s.bound_rhs, 0.0);
+  EXPECT_EQ(s.observed_error, 0.0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace cdcl

@@ -1,0 +1,364 @@
+#include <cmath>
+#include <set>
+
+#include "data/benchmarks.h"
+#include "data/dataset.h"
+#include "data/domain.h"
+#include "data/task_stream.h"
+#include "gtest/gtest.h"
+
+namespace cdcl {
+namespace data {
+namespace {
+
+Example MakeExample(float fill, int64_t label, int64_t task_label) {
+  Example ex;
+  ex.image = Tensor::Full(Shape{1, 2, 2}, fill);
+  ex.label = label;
+  ex.task_label = task_label;
+  return ex;
+}
+
+TEST(TensorDatasetTest, AddAndGet) {
+  TensorDataset ds;
+  ds.Add(MakeExample(1.0f, 3, 0));
+  ds.Add(MakeExample(2.0f, 4, 1));
+  EXPECT_EQ(ds.size(), 2);
+  EXPECT_EQ(ds.Get(1).label, 4);
+}
+
+TEST(TensorDatasetTest, MakeBatchStacks) {
+  TensorDataset ds;
+  for (int i = 0; i < 3; ++i) {
+    ds.Add(MakeExample(static_cast<float>(i), i, i));
+  }
+  Batch b = ds.MakeBatch({2, 0});
+  EXPECT_EQ(b.size(), 2);
+  EXPECT_EQ(b.images.dim(0), 2);
+  EXPECT_EQ(b.images.at(0, 0, 0, 0), 2.0f);
+  EXPECT_EQ(b.labels[1], 0);
+}
+
+TEST(DataLoaderTest, CoversDatasetOncePerEpoch) {
+  TensorDataset ds;
+  for (int i = 0; i < 10; ++i) ds.Add(MakeExample(0, i, i));
+  Rng rng(1);
+  DataLoader loader(&ds, 3, &rng);
+  EXPECT_EQ(loader.num_batches(), 4);
+  std::multiset<int64_t> seen;
+  Batch b;
+  int batches = 0;
+  while (loader.Next(&b)) {
+    ++batches;
+    for (int64_t l : b.labels) seen.insert(l);
+  }
+  EXPECT_EQ(batches, 4);
+  EXPECT_EQ(seen.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(seen.count(i), 1u);
+}
+
+TEST(DataLoaderTest, DropLastSkipsPartialBatch) {
+  TensorDataset ds;
+  for (int i = 0; i < 10; ++i) ds.Add(MakeExample(0, i, i));
+  Rng rng(2);
+  DataLoader loader(&ds, 4, &rng, true, /*drop_last=*/true);
+  EXPECT_EQ(loader.num_batches(), 2);
+  Batch b;
+  int total = 0;
+  while (loader.Next(&b)) total += static_cast<int>(b.size());
+  EXPECT_EQ(total, 8);
+}
+
+TEST(DataLoaderTest, ResetStartsNewEpoch) {
+  TensorDataset ds;
+  for (int i = 0; i < 4; ++i) ds.Add(MakeExample(0, i, i));
+  Rng rng(3);
+  DataLoader loader(&ds, 2, &rng);
+  Batch b;
+  while (loader.Next(&b)) {
+  }
+  EXPECT_FALSE(loader.Next(&b));
+  loader.Reset();
+  EXPECT_TRUE(loader.Next(&b));
+}
+
+TEST(PrototypeBankTest, DeterministicAndDistinct) {
+  PrototypeBank bank1(42, 5);
+  PrototypeBank bank2(42, 5);
+  EXPECT_EQ(bank1.num_classes(), 5);
+  // Same seed -> identical geometry.
+  EXPECT_EQ(bank1.prototype(3).blobs.size(), bank2.prototype(3).blobs.size());
+  EXPECT_FLOAT_EQ(bank1.prototype(3).blobs[0].x, bank2.prototype(3).blobs[0].x);
+  // Different classes -> different geometry.
+  EXPECT_NE(bank1.prototype(0).blobs[0].x, bank1.prototype(1).blobs[0].x);
+}
+
+TEST(PrototypeBankTest, FamilySeedSeparatesFamilies) {
+  PrototypeBank a(1, 3), b(2, 3);
+  EXPECT_NE(a.prototype(0).blobs[0].x, b.prototype(0).blobs[0].x);
+}
+
+TEST(RenderSampleTest, ShapeAndRange) {
+  PrototypeBank bank(7, 2);
+  DomainStyle style;
+  Rng rng(1);
+  Tensor img = RenderSample(bank.prototype(0), style, 16, 3, &rng);
+  EXPECT_EQ(img.dim(0), 3);
+  EXPECT_EQ(img.dim(1), 16);
+  EXPECT_EQ(img.dim(2), 16);
+  for (int64_t i = 0; i < img.NumElements(); ++i) {
+    EXPECT_GE(img.data()[i], -1.0f);
+    EXPECT_LE(img.data()[i], 1.0f);
+  }
+}
+
+TEST(RenderSampleTest, SampleJitterVariesImages) {
+  PrototypeBank bank(7, 1);
+  DomainStyle style;
+  Rng rng(1);
+  Tensor a = RenderSample(bank.prototype(0), style, 16, 1, &rng);
+  Tensor b = RenderSample(bank.prototype(0), style, 16, 1, &rng);
+  double diff = 0.0;
+  for (int64_t i = 0; i < a.NumElements(); ++i) {
+    diff += std::abs(a.data()[i] - b.data()[i]);
+  }
+  EXPECT_GT(diff, 0.1);
+}
+
+TEST(RenderSampleTest, ClassesProduceDistinctImages) {
+  PrototypeBank bank(9, 2);
+  DomainStyle style;
+  style.rotation_jitter = 0.0f;
+  style.scale_jitter = 0.0f;
+  style.shift_jitter = 0.0f;
+  style.noise_std = 0.0f;
+  Rng rng1(5), rng2(5);
+  Tensor a = RenderSample(bank.prototype(0), style, 16, 1, &rng1);
+  Tensor b = RenderSample(bank.prototype(1), style, 16, 1, &rng2);
+  double diff = 0.0;
+  for (int64_t i = 0; i < a.NumElements(); ++i) {
+    diff += std::abs(a.data()[i] - b.data()[i]);
+  }
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(RenderSampleTest, BinarizeProducesTwoLevels) {
+  PrototypeBank bank(11, 1);
+  DomainStyle style;
+  style.binarize = true;
+  style.noise_std = 0.0f;
+  Rng rng(1);
+  Tensor img = RenderSample(bank.prototype(0), style, 16, 1, &rng);
+  for (int64_t i = 0; i < img.NumElements(); ++i) {
+    EXPECT_TRUE(img.data()[i] == -1.0f || img.data()[i] == 1.0f);
+  }
+}
+
+TEST(DomainStyleTest, DistanceIsSymmetricAndZeroOnSelf) {
+  DomainStyle a = *GetDomainStyle("office31", "A");
+  DomainStyle d = *GetDomainStyle("office31", "D");
+  EXPECT_FLOAT_EQ(a.DistanceTo(a), 0.0f);
+  EXPECT_NEAR(a.DistanceTo(d), d.DistanceTo(a), 1e-6f);
+  EXPECT_GT(a.DistanceTo(d), 0.0f);
+}
+
+TEST(BenchmarksTest, AllFamiliesResolve) {
+  for (const std::string& family : BenchmarkFamilies()) {
+    Result<BenchmarkSpec> spec = GetBenchmark(family);
+    ASSERT_TRUE(spec.ok()) << family;
+    EXPECT_GT(spec->paper_num_classes, 0);
+    EXPECT_GT(spec->paper_num_tasks, 0);
+    EXPECT_EQ(spec->paper_num_classes % spec->paper_num_tasks, 0)
+        << family << ": classes must split evenly into tasks";
+    for (const std::string& domain : spec->domains) {
+      EXPECT_TRUE(GetDomainStyle(family, domain).ok()) << family << "/" << domain;
+    }
+  }
+}
+
+TEST(BenchmarksTest, UnknownFamilyAndDomainAreNotFound) {
+  EXPECT_EQ(GetBenchmark("nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(GetDomainStyle("digits", "XX").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(BenchmarksTest, GapCalibrationMatchesPaperOrdering) {
+  // D<->W is the easy Office-31 pair; A is farther from both.
+  DomainStyle a = *GetDomainStyle("office31", "A");
+  DomainStyle d = *GetDomainStyle("office31", "D");
+  DomainStyle w = *GetDomainStyle("office31", "W");
+  EXPECT_LT(d.DistanceTo(w), a.DistanceTo(d));
+  EXPECT_LT(d.DistanceTo(w), a.DistanceTo(w));
+  // MNIST<->USPS is closer than any DomainNet pair involving quickdraw.
+  DomainStyle mn = *GetDomainStyle("digits", "MN");
+  DomainStyle us = *GetDomainStyle("digits", "US");
+  DomainStyle qdr = *GetDomainStyle("domainnet", "qdr");
+  DomainStyle rel = *GetDomainStyle("domainnet", "rel");
+  EXPECT_LT(mn.DistanceTo(us), qdr.DistanceTo(rel));
+}
+
+TEST(TaskStreamTest, BuildsRequestedLayout) {
+  TaskStreamOptions opt;
+  opt.family = "digits";
+  opt.source_domain = "MN";
+  opt.target_domain = "US";
+  opt.num_tasks = 5;
+  opt.classes_per_task = 2;
+  opt.train_per_class = 4;
+  opt.test_per_class = 2;
+  opt.seed = 1;
+  Result<CrossDomainTaskStream> stream = CrossDomainTaskStream::Make(opt);
+  ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+  EXPECT_EQ(stream->num_tasks(), 5);
+  EXPECT_EQ(stream->total_classes(), 10);
+  const CrossDomainTask& t2 = stream->task(2);
+  EXPECT_EQ(t2.classes, (std::vector<int64_t>{4, 5}));
+  EXPECT_EQ(t2.source_train.size(), 8);  // 2 classes * 4
+  EXPECT_EQ(t2.target_test.size(), 4);
+}
+
+TEST(TaskStreamTest, TaskLabelsAreLocal) {
+  TaskStreamOptions opt;
+  opt.family = "digits";
+  opt.source_domain = "MN";
+  opt.target_domain = "US";
+  opt.num_tasks = 3;
+  opt.classes_per_task = 2;
+  opt.train_per_class = 2;
+  opt.test_per_class = 2;
+  Result<CrossDomainTaskStream> stream = CrossDomainTaskStream::Make(opt);
+  ASSERT_TRUE(stream.ok());
+  for (int64_t t = 0; t < 3; ++t) {
+    const auto& task = stream->task(t);
+    for (int64_t i = 0; i < task.source_train.size(); ++i) {
+      const Example& ex = task.source_train.Get(i);
+      EXPECT_EQ(ex.task_label, ex.label - t * 2);
+      EXPECT_GE(ex.task_label, 0);
+      EXPECT_LT(ex.task_label, 2);
+    }
+  }
+}
+
+TEST(TaskStreamTest, DeterministicForSeed) {
+  TaskStreamOptions opt;
+  opt.family = "office31";
+  opt.source_domain = "A";
+  opt.target_domain = "W";
+  opt.num_tasks = 2;
+  opt.classes_per_task = 3;
+  opt.train_per_class = 2;
+  opt.test_per_class = 1;
+  opt.seed = 99;
+  auto s1 = CrossDomainTaskStream::Make(opt);
+  auto s2 = CrossDomainTaskStream::Make(opt);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  const Tensor& a = s1->task(1).source_train.Get(0).image;
+  const Tensor& b = s2->task(1).source_train.Get(0).image;
+  for (int64_t i = 0; i < a.NumElements(); ++i) {
+    EXPECT_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+TEST(TaskStreamTest, RejectsBadOptions) {
+  TaskStreamOptions opt;
+  opt.family = "digits";
+  opt.source_domain = "MN";
+  opt.target_domain = "US";
+  opt.num_tasks = 0;
+  EXPECT_FALSE(CrossDomainTaskStream::Make(opt).ok());
+  opt.num_tasks = 2;
+  opt.classes_per_task = 2;
+  opt.train_per_class = 0;
+  EXPECT_FALSE(CrossDomainTaskStream::Make(opt).ok());
+  opt.train_per_class = 2;
+  opt.test_per_class = 2;
+  opt.source_domain = "nope";
+  EXPECT_FALSE(CrossDomainTaskStream::Make(opt).ok());
+}
+
+TEST(MakeDomainDatasetTest, BuildsWithOffsets) {
+  Result<TensorDataset> ds =
+      MakeDomainDataset("visda", "syn", {2, 3}, 3, 2, 7);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->size(), 6);
+  EXPECT_EQ(ds->Get(0).label, 2);
+  EXPECT_EQ(ds->Get(0).task_label, 0);
+  EXPECT_EQ(ds->Get(3).label, 3);
+  EXPECT_EQ(ds->Get(3).task_label, 1);
+}
+
+// Property-style sweep: the same class renders to *correlated* images across
+// domains (shared structure), while different classes in the same domain are
+// farther apart. This is the label-consistency property UDA relies on.
+class CrossDomainConsistency : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CrossDomainConsistency, StructureSharedAcrossDomains) {
+  const std::string family = GetParam();
+  Result<BenchmarkSpec> spec = GetBenchmark(family);
+  ASSERT_TRUE(spec.ok());
+  ASSERT_GE(spec->domains.size(), 2u);
+  PrototypeBank bank(spec->family_seed, 4);
+  DomainStyle s0 = *GetDomainStyle(family, spec->domains[0]);
+  DomainStyle s1 = *GetDomainStyle(family, spec->domains[1]);
+  // Neutralize pose (domain means and per-sample jitter): the shared-
+  // structure property is about appearance, and raw-pixel L1 cannot see
+  // through a rotation/scale change the encoder is expected to absorb.
+  for (DomainStyle* s : {&s0, &s1}) {
+    s->rotation_mean = 0.0f;
+    s->rotation_jitter = 0.0f;
+    s->scale_mean = 1.0f;
+    s->scale_jitter = 0.0f;
+    s->shear = 0.0f;
+    s->shift_jitter = 0.0f;
+    s->noise_std = 0.0f;
+  }
+  auto render = [&](int64_t cls, const DomainStyle& style) {
+    Rng rng(77);
+    return RenderSample(bank.prototype(cls), style, spec->image_hw,
+                        spec->channels, &rng);
+  };
+  // Centered cosine correlation: invariant to the gain/offset photometric
+  // part of a style, sensitive to the blob geometry that encodes the class.
+  auto correlation = [](const Tensor& a, const Tensor& b) {
+    double ma = 0.0, mb = 0.0;
+    const int64_t n = a.NumElements();
+    for (int64_t i = 0; i < n; ++i) {
+      ma += a.data()[i];
+      mb += b.data()[i];
+    }
+    ma /= n;
+    mb /= n;
+    double dot = 0.0, na = 0.0, nb = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      const double xa = a.data()[i] - ma, xb = b.data()[i] - mb;
+      dot += xa * xb;
+      na += xa * xa;
+      nb += xb * xb;
+    }
+    return dot / std::max(std::sqrt(na * nb), 1e-9);
+  };
+  // Mean over classes: same-class cross-domain correlation should exceed
+  // cross-class same-domain correlation.
+  double same_class = 0.0, cross_class = 0.0;
+  int cross_count = 0;
+  for (int64_t c = 0; c < 4; ++c) {
+    same_class += correlation(render(c, s0), render(c, s1));
+    for (int64_t c2 = 0; c2 < 4; ++c2) {
+      if (c2 == c) continue;
+      cross_class += correlation(render(c, s0), render(c2, s0));
+      ++cross_count;
+    }
+  }
+  same_class /= 4;
+  cross_class /= cross_count;
+  EXPECT_GT(same_class, cross_class) << family;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, CrossDomainConsistency,
+                         ::testing::Values("digits", "office31", "officehome",
+                                           "visda"));
+
+}  // namespace
+}  // namespace data
+}  // namespace cdcl

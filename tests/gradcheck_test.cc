@@ -1,0 +1,236 @@
+// Finite-difference verification of every differentiable op, including a
+// parameterized sweep over random shapes (property-style).
+
+#include "gtest/gtest.h"
+#include "tensor/gradcheck.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+
+namespace cdcl {
+namespace {
+
+Tensor RandInput(const Shape& shape, uint64_t seed, float stddev = 1.0f) {
+  Rng rng(seed);
+  return Tensor::Randn(shape, &rng, stddev, /*requires_grad=*/true);
+}
+
+#define EXPECT_GRADCHECK_OK(result)                                   \
+  do {                                                                \
+    GradCheckResult r = (result);                                     \
+    EXPECT_TRUE(r.passed) << r.detail                                 \
+                          << " max_abs=" << r.max_abs_error           \
+                          << " max_rel=" << r.max_rel_error;          \
+  } while (false)
+
+TEST(GradCheckTest, Add) {
+  EXPECT_GRADCHECK_OK(GradCheck(
+      [](const std::vector<Tensor>& in) { return ops::Sum(in[0] + in[1]); },
+      {RandInput(Shape{3, 4}, 1), RandInput(Shape{3, 4}, 2)}));
+}
+
+TEST(GradCheckTest, AddBroadcastBias) {
+  EXPECT_GRADCHECK_OK(GradCheck(
+      [](const std::vector<Tensor>& in) {
+        return ops::Sum(ops::Square(in[0] + in[1]));
+      },
+      {RandInput(Shape{3, 4}, 3), RandInput(Shape{4}, 4)}));
+}
+
+TEST(GradCheckTest, MulAndDiv) {
+  EXPECT_GRADCHECK_OK(GradCheck(
+      [](const std::vector<Tensor>& in) {
+        return ops::Sum(in[0] * in[1] / ops::AddScalar(ops::Square(in[1]), 1.0f));
+      },
+      {RandInput(Shape{2, 3}, 5), RandInput(Shape{2, 3}, 6)}));
+}
+
+TEST(GradCheckTest, MatMul) {
+  EXPECT_GRADCHECK_OK(GradCheck(
+      [](const std::vector<Tensor>& in) {
+        return ops::Sum(ops::Square(ops::MatMul(in[0], in[1])));
+      },
+      {RandInput(Shape{3, 4}, 7), RandInput(Shape{4, 2}, 8)}));
+}
+
+TEST(GradCheckTest, BatchMatMul) {
+  EXPECT_GRADCHECK_OK(GradCheck(
+      [](const std::vector<Tensor>& in) {
+        return ops::Sum(ops::Square(ops::BatchMatMul(in[0], in[1])));
+      },
+      {RandInput(Shape{2, 3, 4}, 9), RandInput(Shape{2, 4, 2}, 10)}));
+}
+
+TEST(GradCheckTest, Transpose) {
+  EXPECT_GRADCHECK_OK(GradCheck(
+      [](const std::vector<Tensor>& in) {
+        return ops::Sum(ops::Square(ops::Transpose(in[0])));
+      },
+      {RandInput(Shape{3, 5}, 11)}));
+}
+
+TEST(GradCheckTest, TransposeLast2) {
+  EXPECT_GRADCHECK_OK(GradCheck(
+      [](const std::vector<Tensor>& in) {
+        return ops::Sum(ops::Square(ops::TransposeLast2(in[0])));
+      },
+      {RandInput(Shape{2, 3, 4}, 12)}));
+}
+
+TEST(GradCheckTest, UnaryChain) {
+  EXPECT_GRADCHECK_OK(GradCheck(
+      [](const std::vector<Tensor>& in) {
+        return ops::Sum(ops::Tanh(ops::Sigmoid(in[0]) * 3.0f));
+      },
+      {RandInput(Shape{4, 3}, 13)}));
+}
+
+TEST(GradCheckTest, Relu) {
+  // Keep values away from the kink for finite differences.
+  Tensor x = RandInput(Shape{5, 5}, 14);
+  for (int64_t i = 0; i < x.NumElements(); ++i) {
+    if (std::abs(x.data()[i]) < 0.05f) x.data()[i] = 0.2f;
+  }
+  EXPECT_GRADCHECK_OK(GradCheck(
+      [](const std::vector<Tensor>& in) { return ops::Sum(ops::Relu(in[0])); },
+      {x}));
+}
+
+TEST(GradCheckTest, Gelu) {
+  EXPECT_GRADCHECK_OK(GradCheck(
+      [](const std::vector<Tensor>& in) { return ops::Sum(ops::Gelu(in[0])); },
+      {RandInput(Shape{4, 4}, 15)}));
+}
+
+TEST(GradCheckTest, ExpLogSqrt) {
+  Tensor x = RandInput(Shape{3, 3}, 16);
+  for (int64_t i = 0; i < x.NumElements(); ++i) {
+    x.data()[i] = std::abs(x.data()[i]) + 0.5f;  // keep positive
+  }
+  EXPECT_GRADCHECK_OK(GradCheck(
+      [](const std::vector<Tensor>& in) {
+        return ops::Sum(ops::Sqrt(ops::Exp(ops::Log(in[0]))));
+      },
+      {x}));
+}
+
+TEST(GradCheckTest, Softmax) {
+  EXPECT_GRADCHECK_OK(GradCheck(
+      [](const std::vector<Tensor>& in) {
+        Tensor s = ops::Softmax(in[0]);
+        return ops::Sum(ops::Square(s));
+      },
+      {RandInput(Shape{3, 6}, 17)}));
+}
+
+TEST(GradCheckTest, LogSoftmax) {
+  EXPECT_GRADCHECK_OK(GradCheck(
+      [](const std::vector<Tensor>& in) {
+        return ops::Sum(ops::Square(ops::LogSoftmax(in[0])));
+      },
+      {RandInput(Shape{2, 5}, 18)}));
+}
+
+TEST(GradCheckTest, LayerNorm) {
+  EXPECT_GRADCHECK_OK(GradCheck(
+      [](const std::vector<Tensor>& in) {
+        return ops::Sum(ops::Square(ops::LayerNorm(in[0], in[1], in[2])));
+      },
+      {RandInput(Shape{4, 8}, 19), RandInput(Shape{8}, 20),
+       RandInput(Shape{8}, 21)}));
+}
+
+TEST(GradCheckTest, Conv2d) {
+  // Mean keeps the loss scale small: float32 central differences on a large
+  // summed loss lose too many bits otherwise.
+  EXPECT_GRADCHECK_OK(GradCheck(
+      [](const std::vector<Tensor>& in) {
+        return ops::Mean(ops::Square(ops::Conv2d(in[0], in[1], in[2], 1, 1)));
+      },
+      {RandInput(Shape{2, 2, 5, 5}, 22, 0.5f),
+       RandInput(Shape{3, 2, 3, 3}, 23, 0.5f), RandInput(Shape{3}, 24, 0.5f)},
+      /*epsilon=*/2e-2));
+}
+
+TEST(GradCheckTest, Conv2dStride2NoBias) {
+  EXPECT_GRADCHECK_OK(GradCheck(
+      [](const std::vector<Tensor>& in) {
+        return ops::Sum(ops::Square(ops::Conv2d(in[0], in[1], Tensor(), 2, 0)));
+      },
+      {RandInput(Shape{1, 1, 6, 6}, 25), RandInput(Shape{2, 1, 2, 2}, 26)}));
+}
+
+TEST(GradCheckTest, MaxPool) {
+  // Spread values so the argmax is stable under the FD perturbation.
+  Rng rng(27);
+  Tensor x = Tensor::RandUniform(Shape{1, 2, 4, 4}, &rng, 0.0f, 10.0f, true);
+  EXPECT_GRADCHECK_OK(GradCheck(
+      [](const std::vector<Tensor>& in) {
+        return ops::Sum(ops::Square(ops::MaxPool2d(in[0], 2, 2)));
+      },
+      {x}));
+}
+
+TEST(GradCheckTest, CrossEntropy) {
+  EXPECT_GRADCHECK_OK(GradCheck(
+      [](const std::vector<Tensor>& in) {
+        return ops::CrossEntropy(in[0], {1, 0, 3});
+      },
+      {RandInput(Shape{3, 4}, 28)}));
+}
+
+TEST(GradCheckTest, SoftCrossEntropyBothInputs) {
+  Tensor probs = RandInput(Shape{2, 4}, 29);
+  // Make targets a proper distribution (softmax of random) but keep the
+  // underlying tensor differentiable.
+  EXPECT_GRADCHECK_OK(GradCheck(
+      [](const std::vector<Tensor>& in) {
+        return ops::SoftCrossEntropy(in[0], ops::Softmax(in[1]));
+      },
+      {RandInput(Shape{2, 4}, 30), probs}));
+}
+
+TEST(GradCheckTest, KlDivergence) {
+  EXPECT_GRADCHECK_OK(GradCheck(
+      [](const std::vector<Tensor>& in) {
+        Tensor target = Tensor::FromVector(Shape{2, 3}, {1, 0, -1, 2, 1, 0});
+        return ops::KlDivergenceToTarget(in[0], target);
+      },
+      {RandInput(Shape{2, 3}, 31)}));
+}
+
+TEST(GradCheckTest, SliceConcatIndex) {
+  EXPECT_GRADCHECK_OK(GradCheck(
+      [](const std::vector<Tensor>& in) {
+        Tensor c = ops::Concat0({in[0], in[1]});
+        Tensor s = ops::Slice0(c, 1, 3);
+        Tensor g = ops::IndexRows(s, {0, 2, 2});
+        return ops::Sum(ops::Square(g));
+      },
+      {RandInput(Shape{2, 3}, 32), RandInput(Shape{2, 3}, 33)}));
+}
+
+// Property-style sweep: random shapes for a composite expression.
+class GradCheckShapeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GradCheckShapeSweep, CompositeExpression) {
+  const int seed = GetParam();
+  Rng rng(static_cast<uint64_t>(seed));
+  const int64_t m = 1 + static_cast<int64_t>(rng.NextBelow(4));
+  const int64_t k = 1 + static_cast<int64_t>(rng.NextBelow(4));
+  const int64_t n = 1 + static_cast<int64_t>(rng.NextBelow(4));
+  EXPECT_GRADCHECK_OK(GradCheck(
+      [](const std::vector<Tensor>& in) {
+        Tensor h = ops::Tanh(ops::MatMul(in[0], in[1]));
+        Tensor s = ops::Softmax(h);
+        return ops::Mean(ops::Square(s + in[2]));
+      },
+      {RandInput(Shape{m, k}, static_cast<uint64_t>(seed) * 3 + 1),
+       RandInput(Shape{k, n}, static_cast<uint64_t>(seed) * 3 + 2),
+       RandInput(Shape{n}, static_cast<uint64_t>(seed) * 3 + 3)}));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomShapes, GradCheckShapeSweep,
+                         ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace cdcl

@@ -1,0 +1,170 @@
+// End-to-end continual experiments at miniature scale: these tests assert
+// *learning signals* (above-chance accuracy, protocol invariants), not
+// absolute numbers.
+
+#include "baselines/rehearsal_baselines.h"
+#include "cl/experiment.h"
+#include "core/cdcl_trainer.h"
+#include "core/driver.h"
+#include "gtest/gtest.h"
+
+namespace cdcl {
+namespace core {
+namespace {
+
+data::CrossDomainTaskStream TinyDigitsStream(int64_t tasks = 2,
+                                             uint64_t seed = 1) {
+  data::TaskStreamOptions opt;
+  opt.family = "digits";
+  opt.source_domain = "MN";
+  opt.target_domain = "US";
+  opt.num_tasks = tasks;
+  opt.classes_per_task = 2;
+  opt.train_per_class = 12;
+  opt.test_per_class = 6;
+  opt.seed = seed;
+  return *data::CrossDomainTaskStream::Make(opt);
+}
+
+baselines::TrainerOptions TinyOptions() {
+  baselines::TrainerOptions opt;
+  opt.model.image_hw = 16;
+  opt.model.channels = 1;
+  opt.model.embed_dim = 16;
+  opt.model.num_layers = 1;
+  opt.epochs = 6;
+  opt.warmup_epochs = 2;
+  opt.batch_size = 8;
+  opt.memory_size = 40;
+  opt.seed = 3;
+  return opt;
+}
+
+TEST(CdclIntegrationTest, LearnsAboveChanceOnDigits) {
+  auto stream = TinyDigitsStream();
+  CdclOptions opt;
+  opt.base = TinyOptions();
+  CdclTrainer trainer(opt);
+  Result<cl::ContinualResult> result =
+      cl::RunContinualExperiment(&trainer, stream);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // 2 classes per task -> chance is 0.5 on TIL.
+  EXPECT_GT(result->til_acc(), 0.55) << result->til.ToString();
+  // Forgetting lies in [-1, 1] (negative = backward transfer); ACC in [0,1].
+  EXPECT_GE(result->til_fgt(), -1.0);
+  EXPECT_LE(result->til_fgt(), 1.0);
+  EXPECT_LE(result->til_acc(), 1.0);
+}
+
+TEST(CdclIntegrationTest, PseudoLabelsBeatChance) {
+  auto stream = TinyDigitsStream(1);
+  CdclOptions opt;
+  opt.base = TinyOptions();
+  CdclTrainer trainer(opt);
+  ASSERT_TRUE(trainer.ObserveTask(stream.task(0)).ok());
+  EXPECT_GT(trainer.last_pseudo_label_accuracy(), 0.5);
+  EXPECT_GT(trainer.last_pair_count(), 0);
+}
+
+TEST(CdclIntegrationTest, MemoryBoundedAcrossTasks) {
+  auto stream = TinyDigitsStream(3);
+  CdclOptions opt;
+  opt.base = TinyOptions();
+  opt.base.memory_size = 12;
+  CdclTrainer trainer(opt);
+  for (int64_t t = 0; t < stream.num_tasks(); ++t) {
+    ASSERT_TRUE(trainer.ObserveTask(stream.task(t)).ok());
+    EXPECT_LE(trainer.memory().size(), 12);
+  }
+  EXPECT_EQ(trainer.memory().StoredTaskIds(),
+            (std::vector<int64_t>{0, 1, 2}));
+}
+
+TEST(CdclIntegrationTest, AblationTogglesRun) {
+  auto stream = TinyDigitsStream(2);
+  for (int variant = 0; variant < 4; ++variant) {
+    CdclOptions opt;
+    opt.base = TinyOptions();
+    opt.base.epochs = 3;
+    opt.base.warmup_epochs = 1;
+    opt.use_cil_loss = variant != 0;
+    opt.use_til_loss = variant != 1;
+    opt.use_rehearsal = variant != 2;
+    opt.simple_attention = variant == 3;
+    CdclTrainer trainer(opt);
+    Result<cl::ContinualResult> result =
+        cl::RunContinualExperiment(&trainer, stream);
+    ASSERT_TRUE(result.ok()) << "variant " << variant;
+  }
+}
+
+TEST(BaselineIntegrationTest, AllMethodsRunOnTinyStream) {
+  auto stream = TinyDigitsStream(2);
+  for (const std::string& method : KnownMethods()) {
+    baselines::TrainerOptions opt = TinyOptions();
+    opt.epochs = 3;
+    opt.warmup_epochs = 1;
+    Result<std::unique_ptr<cl::ContinualTrainer>> trainer =
+        MakeTrainerByName(method, opt);
+    ASSERT_TRUE(trainer.ok()) << method;
+    Result<cl::ContinualResult> result =
+        cl::RunContinualExperiment(trainer->get(), stream);
+    ASSERT_TRUE(result.ok()) << method << ": " << result.status().ToString();
+    EXPECT_GE(result->til_acc(), 0.0) << method;
+    EXPECT_LE(result->til_acc(), 1.0) << method;
+  }
+}
+
+TEST(BaselineIntegrationTest, UnknownMethodIsNotFound) {
+  EXPECT_EQ(MakeTrainerByName("nope", TinyOptions()).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(DriverTest, RunMethodOnPairWiresEverything) {
+  ExperimentSpec spec;
+  spec.family = "digits";
+  spec.source_domain = "MN";
+  spec.target_domain = "US";
+  spec.num_tasks = 2;
+  spec.classes_per_task = 2;
+  spec.train_per_class = 8;
+  spec.test_per_class = 4;
+  spec.seed = 5;
+  baselines::TrainerOptions opt = TinyOptions();
+  opt.epochs = 2;
+  opt.warmup_epochs = 1;
+  Result<cl::ContinualResult> result = RunMethodOnPair("ER", spec, opt);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->til.num_tasks(), 2);
+}
+
+TEST(DriverTest, EnvOverridesApply) {
+  setenv("CDCL_EPOCHS", "7", 1);
+  setenv("CDCL_TASKS", "9", 1);
+  ExperimentSpec spec;
+  baselines::TrainerOptions opt;
+  ApplyEnvOverrides(&spec, &opt);
+  EXPECT_EQ(opt.epochs, 7);
+  EXPECT_EQ(spec.num_tasks, 9);
+  unsetenv("CDCL_EPOCHS");
+  unsetenv("CDCL_TASKS");
+}
+
+TEST(StaticUdaIntegrationTest, UpperBoundHasNoForgettingStructure) {
+  auto stream = TinyDigitsStream(2);
+  baselines::TrainerOptions opt = TinyOptions();
+  opt.epochs = 8;
+  opt.warmup_epochs = 2;
+  Result<std::unique_ptr<cl::ContinualTrainer>> trainer =
+      MakeTrainerByName("TVT", opt);
+  ASSERT_TRUE(trainer.ok());
+  Result<cl::ContinualResult> result =
+      cl::RunContinualExperiment(trainer->get(), stream);
+  ASSERT_TRUE(result.ok());
+  // Joint training keeps all data: learning signal present.
+  EXPECT_GT(result->til_acc(), 0.5);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace cdcl

@@ -1,0 +1,136 @@
+#include "gtest/gtest.h"
+#include "models/compact_transformer.h"
+#include "tensor/tensor_ops.h"
+
+namespace cdcl {
+namespace models {
+namespace {
+
+ModelConfig TinyConfig() {
+  ModelConfig c;
+  c.image_hw = 8;
+  c.channels = 1;
+  c.embed_dim = 8;
+  c.num_layers = 2;
+  c.tokenizer_layers = 1;
+  c.tokenizer_kernel = 3;
+  return c;
+}
+
+TEST(CompactTransformerTest, EncodeShapes) {
+  Rng rng(1);
+  CompactTransformer model(TinyConfig(), &rng);
+  model.AddTask(3);
+  Tensor x = Tensor::Randn(Shape{4, 1, 8, 8}, &rng);
+  Tensor z = model.EncodeSelf(x, 0);
+  EXPECT_EQ(z.dim(0), 4);
+  EXPECT_EQ(z.dim(1), 8);
+  EXPECT_EQ(model.TilLogits(z, 0).dim(1), 3);
+  EXPECT_EQ(model.CilLogits(z).dim(1), 3);
+}
+
+TEST(CompactTransformerTest, TaskGrowthExpandsHeadsAndClasses) {
+  Rng rng(2);
+  CompactTransformer model(TinyConfig(), &rng);
+  EXPECT_EQ(model.AddTask(2), 0);
+  EXPECT_EQ(model.AddTask(3), 1);
+  EXPECT_EQ(model.num_tasks(), 2);
+  EXPECT_EQ(model.total_classes(), 5);
+  EXPECT_EQ(model.class_offset(1), 2);
+  EXPECT_EQ(model.task_classes(0), 2);
+  Tensor x = Tensor::Randn(Shape{2, 1, 8, 8}, &rng);
+  Tensor z = model.EncodeSelf(x, 1);
+  EXPECT_EQ(model.CilLogits(z).dim(1), 5);
+  EXPECT_EQ(model.CilLogitsUpTo(z, 1).dim(1), 2);
+}
+
+TEST(CompactTransformerTest, CrossEncodingShapes) {
+  Rng rng(3);
+  CompactTransformer model(TinyConfig(), &rng);
+  model.AddTask(2);
+  Tensor xs = Tensor::Randn(Shape{3, 1, 8, 8}, &rng);
+  Tensor xt = Tensor::Randn(Shape{3, 1, 8, 8}, &rng);
+  auto enc = model.EncodeCross(xs, xt, 0);
+  EXPECT_EQ(enc.z_source.dim(0), 3);
+  EXPECT_EQ(enc.z_target.dim(1), 8);
+  EXPECT_EQ(enc.z_mixed.dim(1), 8);
+}
+
+TEST(CompactTransformerTest, PerTaskKeysProduceTaskDependentFeatures) {
+  Rng rng(4);
+  CompactTransformer model(TinyConfig(), &rng);
+  model.AddTask(2);
+  model.AddTask(2);
+  Tensor x = Tensor::Randn(Shape{1, 1, 8, 8}, &rng);
+  Tensor z0 = model.EncodeSelf(x, 0);
+  Tensor z1 = model.EncodeSelf(x, 1);
+  double diff = 0.0;
+  for (int64_t i = 0; i < z0.NumElements(); ++i) {
+    diff += std::abs(z0.data()[i] - z1.data()[i]);
+  }
+  EXPECT_GT(diff, 1e-4);
+}
+
+TEST(CompactTransformerTest, SharedKeysIgnoreTaskId) {
+  Rng rng(5);
+  ModelConfig config = TinyConfig();
+  config.per_task_keys = false;
+  CompactTransformer model(config, &rng);
+  model.AddTask(2);
+  model.AddTask(2);
+  Tensor x = Tensor::Randn(Shape{1, 1, 8, 8}, &rng);
+  Tensor z0 = model.EncodeSelf(x, 0);
+  Tensor z1 = model.EncodeSelf(x, 1);
+  for (int64_t i = 0; i < z0.NumElements(); ++i) {
+    EXPECT_FLOAT_EQ(z0.data()[i], z1.data()[i]);
+  }
+}
+
+TEST(CompactTransformerTest, OldTaskParamsFrozenAfterGrowth) {
+  Rng rng(6);
+  CompactTransformer model(TinyConfig(), &rng);
+  model.AddTask(2);
+  const auto trainable_before = model.TrainableParameters().size();
+  model.AddTask(2);
+  // Task-0 keys/biases froze, new ones appeared; the trainable count must
+  // not grow by less than the frozen amount (net growth happens through
+  // heads + new keys).
+  int64_t frozen = 0;
+  for (const auto& np : model.NamedParameters()) {
+    if (!np.tensor.requires_grad()) ++frozen;
+  }
+  EXPECT_EQ(frozen, 2 * TinyConfig().num_layers);  // wk + bias per layer
+  EXPECT_GT(model.TrainableParameters().size(), trainable_before - 4);
+}
+
+TEST(CompactTransformerTest, SmallAndBasePresetsDiffer) {
+  ModelConfig s = ModelConfig::Small(16, 3);
+  ModelConfig b = ModelConfig::Base(16, 3);
+  EXPECT_LT(s.embed_dim, b.embed_dim);
+  EXPECT_LE(s.num_layers, b.num_layers);
+}
+
+TEST(CompactTransformerTest, GradientsFlowThroughCrossEncoding) {
+  Rng rng(7);
+  CompactTransformer model(TinyConfig(), &rng);
+  model.AddTask(2);
+  Tensor xs = Tensor::Randn(Shape{2, 1, 8, 8}, &rng);
+  Tensor xt = Tensor::Randn(Shape{2, 1, 8, 8}, &rng);
+  auto enc = model.EncodeCross(xs, xt, 0);
+  Tensor loss = ops::Sum(ops::Square(enc.z_mixed));
+  loss.Backward();
+  // Global Q/V projections must receive gradient from the mixed stream.
+  bool any_grad = false;
+  for (const auto& np : model.NamedParameters()) {
+    if (np.name.find("wq") != std::string::npos && np.tensor.has_grad()) {
+      for (int64_t i = 0; i < np.tensor.NumElements(); ++i) {
+        if (np.tensor.grad_data()[i] != 0.0f) any_grad = true;
+      }
+    }
+  }
+  EXPECT_TRUE(any_grad);
+}
+
+}  // namespace
+}  // namespace models
+}  // namespace cdcl

@@ -1,0 +1,323 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "nn/attention.h"
+#include "nn/layers.h"
+#include "nn/losses.h"
+#include "nn/module.h"
+#include "nn/tokenizer.h"
+#include "tensor/tensor_ops.h"
+
+namespace cdcl {
+namespace nn {
+namespace {
+
+TEST(LinearTest, ShapesAndBias) {
+  Rng rng(1);
+  Linear lin(4, 3, &rng);
+  Tensor x = Tensor::Randn(Shape{5, 4}, &rng);
+  Tensor y = lin.Forward(x);
+  EXPECT_EQ(y.dim(0), 5);
+  EXPECT_EQ(y.dim(1), 3);
+  EXPECT_EQ(lin.NumParameters(), 4 * 3 + 3);
+}
+
+TEST(LinearTest, NoBiasVariant) {
+  Rng rng(2);
+  Linear lin(4, 3, &rng, /*bias=*/false);
+  EXPECT_EQ(lin.NumParameters(), 12);
+}
+
+TEST(LinearTest, Handles3dInput) {
+  Rng rng(3);
+  Linear lin(4, 6, &rng);
+  Tensor x = Tensor::Randn(Shape{2, 5, 4}, &rng);
+  Tensor y = lin.Forward(x);
+  EXPECT_EQ(y.dim(0), 2);
+  EXPECT_EQ(y.dim(1), 5);
+  EXPECT_EQ(y.dim(2), 6);
+}
+
+TEST(LinearTest, GradientFlowsToParameters) {
+  Rng rng(4);
+  Linear lin(3, 2, &rng);
+  Tensor x = Tensor::Randn(Shape{4, 3}, &rng);
+  ops::Sum(ops::Square(lin.Forward(x))).Backward();
+  for (const Tensor& p : lin.Parameters()) {
+    EXPECT_TRUE(p.has_grad());
+  }
+}
+
+TEST(Conv2dModuleTest, OutputShape) {
+  Rng rng(5);
+  Conv2d conv(3, 8, 3, 1, 1, &rng);
+  Tensor x = Tensor::Randn(Shape{2, 3, 8, 8}, &rng);
+  Tensor y = conv.Forward(x);
+  EXPECT_EQ(y.dim(1), 8);
+  EXPECT_EQ(y.dim(2), 8);
+}
+
+TEST(LayerNormModuleTest, NormalizesLastDim) {
+  Rng rng(6);
+  LayerNorm ln(8);
+  Tensor x = Tensor::Randn(Shape{4, 8}, &rng, 3.0f);
+  Tensor y = ln.Forward(x);
+  float mean = 0.0f;
+  for (int64_t j = 0; j < 8; ++j) mean += y.at(0, j);
+  EXPECT_NEAR(mean / 8, 0.0f, 1e-4);
+}
+
+TEST(DropoutModuleTest, IdentityInEvalMode) {
+  Rng rng(7);
+  Dropout drop(0.5f, &rng);
+  drop.SetTraining(false);
+  Tensor x = Tensor::Ones(Shape{8});
+  Tensor y = drop.Forward(x);
+  for (int64_t i = 0; i < 8; ++i) EXPECT_EQ(y.at(i), 1.0f);
+}
+
+TEST(DropoutModuleTest, ActiveInTrainMode) {
+  Rng rng(8);
+  Dropout drop(0.5f, &rng);
+  Tensor x = Tensor::Ones(Shape{1000});
+  Tensor y = drop.Forward(x);
+  int64_t zeros = 0;
+  for (int64_t i = 0; i < 1000; ++i) zeros += (y.at(i) == 0.0f);
+  EXPECT_GT(zeros, 300);
+  EXPECT_LT(zeros, 700);
+}
+
+TEST(ModuleTest, NamedParametersAreHierarchical) {
+  Rng rng(9);
+  FeedForward ff(4, 8, &rng);
+  auto named = ff.NamedParameters();
+  ASSERT_EQ(named.size(), 4u);
+  EXPECT_EQ(named[0].name, "fc1.weight");
+  EXPECT_EQ(named[3].name, "fc2.bias");
+}
+
+TEST(ModuleTest, CopyParametersFrom) {
+  Rng rng1(10), rng2(11);
+  Linear a(3, 3, &rng1), b(3, 3, &rng2);
+  b.CopyParametersFrom(a);
+  auto pa = a.Parameters(), pb = b.Parameters();
+  for (size_t i = 0; i < pa.size(); ++i) {
+    for (int64_t j = 0; j < pa[i].NumElements(); ++j) {
+      EXPECT_EQ(pa[i].data()[j], pb[i].data()[j]);
+    }
+  }
+}
+
+TEST(TaskAttentionTest, AddTaskGrowsAndFreezes) {
+  Rng rng(12);
+  TaskConditionedAttention attn(8, 4, &rng);
+  EXPECT_EQ(attn.num_tasks(), 0);
+  attn.AddTask();
+  const int64_t params_task1 = attn.NumParameters();
+  attn.AddTask();
+  EXPECT_EQ(attn.num_tasks(), 2);
+  EXPECT_GT(attn.NumParameters(), params_task1);
+  // Old task key/bias parameters are frozen.
+  auto named = attn.NamedParameters();
+  int frozen = 0, trainable = 0;
+  for (const auto& np : named) {
+    if (np.name.find("task0") != std::string::npos) {
+      EXPECT_FALSE(np.tensor.requires_grad()) << np.name;
+      ++frozen;
+    } else {
+      EXPECT_TRUE(np.tensor.requires_grad()) << np.name;
+      ++trainable;
+    }
+  }
+  EXPECT_EQ(frozen, 2);  // wk_task0.weight + bias_task0
+  EXPECT_GT(trainable, 0);
+}
+
+TEST(TaskAttentionTest, SelfAttentionShape) {
+  Rng rng(13);
+  TaskConditionedAttention attn(8, 4, &rng);
+  attn.AddTask();
+  Tensor x = Tensor::Randn(Shape{2, 4, 8}, &rng);
+  Tensor y = attn.SelfAttention(x, 0);
+  EXPECT_EQ(y.dim(0), 2);
+  EXPECT_EQ(y.dim(1), 4);
+  EXPECT_EQ(y.dim(2), 8);
+}
+
+TEST(TaskAttentionTest, CrossAttentionDiffersFromSelf) {
+  Rng rng(14);
+  TaskConditionedAttention attn(8, 4, &rng);
+  attn.AddTask();
+  Tensor xs = Tensor::Randn(Shape{1, 4, 8}, &rng);
+  Tensor xt = Tensor::Randn(Shape{1, 4, 8}, &rng);
+  Tensor self_out = attn.SelfAttention(xs, 0);
+  Tensor cross_out = attn.CrossAttention(xs, xt, 0);
+  double diff = 0.0;
+  for (int64_t i = 0; i < self_out.NumElements(); ++i) {
+    diff += std::abs(self_out.data()[i] - cross_out.data()[i]);
+  }
+  EXPECT_GT(diff, 1e-3);
+}
+
+TEST(TaskAttentionTest, TasksProduceDifferentMaps) {
+  Rng rng(15);
+  TaskConditionedAttention attn(8, 4, &rng);
+  attn.AddTask();
+  attn.AddTask();
+  Tensor x = Tensor::Randn(Shape{1, 4, 8}, &rng);
+  Tensor y0 = attn.SelfAttention(x, 0);
+  Tensor y1 = attn.SelfAttention(x, 1);
+  double diff = 0.0;
+  for (int64_t i = 0; i < y0.NumElements(); ++i) {
+    diff += std::abs(y0.data()[i] - y1.data()[i]);
+  }
+  EXPECT_GT(diff, 1e-3);
+}
+
+TEST(TaskAttentionTest, FrozenTaskGetsNoGradient) {
+  Rng rng(16);
+  TaskConditionedAttention attn(4, 4, &rng);
+  attn.AddTask();
+  attn.AddTask();
+  Tensor x = Tensor::Randn(Shape{1, 4, 4}, &rng);
+  // Forward through the *old* task head: global Q/V should still learn, but
+  // frozen K_0/b_0 must not accumulate gradient.
+  ops::Sum(ops::Square(attn.SelfAttention(x, 0))).Backward();
+  for (const auto& np : attn.NamedParameters()) {
+    if (np.name.find("task0") != std::string::npos) {
+      if (np.tensor.has_grad()) {
+        for (int64_t i = 0; i < np.tensor.NumElements(); ++i) {
+          EXPECT_EQ(np.tensor.grad_data()[i], 0.0f) << np.name;
+        }
+      }
+    }
+    if (np.name.find("wq") != std::string::npos) {
+      EXPECT_TRUE(np.tensor.has_grad());
+    }
+  }
+}
+
+TEST(EncoderLayerTest, SelfForwardPreservesShape) {
+  Rng rng(17);
+  TransformerEncoderLayer layer(8, 4, 16, &rng, true, true);
+  layer.AddTask();
+  Tensor x = Tensor::Randn(Shape{2, 4, 8}, &rng);
+  Tensor y = layer.SelfForward(x, 0);
+  EXPECT_TRUE(y.shape() == x.shape());
+}
+
+TEST(EncoderLayerTest, CrossForwardWithUndefinedMixed) {
+  Rng rng(18);
+  TransformerEncoderLayer layer(8, 4, 16, &rng, true, true);
+  layer.AddTask();
+  Tensor hs = Tensor::Randn(Shape{2, 4, 8}, &rng);
+  Tensor ht = Tensor::Randn(Shape{2, 4, 8}, &rng);
+  Tensor m = layer.CrossForward(hs, ht, Tensor(), 0);
+  EXPECT_TRUE(m.shape() == hs.shape());
+  Tensor m2 = layer.CrossForward(hs, ht, m, 0);
+  EXPECT_TRUE(m2.shape() == hs.shape());
+}
+
+TEST(SequencePoolTest, PoolsToFeatureVector) {
+  Rng rng(19);
+  SequencePool pool(8, &rng);
+  Tensor x = Tensor::Randn(Shape{3, 5, 8}, &rng);
+  Tensor z = pool.Forward(x);
+  EXPECT_EQ(z.ndim(), 2);
+  EXPECT_EQ(z.dim(0), 3);
+  EXPECT_EQ(z.dim(1), 8);
+}
+
+TEST(SequencePoolTest, ConstantTokensPoolToThemselves) {
+  Rng rng(20);
+  SequencePool pool(4, &rng);
+  // All tokens identical -> any convex combination returns the same vector.
+  Tensor x = Tensor::Zeros(Shape{1, 3, 4});
+  for (int64_t n = 0; n < 3; ++n) {
+    for (int64_t d = 0; d < 4; ++d) x.at(0, n, d) = static_cast<float>(d);
+  }
+  Tensor z = pool.Forward(x);
+  for (int64_t d = 0; d < 4; ++d) EXPECT_NEAR(z.at(0, d), d, 1e-5);
+}
+
+TEST(ConvTokenizerTest, TokenShape) {
+  Rng rng(21);
+  // 16x16x3 input, 2 tokenizer layers -> 4x4 = 16 tokens.
+  ConvTokenizer tok(16, 3, 32, 2, 3, &rng);
+  EXPECT_EQ(tok.sequence_length(), 16);
+  Tensor x = Tensor::Randn(Shape{2, 3, 16, 16}, &rng);
+  Tensor t = tok.Forward(x);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(1), 16);
+  EXPECT_EQ(t.dim(2), 32);
+}
+
+TEST(ConvTokenizerTest, SingleLayerSevenKernel) {
+  Rng rng(22);
+  // Mirrors the paper's small instance: 28x28x1 with 7x7 kernels.
+  ConvTokenizer tok(28, 1, 16, 2, 7, &rng);
+  Tensor x = Tensor::Randn(Shape{1, 1, 28, 28}, &rng);
+  Tensor t = tok.Forward(x);
+  EXPECT_EQ(t.dim(1), tok.sequence_length());
+  EXPECT_EQ(t.dim(2), 16);
+}
+
+TEST(MultiHeadOutputTest, PerTaskHeads) {
+  Rng rng(23);
+  MultiHeadOutput heads(8);
+  heads.AddTask(3, &rng);
+  heads.AddTask(5, &rng);
+  EXPECT_EQ(heads.num_tasks(), 2);
+  EXPECT_EQ(heads.num_classes(0), 3);
+  EXPECT_EQ(heads.num_classes(1), 5);
+  Tensor z = Tensor::Randn(Shape{4, 8}, &rng);
+  EXPECT_EQ(heads.Forward(z, 0).dim(1), 3);
+  EXPECT_EQ(heads.Forward(z, 1).dim(1), 5);
+}
+
+TEST(GrowingHeadTest, GrowsAndConcatenates) {
+  Rng rng(24);
+  GrowingHead head(8);
+  head.AddTask(2, &rng);
+  head.AddTask(3, &rng);
+  EXPECT_EQ(head.total_classes(), 5);
+  EXPECT_EQ(head.class_offset(0), 0);
+  EXPECT_EQ(head.class_offset(1), 2);
+  Tensor z = Tensor::Randn(Shape{4, 8}, &rng);
+  Tensor full = head.Forward(z);
+  EXPECT_EQ(full.dim(1), 5);
+  Tensor first = head.ForwardUpTo(z, 1);
+  EXPECT_EQ(first.dim(1), 2);
+  // The first block of the full output matches ForwardUpTo(1).
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = 0; j < 2; ++j) {
+      EXPECT_FLOAT_EQ(full.at(i, j), first.at(i, j));
+    }
+  }
+}
+
+TEST(LossesTest, MixingLossDecreasesWhenAligned) {
+  // Mixing loss should be lower for identical distributions than disjoint.
+  Tensor a = Tensor::FromVector(Shape{1, 2}, {4.0f, -4.0f});
+  Tensor b = Tensor::FromVector(Shape{1, 2}, {-4.0f, 4.0f});
+  float aligned = MixingLoss(a, a).item();
+  float misaligned = MixingLoss(a, b).item();
+  EXPECT_LT(aligned, misaligned);
+}
+
+TEST(LossesTest, LogitReplayZeroWhenUnchanged) {
+  Rng rng(25);
+  Tensor s = Tensor::Randn(Shape{3, 4}, &rng);
+  Tensor t = Tensor::Randn(Shape{3, 4}, &rng);
+  EXPECT_NEAR(LogitReplayLoss(s, t, s.Detach(), t.Detach()).item(), 0.0f, 1e-5);
+}
+
+TEST(LossesTest, AccuracyComputation) {
+  Tensor logits = Tensor::FromVector(Shape{2, 3}, {5, 1, 1, 0, 0, 9});
+  EXPECT_DOUBLE_EQ(Accuracy(logits, {0, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(Accuracy(logits, {1, 2}), 0.5);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace cdcl

@@ -1,0 +1,153 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "nn/layers.h"
+#include "optim/lr_schedule.h"
+#include "optim/optimizer.h"
+#include "tensor/tensor_ops.h"
+
+namespace cdcl {
+namespace optim {
+namespace {
+
+/// One analytic quadratic step: minimize 0.5*(w - 3)^2 from w=0.
+Tensor QuadraticLoss(const Tensor& w) {
+  Tensor target = Tensor::Full(w.shape(), 3.0f);
+  return ops::MulScalar(ops::Sum(ops::Square(ops::Sub(w, target))), 0.5f);
+}
+
+TEST(SgdTest, SingleStepMatchesHandMath) {
+  Tensor w = Tensor::Zeros(Shape{1}, true);
+  Sgd opt({w}, 0.1f);
+  QuadraticLoss(w).Backward();  // grad = w - 3 = -3
+  opt.Step();
+  EXPECT_NEAR(w.at(0), 0.3f, 1e-6);
+}
+
+TEST(SgdTest, MomentumAccumulates) {
+  Tensor w = Tensor::Zeros(Shape{1}, true);
+  Sgd opt({w}, 0.1f, 0.9f);
+  QuadraticLoss(w).Backward();
+  opt.Step();  // v = -3, w = 0.3
+  opt.ZeroGrad();
+  QuadraticLoss(w).Backward();  // grad = -2.7
+  opt.Step();                   // v = 0.9*-3 + -2.7 = -5.4, w = 0.3 + 0.54
+  EXPECT_NEAR(w.at(0), 0.84f, 1e-5);
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  Tensor w = Tensor::Zeros(Shape{4}, true);
+  Sgd opt({w}, 0.3f);
+  for (int i = 0; i < 100; ++i) {
+    opt.ZeroGrad();
+    QuadraticLoss(w).Backward();
+    opt.Step();
+  }
+  for (int64_t i = 0; i < 4; ++i) EXPECT_NEAR(w.at(i), 3.0f, 1e-3);
+}
+
+TEST(AdamTest, FirstStepHasUnitScale) {
+  // Adam's bias correction makes the first step ~= lr * sign(grad).
+  Tensor w = Tensor::Zeros(Shape{1}, true);
+  Adam opt({w}, 0.01f);
+  QuadraticLoss(w).Backward();
+  opt.Step();
+  EXPECT_NEAR(w.at(0), 0.01f, 1e-4);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Tensor w = Tensor::Zeros(Shape{3}, true);
+  Adam opt({w}, 0.1f);
+  for (int i = 0; i < 300; ++i) {
+    opt.ZeroGrad();
+    QuadraticLoss(w).Backward();
+    opt.Step();
+  }
+  for (int64_t i = 0; i < 3; ++i) EXPECT_NEAR(w.at(i), 3.0f, 1e-2);
+}
+
+TEST(AdamWTest, DecoupledDecayShrinksWeights) {
+  // With zero gradient signal, AdamW decay pulls weights toward zero while
+  // plain Adam with weight_decay=0 leaves them unchanged.
+  Tensor w1 = Tensor::Full(Shape{1}, 1.0f, true);
+  Tensor w2 = Tensor::Full(Shape{1}, 1.0f, true);
+  AdamW decayed({w1}, 0.1f, 0.9f, 0.999f, 1e-8f, 0.5f);
+  Adam plain({w2}, 0.1f, 0.9f, 0.999f, 1e-8f, 0.0f);
+  // Provide a tiny gradient so has_grad() is true.
+  ops::MulScalar(ops::Sum(w1), 1e-12f).Backward();
+  ops::MulScalar(ops::Sum(w2), 1e-12f).Backward();
+  decayed.Step();
+  plain.Step();
+  EXPECT_LT(w1.at(0), 0.96f);
+  EXPECT_NEAR(w2.at(0), 1.0f, 1e-2);
+}
+
+TEST(OptimizerTest, SkipsFrozenParameters) {
+  Tensor w = Tensor::Zeros(Shape{1}, true);
+  Sgd opt({w}, 0.1f);
+  QuadraticLoss(w).Backward();
+  w.set_requires_grad(false);
+  opt.Step();
+  EXPECT_EQ(w.at(0), 0.0f);
+}
+
+TEST(OptimizerTest, SetParametersPreservesState) {
+  Tensor w = Tensor::Zeros(Shape{1}, true);
+  Adam opt({w}, 0.1f);
+  QuadraticLoss(w).Backward();
+  opt.Step();
+  const float after_one = w.at(0);
+  // Re-register (as CDCL does when heads grow) and continue stepping.
+  Tensor w2 = Tensor::Zeros(Shape{2}, true);
+  opt.SetParameters({w, w2});
+  opt.ZeroGrad();
+  QuadraticLoss(w).Backward();
+  opt.Step();
+  EXPECT_GT(w.at(0), after_one);
+}
+
+TEST(OptimizerTest, TrainsLinearRegression) {
+  // y = 2x + 1 fit with a Linear layer via AdamW.
+  Rng rng(1);
+  nn::Linear lin(1, 1, &rng);
+  AdamW opt(lin.Parameters(), 0.05f);
+  for (int step = 0; step < 400; ++step) {
+    Tensor x = Tensor::RandUniform(Shape{16, 1}, &rng, -1.0f, 1.0f);
+    Tensor y_true(Shape{16, 1});
+    for (int64_t i = 0; i < 16; ++i) y_true.at(i, 0) = 2.0f * x.at(i, 0) + 1.0f;
+    opt.ZeroGrad();
+    ops::MseLoss(lin.Forward(x), y_true).Backward();
+    opt.Step();
+  }
+  Tensor probe = Tensor::FromVector(Shape{1, 1}, {0.5f});
+  EXPECT_NEAR(lin.Forward(probe).at(0, 0), 2.0f, 0.1f);
+}
+
+TEST(LrScheduleTest, ConstantIsConstant) {
+  ConstantLr lr(0.5f);
+  EXPECT_EQ(lr.LrAt(0), 0.5f);
+  EXPECT_EQ(lr.LrAt(1000), 0.5f);
+}
+
+TEST(LrScheduleTest, WarmupCosineShape) {
+  // Paper's §V-B recipe: warm-up 1e-5, cosine from 5e-5 to 1e-6.
+  WarmupCosineLr lr(1e-5f, 5e-5f, 1e-6f, 10, 100);
+  EXPECT_FLOAT_EQ(lr.LrAt(0), 1e-5f);
+  EXPECT_FLOAT_EQ(lr.LrAt(9), 1e-5f);
+  EXPECT_FLOAT_EQ(lr.LrAt(10), 5e-5f);  // cosine starts at base
+  EXPECT_GT(lr.LrAt(30), lr.LrAt(60));  // monotone decay
+  EXPECT_NEAR(lr.LrAt(100), 1e-6f, 1e-9f);
+  EXPECT_NEAR(lr.LrAt(500), 1e-6f, 1e-9f);  // clamps past the end
+}
+
+TEST(LrScheduleTest, LinearDecayEndpoints) {
+  LinearDecayLr lr(1.0f, 0.0f, 10);
+  EXPECT_FLOAT_EQ(lr.LrAt(0), 1.0f);
+  EXPECT_FLOAT_EQ(lr.LrAt(5), 0.5f);
+  EXPECT_FLOAT_EQ(lr.LrAt(10), 0.0f);
+  EXPECT_FLOAT_EQ(lr.LrAt(20), 0.0f);
+}
+
+}  // namespace
+}  // namespace optim
+}  // namespace cdcl

@@ -1,0 +1,139 @@
+// Property sweeps over the data layer and continual protocol that must hold
+// for every benchmark family and task layout.
+
+#include <set>
+
+#include "cl/metrics.h"
+#include "data/benchmarks.h"
+#include "data/task_stream.h"
+#include "gtest/gtest.h"
+
+namespace cdcl {
+namespace {
+
+struct LayoutParam {
+  const char* family;
+  const char* source;
+  const char* target;
+  int64_t tasks;
+  int64_t classes_per_task;
+};
+
+class StreamLayoutSweep : public ::testing::TestWithParam<LayoutParam> {};
+
+TEST_P(StreamLayoutSweep, ClassPartitionIsExactAndDisjoint) {
+  const LayoutParam& p = GetParam();
+  data::TaskStreamOptions opt;
+  opt.family = p.family;
+  opt.source_domain = p.source;
+  opt.target_domain = p.target;
+  opt.num_tasks = p.tasks;
+  opt.classes_per_task = p.classes_per_task;
+  opt.train_per_class = 2;
+  opt.test_per_class = 1;
+  opt.seed = 3;
+  auto stream = data::CrossDomainTaskStream::Make(opt);
+  ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+  std::set<int64_t> seen;
+  for (int64_t t = 0; t < stream->num_tasks(); ++t) {
+    const auto& task = stream->task(t);
+    EXPECT_EQ(static_cast<int64_t>(task.classes.size()), p.classes_per_task);
+    for (int64_t cls : task.classes) {
+      EXPECT_TRUE(seen.insert(cls).second) << "class repeated across tasks";
+    }
+  }
+  EXPECT_EQ(static_cast<int64_t>(seen.size()), p.tasks * p.classes_per_task);
+}
+
+TEST_P(StreamLayoutSweep, SplitSizesMatchOptions) {
+  const LayoutParam& p = GetParam();
+  data::TaskStreamOptions opt;
+  opt.family = p.family;
+  opt.source_domain = p.source;
+  opt.target_domain = p.target;
+  opt.num_tasks = p.tasks;
+  opt.classes_per_task = p.classes_per_task;
+  opt.train_per_class = 3;
+  opt.test_per_class = 2;
+  opt.seed = 4;
+  auto stream = data::CrossDomainTaskStream::Make(opt);
+  ASSERT_TRUE(stream.ok());
+  for (int64_t t = 0; t < stream->num_tasks(); ++t) {
+    const auto& task = stream->task(t);
+    EXPECT_EQ(task.source_train.size(), 3 * p.classes_per_task);
+    EXPECT_EQ(task.target_train.size(), 3 * p.classes_per_task);
+    EXPECT_EQ(task.source_test.size(), 2 * p.classes_per_task);
+    EXPECT_EQ(task.target_test.size(), 2 * p.classes_per_task);
+  }
+}
+
+TEST_P(StreamLayoutSweep, ImagesMatchFamilySpec) {
+  const LayoutParam& p = GetParam();
+  auto spec = data::GetBenchmark(p.family);
+  ASSERT_TRUE(spec.ok());
+  data::TaskStreamOptions opt;
+  opt.family = p.family;
+  opt.source_domain = p.source;
+  opt.target_domain = p.target;
+  opt.num_tasks = 1;
+  opt.classes_per_task = p.classes_per_task;
+  opt.train_per_class = 1;
+  opt.test_per_class = 1;
+  auto stream = data::CrossDomainTaskStream::Make(opt);
+  ASSERT_TRUE(stream.ok());
+  const Tensor& img = stream->task(0).source_train.Get(0).image;
+  EXPECT_EQ(img.dim(0), spec->channels);
+  EXPECT_EQ(img.dim(1), spec->image_hw);
+  EXPECT_EQ(img.dim(2), spec->image_hw);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Layouts, StreamLayoutSweep,
+    ::testing::Values(LayoutParam{"digits", "MN", "US", 5, 2},
+                      LayoutParam{"office31", "A", "W", 5, 6},
+                      LayoutParam{"officehome", "Ar", "Re", 4, 5},
+                      LayoutParam{"visda", "syn", "real", 4, 3},
+                      LayoutParam{"domainnet", "clp", "qdr", 6, 2}));
+
+// Metric invariants under randomized lower-triangular matrices.
+class MetricInvariantSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MetricInvariantSweep, AccAndFgtWithinBounds) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 31 + 1);
+  const int64_t tasks = 2 + static_cast<int64_t>(rng.NextBelow(6));
+  cl::AccuracyMatrix m(tasks);
+  for (int64_t i = 0; i < tasks; ++i) {
+    for (int64_t j = 0; j <= i; ++j) {
+      m.Set(i, j, rng.NextDouble());
+    }
+  }
+  EXPECT_GE(m.AverageAccuracy(), 0.0);
+  EXPECT_LE(m.AverageAccuracy(), 1.0);
+  EXPECT_GE(m.Forgetting(), -1.0);
+  EXPECT_LE(m.Forgetting(), 1.0);
+  for (int64_t j = 0; j < tasks; ++j) {
+    auto stats = m.Column(j);
+    EXPECT_GE(stats.mean, 0.0);
+    EXPECT_LE(stats.mean, 1.0);
+    EXPECT_GE(stats.stddev, 0.0);
+  }
+}
+
+TEST_P(MetricInvariantSweep, ForgettingZeroWhenConstantColumns) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 17 + 5);
+  const int64_t tasks = 2 + static_cast<int64_t>(rng.NextBelow(5));
+  cl::AccuracyMatrix m(tasks);
+  std::vector<double> level(static_cast<size_t>(tasks));
+  for (auto& v : level) v = rng.NextDouble();
+  for (int64_t i = 0; i < tasks; ++i) {
+    for (int64_t j = 0; j <= i; ++j) {
+      m.Set(i, j, level[static_cast<size_t>(j)]);
+    }
+  }
+  EXPECT_NEAR(m.Forgetting(), 0.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricInvariantSweep, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace cdcl

@@ -1,0 +1,189 @@
+// Property-style sweeps over tensor-op algebraic identities: these hold for
+// arbitrary shapes/values, so each test draws randomized instances.
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+
+namespace cdcl {
+namespace {
+
+class OpAlgebraSweep : public ::testing::TestWithParam<int> {
+ protected:
+  Rng rng_{static_cast<uint64_t>(GetParam()) * 7919ULL + 3};
+
+  Shape RandomShape2d() {
+    return Shape{1 + static_cast<int64_t>(rng_.NextBelow(5)),
+                 1 + static_cast<int64_t>(rng_.NextBelow(5))};
+  }
+};
+
+TEST_P(OpAlgebraSweep, AdditionCommutes) {
+  Shape s = RandomShape2d();
+  Tensor a = Tensor::Randn(s, &rng_);
+  Tensor b = Tensor::Randn(s, &rng_);
+  Tensor ab = a + b;
+  Tensor ba = b + a;
+  for (int64_t i = 0; i < ab.NumElements(); ++i) {
+    EXPECT_FLOAT_EQ(ab.data()[i], ba.data()[i]);
+  }
+}
+
+TEST_P(OpAlgebraSweep, MulDistributesOverAdd) {
+  Shape s = RandomShape2d();
+  Tensor a = Tensor::Randn(s, &rng_);
+  Tensor b = Tensor::Randn(s, &rng_);
+  Tensor c = Tensor::Randn(s, &rng_);
+  Tensor lhs = a * (b + c);
+  Tensor rhs = a * b + a * c;
+  for (int64_t i = 0; i < lhs.NumElements(); ++i) {
+    EXPECT_NEAR(lhs.data()[i], rhs.data()[i], 1e-4);
+  }
+}
+
+TEST_P(OpAlgebraSweep, DoubleTransposeIsIdentity) {
+  Shape s = RandomShape2d();
+  Tensor a = Tensor::Randn(s, &rng_);
+  Tensor tt = ops::Transpose(ops::Transpose(a));
+  for (int64_t i = 0; i < a.NumElements(); ++i) {
+    EXPECT_FLOAT_EQ(a.data()[i], tt.data()[i]);
+  }
+}
+
+TEST_P(OpAlgebraSweep, MatMulTransposeIdentity) {
+  // (AB)^T == B^T A^T
+  const int64_t m = 1 + static_cast<int64_t>(rng_.NextBelow(4));
+  const int64_t k = 1 + static_cast<int64_t>(rng_.NextBelow(4));
+  const int64_t n = 1 + static_cast<int64_t>(rng_.NextBelow(4));
+  Tensor a = Tensor::Randn(Shape{m, k}, &rng_);
+  Tensor b = Tensor::Randn(Shape{k, n}, &rng_);
+  Tensor lhs = ops::Transpose(ops::MatMul(a, b));
+  Tensor rhs = ops::MatMul(ops::Transpose(b), ops::Transpose(a));
+  for (int64_t i = 0; i < lhs.NumElements(); ++i) {
+    EXPECT_NEAR(lhs.data()[i], rhs.data()[i], 1e-4);
+  }
+}
+
+TEST_P(OpAlgebraSweep, SoftmaxInvariantToShift) {
+  Shape s = RandomShape2d();
+  Tensor a = Tensor::Randn(s, &rng_);
+  Tensor shifted = ops::AddScalar(a, 7.5f);
+  Tensor sa = ops::Softmax(a);
+  Tensor sb = ops::Softmax(shifted);
+  for (int64_t i = 0; i < sa.NumElements(); ++i) {
+    EXPECT_NEAR(sa.data()[i], sb.data()[i], 1e-5);
+  }
+}
+
+TEST_P(OpAlgebraSweep, SumOfSoftmaxEqualsRowCount) {
+  Shape s = RandomShape2d();
+  Tensor a = Tensor::Randn(s, &rng_);
+  EXPECT_NEAR(ops::Sum(ops::Softmax(a)).item(), static_cast<float>(s.dim(0)),
+              1e-4);
+}
+
+TEST_P(OpAlgebraSweep, ExpLogRoundTrip) {
+  Shape s = RandomShape2d();
+  Tensor a = Tensor::RandUniform(s, &rng_, 0.1f, 5.0f);
+  Tensor round = ops::Exp(ops::Log(a));
+  for (int64_t i = 0; i < a.NumElements(); ++i) {
+    EXPECT_NEAR(a.data()[i], round.data()[i], 1e-3);
+  }
+}
+
+TEST_P(OpAlgebraSweep, ReluIdempotent) {
+  Shape s = RandomShape2d();
+  Tensor a = Tensor::Randn(s, &rng_);
+  Tensor once = ops::Relu(a);
+  Tensor twice = ops::Relu(once);
+  for (int64_t i = 0; i < a.NumElements(); ++i) {
+    EXPECT_FLOAT_EQ(once.data()[i], twice.data()[i]);
+  }
+}
+
+TEST_P(OpAlgebraSweep, ConcatThenSliceRecoversParts) {
+  const int64_t cols = 1 + static_cast<int64_t>(rng_.NextBelow(4));
+  const int64_t rows_a = 1 + static_cast<int64_t>(rng_.NextBelow(4));
+  const int64_t rows_b = 1 + static_cast<int64_t>(rng_.NextBelow(4));
+  Tensor a = Tensor::Randn(Shape{rows_a, cols}, &rng_);
+  Tensor b = Tensor::Randn(Shape{rows_b, cols}, &rng_);
+  Tensor c = ops::Concat0({a, b});
+  Tensor a2 = ops::Slice0(c, 0, rows_a);
+  Tensor b2 = ops::Slice0(c, rows_a, rows_b);
+  for (int64_t i = 0; i < a.NumElements(); ++i) {
+    EXPECT_FLOAT_EQ(a.data()[i], a2.data()[i]);
+  }
+  for (int64_t i = 0; i < b.NumElements(); ++i) {
+    EXPECT_FLOAT_EQ(b.data()[i], b2.data()[i]);
+  }
+}
+
+TEST_P(OpAlgebraSweep, CrossEntropyLowerBoundedByZero) {
+  const int64_t b = 1 + static_cast<int64_t>(rng_.NextBelow(4));
+  const int64_t c = 2 + static_cast<int64_t>(rng_.NextBelow(4));
+  Tensor logits = Tensor::Randn(Shape{b, c}, &rng_, 3.0f);
+  std::vector<int64_t> labels;
+  for (int64_t i = 0; i < b; ++i) {
+    labels.push_back(static_cast<int64_t>(rng_.NextBelow(c)));
+  }
+  EXPECT_GE(ops::CrossEntropy(logits, labels).item(), 0.0f);
+}
+
+TEST_P(OpAlgebraSweep, KlNonNegative) {
+  Shape s = RandomShape2d();
+  Tensor a = Tensor::Randn(s, &rng_);
+  Tensor b = Tensor::Randn(s, &rng_);
+  EXPECT_GE(ops::KlDivergenceToTarget(a, b).item(), -1e-5f);
+}
+
+TEST_P(OpAlgebraSweep, GradOfSumIsOnes) {
+  Shape s = RandomShape2d();
+  Tensor a = Tensor::Randn(s, &rng_);
+  a.set_requires_grad(true);
+  ops::Sum(a).Backward();
+  for (int64_t i = 0; i < a.NumElements(); ++i) {
+    EXPECT_FLOAT_EQ(a.GradTensor().data()[i], 1.0f);
+  }
+}
+
+TEST_P(OpAlgebraSweep, LinearityOfGradient) {
+  // d/dx sum(3x) == 3.
+  Shape s = RandomShape2d();
+  Tensor a = Tensor::Randn(s, &rng_);
+  a.set_requires_grad(true);
+  ops::Sum(ops::MulScalar(a, 3.0f)).Backward();
+  for (int64_t i = 0; i < a.NumElements(); ++i) {
+    EXPECT_FLOAT_EQ(a.GradTensor().data()[i], 3.0f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OpAlgebraSweep, ::testing::Range(1, 9));
+
+// Pooling/conv shape relations over a parameter grid.
+class ConvShapeSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ConvShapeSweep, OutputShapeFormula) {
+  const int64_t hw = std::get<0>(GetParam());
+  const int64_t kernel = std::get<1>(GetParam());
+  const int64_t stride = std::get<2>(GetParam());
+  if (hw < kernel) GTEST_SKIP();
+  Rng rng(5);
+  Tensor x = Tensor::Randn(Shape{1, 2, hw, hw}, &rng);
+  Tensor w = Tensor::Randn(Shape{3, 2, kernel, kernel}, &rng);
+  Tensor y = ops::Conv2d(x, w, Tensor(), stride, 0);
+  const int64_t expect = (hw - kernel) / stride + 1;
+  EXPECT_EQ(y.dim(2), expect);
+  EXPECT_EQ(y.dim(3), expect);
+  EXPECT_EQ(y.dim(1), 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ConvShapeSweep,
+                         ::testing::Combine(::testing::Values(6, 9, 16),
+                                            ::testing::Values(2, 3),
+                                            ::testing::Values(1, 2)));
+
+}  // namespace
+}  // namespace cdcl

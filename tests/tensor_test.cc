@@ -1,0 +1,385 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+
+namespace cdcl {
+namespace {
+
+TEST(ShapeTest, Basics) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.ndim(), 3);
+  EXPECT_EQ(s.NumElements(), 24);
+  EXPECT_EQ(s.dim(0), 2);
+  EXPECT_EQ(s.dim(-1), 4);
+  EXPECT_EQ(s.ToString(), "[2, 3, 4]");
+}
+
+TEST(ShapeTest, ScalarShape) {
+  Shape s{};
+  EXPECT_EQ(s.ndim(), 0);
+  EXPECT_EQ(s.NumElements(), 1);
+}
+
+TEST(ShapeTest, SuffixCheck) {
+  Shape a{2, 3, 4};
+  EXPECT_TRUE(Shape({4}).IsSuffixOf(a));
+  EXPECT_TRUE(Shape({3, 4}).IsSuffixOf(a));
+  EXPECT_TRUE(a.IsSuffixOf(a));
+  EXPECT_FALSE(Shape({3}).IsSuffixOf(a));
+  EXPECT_FALSE(Shape({2, 3, 4, 5}).IsSuffixOf(a));
+}
+
+TEST(TensorTest, FactoriesAndAccess) {
+  Tensor z = Tensor::Zeros(Shape{2, 2});
+  EXPECT_EQ(z.at(0, 0), 0.0f);
+  Tensor o = Tensor::Ones(Shape{3});
+  EXPECT_EQ(o.at(2), 1.0f);
+  Tensor f = Tensor::Full(Shape{2}, 2.5f);
+  EXPECT_EQ(f.at(1), 2.5f);
+  Tensor v = Tensor::FromVector(Shape{2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(v.at(1, 0), 3.0f);
+  EXPECT_EQ(Tensor::Scalar(7.0f).item(), 7.0f);
+}
+
+TEST(TensorTest, RandnStats) {
+  Rng rng(3);
+  Tensor t = Tensor::Randn(Shape{10000}, &rng, 2.0f);
+  double sum = 0, sq = 0;
+  for (int64_t i = 0; i < t.NumElements(); ++i) {
+    sum += t.at(i);
+    sq += t.at(i) * t.at(i);
+  }
+  EXPECT_NEAR(sum / 10000, 0.0, 0.1);
+  EXPECT_NEAR(sq / 10000, 4.0, 0.2);
+}
+
+TEST(TensorTest, CopySharesStorage) {
+  Tensor a = Tensor::Zeros(Shape{2});
+  Tensor b = a;
+  b.data()[0] = 5.0f;
+  EXPECT_EQ(a.at(0), 5.0f);
+}
+
+TEST(TensorTest, DetachBreaksSharing) {
+  Tensor a = Tensor::Ones(Shape{2}, /*requires_grad=*/true);
+  Tensor d = a.Detach();
+  EXPECT_FALSE(d.requires_grad());
+  d.data()[0] = 9.0f;
+  EXPECT_EQ(a.at(0), 1.0f);
+}
+
+TEST(AutogradTest, AddBackward) {
+  Tensor a = Tensor::FromVector(Shape{2}, {1, 2}, true);
+  Tensor b = Tensor::FromVector(Shape{2}, {3, 4}, true);
+  Tensor loss = ops::Sum(a + b);
+  loss.Backward();
+  EXPECT_EQ(a.GradTensor().at(0), 1.0f);
+  EXPECT_EQ(b.GradTensor().at(1), 1.0f);
+}
+
+TEST(AutogradTest, MulBackward) {
+  Tensor a = Tensor::FromVector(Shape{2}, {2, 3}, true);
+  Tensor b = Tensor::FromVector(Shape{2}, {5, 7}, true);
+  ops::Sum(a * b).Backward();
+  EXPECT_EQ(a.GradTensor().at(0), 5.0f);
+  EXPECT_EQ(a.GradTensor().at(1), 7.0f);
+  EXPECT_EQ(b.GradTensor().at(0), 2.0f);
+}
+
+TEST(AutogradTest, DivBackward) {
+  Tensor a = Tensor::FromVector(Shape{1}, {6}, true);
+  Tensor b = Tensor::FromVector(Shape{1}, {2}, true);
+  ops::Sum(a / b).Backward();
+  EXPECT_FLOAT_EQ(a.GradTensor().at(0), 0.5f);
+  EXPECT_FLOAT_EQ(b.GradTensor().at(0), -1.5f);
+}
+
+TEST(AutogradTest, SuffixBroadcastReducesGrad) {
+  Tensor a = Tensor::Ones(Shape{3, 2}, true);
+  Tensor bias = Tensor::FromVector(Shape{2}, {1, 2}, true);
+  ops::Sum(a + bias).Backward();
+  // bias grad accumulates over the 3 broadcast rows.
+  EXPECT_EQ(bias.GradTensor().at(0), 3.0f);
+  EXPECT_EQ(bias.GradTensor().at(1), 3.0f);
+}
+
+TEST(AutogradTest, ReusedTensorAccumulates) {
+  Tensor a = Tensor::FromVector(Shape{1}, {3}, true);
+  Tensor y = a * a;  // dy/da = 2a = 6
+  ops::Sum(y).Backward();
+  EXPECT_FLOAT_EQ(a.GradTensor().at(0), 6.0f);
+}
+
+TEST(AutogradTest, ChainedGraph) {
+  Tensor a = Tensor::FromVector(Shape{1}, {2}, true);
+  Tensor y = ops::Exp(ops::Log(a * a));  // == a^2
+  ops::Sum(y).Backward();
+  EXPECT_NEAR(a.GradTensor().at(0), 4.0f, 1e-4);
+}
+
+TEST(AutogradTest, NoGradGuardDisablesTape) {
+  Tensor a = Tensor::Ones(Shape{2}, true);
+  NoGradGuard guard;
+  Tensor y = a * a;
+  EXPECT_FALSE(y.requires_grad());
+}
+
+TEST(AutogradTest, ZeroGradClears) {
+  Tensor a = Tensor::Ones(Shape{1}, true);
+  ops::Sum(a * a).Backward();
+  EXPECT_NE(a.GradTensor().at(0), 0.0f);
+  a.ZeroGrad();
+  EXPECT_EQ(a.GradTensor().at(0), 0.0f);
+}
+
+TEST(OpsTest, MatMulValues) {
+  Tensor a = Tensor::FromVector(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector(Shape{3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = ops::MatMul(a, b);
+  EXPECT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(OpsTest, BatchMatMulValues) {
+  Tensor a = Tensor::FromVector(Shape{2, 1, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector(Shape{2, 2, 1}, {5, 6, 7, 8});
+  Tensor c = ops::BatchMatMul(a, b);
+  EXPECT_EQ(c.at(0, 0, 0), 17.0f);  // 1*5+2*6
+  EXPECT_EQ(c.at(1, 0, 0), 53.0f);  // 3*7+4*8
+}
+
+TEST(OpsTest, TransposeValues) {
+  Tensor a = Tensor::FromVector(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = ops::Transpose(a);
+  EXPECT_EQ(t.dim(0), 3);
+  EXPECT_EQ(t.at(2, 1), 6.0f);
+}
+
+TEST(OpsTest, TransposeLast2Values) {
+  Tensor a = Tensor::FromVector(Shape{1, 2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = ops::TransposeLast2(a);
+  EXPECT_EQ(t.dim(1), 3);
+  EXPECT_EQ(t.at(0, 2, 1), 6.0f);
+}
+
+TEST(OpsTest, SoftmaxRowsSumToOne) {
+  Rng rng(5);
+  Tensor a = Tensor::Randn(Shape{4, 7}, &rng);
+  Tensor s = ops::Softmax(a);
+  for (int64_t i = 0; i < 4; ++i) {
+    float total = 0.0f;
+    for (int64_t j = 0; j < 7; ++j) {
+      total += s.at(i, j);
+      EXPECT_GT(s.at(i, j), 0.0f);
+    }
+    EXPECT_NEAR(total, 1.0f, 1e-5);
+  }
+}
+
+TEST(OpsTest, SoftmaxNumericallyStable) {
+  Tensor a = Tensor::FromVector(Shape{1, 2}, {1000.0f, 1001.0f});
+  Tensor s = ops::Softmax(a);
+  EXPECT_NEAR(s.at(0, 0) + s.at(0, 1), 1.0f, 1e-5);
+  EXPECT_GT(s.at(0, 1), s.at(0, 0));
+}
+
+TEST(OpsTest, LogSoftmaxMatchesLogOfSoftmax) {
+  Rng rng(6);
+  Tensor a = Tensor::Randn(Shape{3, 5}, &rng);
+  Tensor ls = ops::LogSoftmax(a);
+  Tensor s = ops::Softmax(a);
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 5; ++j) {
+      EXPECT_NEAR(ls.at(i, j), std::log(s.at(i, j)), 1e-4);
+    }
+  }
+}
+
+TEST(OpsTest, ReluClampsNegatives) {
+  Tensor a = Tensor::FromVector(Shape{3}, {-1, 0, 2});
+  Tensor r = ops::Relu(a);
+  EXPECT_EQ(r.at(0), 0.0f);
+  EXPECT_EQ(r.at(1), 0.0f);
+  EXPECT_EQ(r.at(2), 2.0f);
+}
+
+TEST(OpsTest, SumMeanValues) {
+  Tensor a = Tensor::FromVector(Shape{4}, {1, 2, 3, 4});
+  EXPECT_EQ(ops::Sum(a).item(), 10.0f);
+  EXPECT_EQ(ops::Mean(a).item(), 2.5f);
+}
+
+TEST(OpsTest, SumLastDim) {
+  Tensor a = Tensor::FromVector(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor s = ops::SumLastDim(a);
+  EXPECT_EQ(s.ndim(), 1);
+  EXPECT_EQ(s.at(0), 6.0f);
+  EXPECT_EQ(s.at(1), 15.0f);
+}
+
+TEST(OpsTest, ConcatSliceIndex) {
+  Tensor a = Tensor::FromVector(Shape{2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector(Shape{1, 2}, {5, 6});
+  Tensor c = ops::Concat0({a, b});
+  EXPECT_EQ(c.dim(0), 3);
+  EXPECT_EQ(c.at(2, 1), 6.0f);
+  Tensor s = ops::Slice0(c, 1, 2);
+  EXPECT_EQ(s.at(0, 0), 3.0f);
+  Tensor g = ops::IndexRows(c, {2, 0});
+  EXPECT_EQ(g.at(0, 0), 5.0f);
+  EXPECT_EQ(g.at(1, 0), 1.0f);
+}
+
+TEST(OpsTest, IndexRowsGradAccumulatesDuplicates) {
+  Tensor a = Tensor::Ones(Shape{3, 2}, true);
+  Tensor g = ops::IndexRows(a, {1, 1});
+  ops::Sum(g).Backward();
+  EXPECT_EQ(a.GradTensor().at(1, 0), 2.0f);
+  EXPECT_EQ(a.GradTensor().at(0, 0), 0.0f);
+}
+
+TEST(OpsTest, CrossEntropyKnownValue) {
+  // Uniform logits over 4 classes -> loss = log(4).
+  Tensor logits = Tensor::Zeros(Shape{2, 4});
+  Tensor loss = ops::CrossEntropy(logits, {0, 3});
+  EXPECT_NEAR(loss.item(), std::log(4.0f), 1e-5);
+}
+
+TEST(OpsTest, CrossEntropyGradientDirection) {
+  Tensor logits = Tensor::Zeros(Shape{1, 3}, true);
+  ops::CrossEntropy(logits, {1}).Backward();
+  Tensor g = logits.GradTensor();
+  EXPECT_LT(g.at(0, 1), 0.0f);  // push true class up
+  EXPECT_GT(g.at(0, 0), 0.0f);
+  EXPECT_GT(g.at(0, 2), 0.0f);
+}
+
+TEST(OpsTest, SoftCrossEntropyMatchesHardWhenOneHot) {
+  Rng rng(8);
+  Tensor logits = Tensor::Randn(Shape{3, 5}, &rng);
+  std::vector<int64_t> labels = {1, 4, 2};
+  Tensor hard = ops::CrossEntropy(logits, labels);
+  Tensor soft = ops::SoftCrossEntropy(logits, ops::OneHot(labels, 5));
+  EXPECT_NEAR(hard.item(), soft.item(), 1e-4);
+}
+
+TEST(OpsTest, KlDivergenceZeroForIdenticalLogits) {
+  Rng rng(9);
+  Tensor a = Tensor::Randn(Shape{2, 4}, &rng);
+  Tensor kl = ops::KlDivergenceToTarget(a, a.Detach());
+  EXPECT_NEAR(kl.item(), 0.0f, 1e-5);
+}
+
+TEST(OpsTest, KlDivergencePositiveForDifferent) {
+  Tensor a = Tensor::FromVector(Shape{1, 2}, {0, 0});
+  Tensor b = Tensor::FromVector(Shape{1, 2}, {2, -2});
+  EXPECT_GT(ops::KlDivergenceToTarget(a, b).item(), 0.0f);
+}
+
+TEST(OpsTest, MseLossValue) {
+  Tensor a = Tensor::FromVector(Shape{2}, {1, 2});
+  Tensor b = Tensor::FromVector(Shape{2}, {3, 2});
+  EXPECT_FLOAT_EQ(ops::MseLoss(a, b).item(), 2.0f);
+}
+
+TEST(OpsTest, ArgmaxAndRowMax) {
+  Tensor a = Tensor::FromVector(Shape{2, 3}, {1, 5, 2, 9, 0, 3});
+  auto idx = ops::Argmax(a);
+  EXPECT_EQ(idx[0], 1);
+  EXPECT_EQ(idx[1], 0);
+  auto mx = ops::RowMax(a);
+  EXPECT_EQ(mx[0], 5.0f);
+  EXPECT_EQ(mx[1], 9.0f);
+}
+
+TEST(OpsTest, OneHotValues) {
+  Tensor oh = ops::OneHot({2, 0}, 3);
+  EXPECT_EQ(oh.at(0, 2), 1.0f);
+  EXPECT_EQ(oh.at(0, 0), 0.0f);
+  EXPECT_EQ(oh.at(1, 0), 1.0f);
+}
+
+TEST(OpsTest, Conv2dIdentityKernel) {
+  // 1x1 kernel with weight 1 reproduces the input.
+  Tensor x = Tensor::FromVector(Shape{1, 1, 2, 2}, {1, 2, 3, 4});
+  Tensor w = Tensor::Ones(Shape{1, 1, 1, 1});
+  Tensor y = ops::Conv2d(x, w, Tensor(), 1, 0);
+  EXPECT_EQ(y.at(0, 0, 1, 1), 4.0f);
+}
+
+TEST(OpsTest, Conv2dKnownSum) {
+  // 2x2 all-ones kernel sums each window.
+  Tensor x = Tensor::FromVector(Shape{1, 1, 3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  Tensor w = Tensor::Ones(Shape{1, 1, 2, 2});
+  Tensor y = ops::Conv2d(x, w, Tensor(), 1, 0);
+  EXPECT_EQ(y.dim(2), 2);
+  EXPECT_EQ(y.at(0, 0, 0, 0), 12.0f);  // 1+2+4+5
+  EXPECT_EQ(y.at(0, 0, 1, 1), 28.0f);  // 5+6+8+9
+}
+
+TEST(OpsTest, Conv2dPaddingAndBias) {
+  Tensor x = Tensor::Ones(Shape{1, 1, 2, 2});
+  Tensor w = Tensor::Ones(Shape{1, 1, 3, 3});
+  Tensor bias = Tensor::Full(Shape{1}, 10.0f);
+  Tensor y = ops::Conv2d(x, w, bias, 1, 1);
+  EXPECT_EQ(y.dim(2), 2);
+  EXPECT_EQ(y.at(0, 0, 0, 0), 14.0f);  // 4 ones in window + bias
+}
+
+TEST(OpsTest, MaxPoolValues) {
+  Tensor x = Tensor::FromVector(Shape{1, 1, 4, 4},
+                                {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14,
+                                 15, 16});
+  Tensor y = ops::MaxPool2d(x, 2, 2);
+  EXPECT_EQ(y.dim(2), 2);
+  EXPECT_EQ(y.at(0, 0, 0, 0), 6.0f);
+  EXPECT_EQ(y.at(0, 0, 1, 1), 16.0f);
+}
+
+TEST(OpsTest, DropoutZeroPIsIdentity) {
+  Rng rng(10);
+  Tensor x = Tensor::Ones(Shape{4});
+  Tensor y = ops::Dropout(x, 0.0f, &rng);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(y.at(i), 1.0f);
+}
+
+TEST(OpsTest, DropoutPreservesExpectation) {
+  Rng rng(11);
+  Tensor x = Tensor::Ones(Shape{20000});
+  Tensor y = ops::Dropout(x, 0.5f, &rng);
+  EXPECT_NEAR(ops::Mean(y).item(), 1.0f, 0.05f);
+}
+
+TEST(OpsTest, LayerNormNormalizes) {
+  Rng rng(12);
+  Tensor x = Tensor::Randn(Shape{3, 16}, &rng, 5.0f);
+  Tensor gamma = Tensor::Ones(Shape{16});
+  Tensor beta = Tensor::Zeros(Shape{16});
+  Tensor y = ops::LayerNorm(x, gamma, beta);
+  for (int64_t r = 0; r < 3; ++r) {
+    float mean = 0.0f, var = 0.0f;
+    for (int64_t j = 0; j < 16; ++j) mean += y.at(r, j);
+    mean /= 16;
+    for (int64_t j = 0; j < 16; ++j) {
+      var += (y.at(r, j) - mean) * (y.at(r, j) - mean);
+    }
+    var /= 16;
+    EXPECT_NEAR(mean, 0.0f, 1e-4);
+    EXPECT_NEAR(var, 1.0f, 1e-2);
+  }
+}
+
+TEST(OpsTest, ReshapePreservesDataAndGrads) {
+  Tensor a = Tensor::FromVector(Shape{2, 2}, {1, 2, 3, 4}, true);
+  Tensor r = ops::Reshape(a, Shape{4});
+  EXPECT_EQ(r.at(3), 4.0f);
+  ops::Sum(r * r).Backward();
+  EXPECT_EQ(a.GradTensor().at(1, 1), 8.0f);
+}
+
+}  // namespace
+}  // namespace cdcl

@@ -1,0 +1,165 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "tensor/tensor.h"
+#include "uda/discrepancy.h"
+#include "uda/distance.h"
+#include "uda/pseudo_label.h"
+
+namespace cdcl {
+namespace uda {
+namespace {
+
+TEST(DistanceTest, EuclideanKnownValues) {
+  const float a[] = {0, 0};
+  const float b[] = {3, 4};
+  EXPECT_FLOAT_EQ(Distance(a, b, 2, DistanceMetric::kEuclidean), 5.0f);
+  EXPECT_FLOAT_EQ(Distance(a, a, 2, DistanceMetric::kEuclidean), 0.0f);
+}
+
+TEST(DistanceTest, CosineKnownValues) {
+  const float a[] = {1, 0};
+  const float b[] = {0, 1};
+  const float c[] = {2, 0};
+  const float d[] = {-1, 0};
+  EXPECT_NEAR(Distance(a, b, 2, DistanceMetric::kCosine), 1.0f, 1e-6f);
+  EXPECT_NEAR(Distance(a, c, 2, DistanceMetric::kCosine), 0.0f, 1e-6f);
+  EXPECT_NEAR(Distance(a, d, 2, DistanceMetric::kCosine), 2.0f, 1e-6f);
+}
+
+TEST(DistanceTest, ZeroVectorCosineIsMaxedNotNan) {
+  const float a[] = {0, 0};
+  const float b[] = {1, 1};
+  const float dist = Distance(a, b, 2, DistanceMetric::kCosine);
+  EXPECT_FALSE(std::isnan(dist));
+  EXPECT_FLOAT_EQ(dist, 1.0f);
+}
+
+TEST(DistanceTest, RowDistance) {
+  Tensor a = Tensor::FromVector(Shape{2, 2}, {0, 0, 1, 1});
+  Tensor b = Tensor::FromVector(Shape{1, 2}, {3, 4});
+  EXPECT_FLOAT_EQ(RowDistance(a, 0, b, 0, DistanceMetric::kEuclidean), 5.0f);
+}
+
+TEST(CentroidTest, WeightedMeanMatchesHandMath) {
+  // Two samples, two classes; sample0 fully class0, sample1 fully class1.
+  Tensor features = Tensor::FromVector(Shape{2, 2}, {1, 2, 5, 6});
+  Tensor probs = Tensor::FromVector(Shape{2, 2}, {1, 0, 0, 1});
+  Tensor c = ComputeWeightedCentroids(features, probs);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 5.0f);
+}
+
+TEST(CentroidTest, SoftWeightsBlend) {
+  Tensor features = Tensor::FromVector(Shape{2, 1}, {0, 10});
+  Tensor probs = Tensor::FromVector(Shape{2, 2}, {0.5, 0.5, 0.5, 0.5});
+  Tensor c = ComputeWeightedCentroids(features, probs);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 5.0f);
+}
+
+TEST(CentroidTest, UnsupportedClassKeepsZeroCentroid) {
+  Tensor features = Tensor::FromVector(Shape{1, 2}, {3, 3});
+  Tensor probs = Tensor::FromVector(Shape{1, 3}, {1, 0, 0});
+  Tensor c = ComputeWeightedCentroids(features, probs);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 0.0f);
+  EXPECT_FLOAT_EQ(c.at(2, 1), 0.0f);
+}
+
+TEST(PseudoLabelTest, NearestCentroidAssignment) {
+  Tensor centroids = Tensor::FromVector(Shape{2, 2}, {0, 0, 10, 10});
+  Tensor features = Tensor::FromVector(Shape{3, 2}, {1, 1, 9, 9, -2, 0});
+  auto labels = AssignPseudoLabels(centroids, features,
+                                   DistanceMetric::kEuclidean);
+  EXPECT_EQ(labels, (std::vector<int64_t>{0, 1, 0}));
+}
+
+TEST(PseudoLabelTest, CenterAwareRecoversBlobs) {
+  // Two well-separated Gaussian blobs; noisy initial probabilities. The
+  // center-aware procedure should label by blob membership.
+  Rng rng(3);
+  const int n_per = 20;
+  Tensor features(Shape{2 * n_per, 2});
+  for (int i = 0; i < n_per; ++i) {
+    features.at(i, 0) = static_cast<float>(rng.Gaussian(0, 0.3));
+    features.at(i, 1) = static_cast<float>(rng.Gaussian(0, 0.3));
+    features.at(n_per + i, 0) = static_cast<float>(rng.Gaussian(5, 0.3));
+    features.at(n_per + i, 1) = static_cast<float>(rng.Gaussian(5, 0.3));
+  }
+  // Weak but informative probabilities (60/40).
+  Tensor probs(Shape{2 * n_per, 2});
+  for (int i = 0; i < 2 * n_per; ++i) {
+    const bool first = i < n_per;
+    probs.at(i, 0) = first ? 0.6f : 0.4f;
+    probs.at(i, 1) = first ? 0.4f : 0.6f;
+  }
+  PseudoLabelResult result = CenterAwarePseudoLabels(
+      features, probs, DistanceMetric::kEuclidean, /*refine_iters=*/2);
+  int correct = 0;
+  for (int i = 0; i < 2 * n_per; ++i) {
+    correct += result.labels[static_cast<size_t>(i)] == (i < n_per ? 0 : 1);
+  }
+  EXPECT_GE(correct, 2 * n_per - 1);
+}
+
+TEST(PairSetTest, MatchesOnlyAgreeingLabels) {
+  Tensor source = Tensor::FromVector(Shape{3, 1}, {0, 5, 10});
+  std::vector<int64_t> source_labels = {0, 1, 0};
+  Tensor target = Tensor::FromVector(Shape{3, 1}, {1, 6, 99});
+  std::vector<int64_t> pseudo = {0, 1, 2};  // class 2 has no source support
+  auto pairs = BuildPairSet(source, source_labels, target, pseudo,
+                            DistanceMetric::kEuclidean);
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0].first, 0);   // nearest class-0 source to target 0
+  EXPECT_EQ(pairs[0].second, 0);
+  EXPECT_EQ(pairs[1].first, 1);
+  EXPECT_EQ(pairs[1].second, 1);
+}
+
+TEST(PairSetTest, PicksNearestSameLabelSource) {
+  Tensor source = Tensor::FromVector(Shape{2, 1}, {0, 10});
+  std::vector<int64_t> source_labels = {0, 0};
+  Tensor target = Tensor::FromVector(Shape{1, 1}, {9});
+  auto pairs = BuildPairSet(source, source_labels, target, {0},
+                            DistanceMetric::kEuclidean);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].first, 1);
+}
+
+TEST(ProxyADistanceTest, SeparatedDomainsScoreHigh) {
+  Rng rng(5);
+  Tensor a = Tensor::Randn(Shape{40, 4}, &rng);
+  Tensor b = Tensor::Randn(Shape{40, 4}, &rng);
+  for (int64_t i = 0; i < b.dim(0); ++i) b.at(i, 0) += 10.0f;
+  Rng probe(7);
+  EXPECT_GT(ProxyADistance(a, b, &probe), 1.5);
+}
+
+TEST(ProxyADistanceTest, IdenticalDistributionsScoreLow) {
+  Rng rng(6);
+  Tensor a = Tensor::Randn(Shape{60, 4}, &rng);
+  Tensor b = Tensor::Randn(Shape{60, 4}, &rng);
+  Rng probe(8);
+  EXPECT_LT(ProxyADistance(a, b, &probe), 0.8);
+}
+
+TEST(MmdTest, OrderingMatchesSeparation) {
+  Rng rng(9);
+  Tensor a = Tensor::Randn(Shape{30, 3}, &rng);
+  Tensor near = Tensor::Randn(Shape{30, 3}, &rng);
+  Tensor far = Tensor::Randn(Shape{30, 3}, &rng);
+  for (int64_t i = 0; i < far.dim(0); ++i) far.at(i, 1) += 6.0f;
+  EXPECT_LT(MmdRbf(a, near), MmdRbf(a, far));
+}
+
+TEST(MmdTest, NonNegative) {
+  Rng rng(10);
+  Tensor a = Tensor::Randn(Shape{20, 2}, &rng);
+  Tensor b = Tensor::Randn(Shape{20, 2}, &rng);
+  EXPECT_GE(MmdRbf(a, b), 0.0);
+}
+
+}  // namespace
+}  // namespace uda
+}  // namespace cdcl
