@@ -1,0 +1,211 @@
+// Kernel-dispatch throughput benchmark: blocked/parallel kernels vs the
+// pre-kernel serial seed loops, at 1, 2 and N worker threads. Prints the
+// usual aligned table and emits a BENCH_kernels.json report for tracking.
+//
+// Env knobs:
+//   CDCL_BENCH_REPS   timing repetitions, best-of (default 3)
+//   CDCL_BENCH_OUT    JSON report path (default BENCH_kernels.json)
+//   CDCL_BENCH_MM     matmul dimension (default 512, i.e. 512^3)
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tensor/kernels/kernel_context.h"
+#include "tensor/kernels/matmul_kernel.h"
+#include "tensor/kernels/parallel.h"
+#include "util/env.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace cdcl;  // NOLINT: bench brevity
+
+std::vector<float> RandVec(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(static_cast<size_t>(n));
+  for (float& x : v) x = static_cast<float>(rng.Gaussian(0.0, 1.0));
+  return v;
+}
+
+/// Best-of-`reps` wall time in milliseconds.
+template <typename Fn>
+double TimeMs(int64_t reps, Fn&& fn) {
+  double best = 0.0;
+  for (int64_t r = 0; r < reps; ++r) {
+    Stopwatch timer;
+    fn();
+    const double ms = timer.ElapsedMillis();
+    if (r == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+/// The seed repo's serial matmul loop, kept verbatim as the baseline.
+void SeedMatMul(int64_t m, int64_t n, int64_t k, const float* pa,
+                const float* pb, float* po) {
+  for (int64_t i = 0; i < m * n; ++i) po[i] = 0.0f;
+  for (int64_t i = 0; i < m; ++i) {
+    float* orow = po + i * n;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = pa[i * k + kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+struct BenchRow {
+  std::string op;
+  std::string size;
+  double serial_ms = 0.0;
+  std::vector<std::pair<int64_t, double>> per_thread_ms;
+
+  double ThreadMs(int64_t threads) const {
+    for (const auto& [t, ms] : per_thread_ms) {
+      if (t == threads) return ms;
+    }
+    return 0.0;
+  }
+};
+
+void WriteJson(const std::string& path, const std::vector<BenchRow>& rows) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "WARNING: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"tensor_kernels\",\n  \"results\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const BenchRow& r = rows[i];
+    std::fprintf(f, "    {\"op\": \"%s\", \"size\": \"%s\", \"serial_ms\": %.3f, ",
+                 r.op.c_str(), r.size.c_str(), r.serial_ms);
+    std::fprintf(f, "\"threads_ms\": {");
+    for (size_t t = 0; t < r.per_thread_ms.size(); ++t) {
+      std::fprintf(f, "%s\"%lld\": %.3f", t == 0 ? "" : ", ",
+                   static_cast<long long>(r.per_thread_ms[t].first),
+                   r.per_thread_ms[t].second);
+    }
+    const double t4 = r.ThreadMs(4);
+    std::fprintf(f, "}, \"speedup_4t_vs_serial\": %.3f}%s\n",
+                 t4 > 0.0 ? r.serial_ms / t4 : 0.0,
+                 i + 1 == rows.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main() {
+  const int64_t reps = EnvInt("CDCL_BENCH_REPS", 3);
+  const int64_t mm = EnvInt("CDCL_BENCH_MM", 512);
+  const std::string out_path =
+      EnvString("CDCL_BENCH_OUT", "BENCH_kernels.json");
+  std::vector<int64_t> thread_counts = {1, 2, 4};
+  const int64_t hw = static_cast<int64_t>(ThreadPool::DefaultThreadCount());
+  if (hw > 4) thread_counts.push_back(hw);
+
+  std::printf("== tensor kernel throughput (reps=%lld, hw threads=%lld) ==\n",
+              static_cast<long long>(reps), static_cast<long long>(hw));
+  std::vector<BenchRow> rows;
+
+  // --- MatMul: mm x mm x mm --------------------------------------------------
+  {
+    const int64_t m = mm, n = mm, k = mm;
+    const std::vector<float> a = RandVec(m * k, 1), b = RandVec(k * n, 2);
+    std::vector<float> c(static_cast<size_t>(m * n));
+    BenchRow row;
+    row.op = "matmul";
+    row.size = StrFormat("%lldx%lldx%lld", static_cast<long long>(m),
+                         static_cast<long long>(k), static_cast<long long>(n));
+    row.serial_ms =
+        TimeMs(reps, [&] { SeedMatMul(m, n, k, a.data(), b.data(), c.data()); });
+    for (int64_t t : thread_counts) {
+      kernels::SetNumThreads(t);
+      row.per_thread_ms.emplace_back(t, TimeMs(reps, [&] {
+        kernels::GemmNN(m, n, k, a.data(), b.data(), c.data(), false);
+      }));
+    }
+    rows.push_back(row);
+  }
+
+  // --- Elementwise: suffix-broadcast add ------------------------------------
+  {
+    const int64_t n = int64_t{1} << 22, period = 1024;
+    const std::vector<float> a = RandVec(n, 3), bias = RandVec(period, 4);
+    std::vector<float> o(static_cast<size_t>(n));
+    BenchRow row;
+    row.op = "eltwise_broadcast_add";
+    row.size = StrFormat("%lld (bias %lld)", static_cast<long long>(n),
+                         static_cast<long long>(period));
+    const float* pa = a.data();
+    const float* pb = bias.data();
+    float* po = o.data();
+    // Seed loop recomputed i % nb per element.
+    row.serial_ms = TimeMs(reps, [&] {
+      for (int64_t i = 0; i < n; ++i) po[i] = pa[i] + pb[i % period];
+    });
+    for (int64_t t : thread_counts) {
+      kernels::SetNumThreads(t);
+      row.per_thread_ms.emplace_back(t, TimeMs(reps, [&] {
+        kernels::BroadcastMap(
+            n, period, [pa, pb, po](int64_t i, int64_t j) { po[i] = pa[i] + pb[j]; });
+      }));
+    }
+    rows.push_back(row);
+  }
+
+  // --- Reduction: full sum ---------------------------------------------------
+  {
+    const int64_t n = int64_t{1} << 22;
+    const std::vector<float> a = RandVec(n, 5);
+    const float* pa = a.data();
+    BenchRow row;
+    row.op = "reduce_sum";
+    row.size = StrFormat("%lld", static_cast<long long>(n));
+    volatile double sink = 0.0;
+    row.serial_ms = TimeMs(reps, [&] {
+      double acc = 0.0;
+      for (int64_t i = 0; i < n; ++i) acc += pa[i];
+      sink = acc;
+    });
+    for (int64_t t : thread_counts) {
+      kernels::SetNumThreads(t);
+      row.per_thread_ms.emplace_back(t, TimeMs(reps, [&] {
+        sink = kernels::ReduceSum(
+            n, [pa](int64_t i) { return static_cast<double>(pa[i]); });
+      }));
+    }
+    (void)sink;
+    rows.push_back(row);
+  }
+  kernels::SetNumThreads(0);
+
+  std::vector<std::string> header = {"op", "size", "serial ms"};
+  for (int64_t t : thread_counts) {
+    header.push_back(StrFormat("%lldT ms", static_cast<long long>(t)));
+  }
+  header.push_back("speedup 4T");
+  TablePrinter table(header);
+  for (const BenchRow& r : rows) {
+    std::vector<std::string> cells = {r.op, r.size,
+                                      StrFormat("%.2f", r.serial_ms)};
+    for (int64_t t : thread_counts) {
+      cells.push_back(StrFormat("%.2f", r.ThreadMs(t)));
+    }
+    const double t4 = r.ThreadMs(4);
+    cells.push_back(StrFormat("%.2fx", t4 > 0.0 ? r.serial_ms / t4 : 0.0));
+    table.AddRow(cells);
+  }
+  table.Print();
+
+  WriteJson(out_path, rows);
+  std::printf("report written to %s\n", out_path.c_str());
+  return 0;
+}

@@ -43,7 +43,8 @@ int main() {
 
   TablePrinter table(
       {"Method", "TIL ACC", "TIL FGT", "CIL ACC", "CIL FGT", "seconds"});
-  for (const std::string& method : {"DER++", "CDCL", "TVT"}) {
+  for (const char* method_name : {"DER++", "CDCL", "TVT"}) {
+    const std::string method = method_name;
     Stopwatch timer;
     Result<cl::ContinualResult> result =
         core::RunMethodOnPair(method, spec, options);

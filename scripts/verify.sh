@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# One-command tier-1 gate: configure + build + ctest, Debug and Release, with
+# -Wall -Wextra (always on via CMakeLists). Usage: scripts/verify.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+for config in Debug Release; do
+  build_dir="build-verify-${config,,}"
+  echo "== ${config}: configure =="
+  cmake -B "${build_dir}" -S . -DCMAKE_BUILD_TYPE="${config}"
+  echo "== ${config}: build =="
+  cmake --build "${build_dir}" -j "${JOBS}"
+  echo "== ${config}: ctest =="
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"
+done
+
+echo "verify: OK (Debug + Release)"

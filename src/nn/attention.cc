@@ -59,7 +59,9 @@ Tensor TaskConditionedAttention::Attend(const Tensor& q_input,
   const Tensor& bias = bias_tasks_[static_cast<size_t>(task)];
 
   // scores = (Q K_i^T + b_i) / sqrt(d); b_i broadcasts over query positions.
-  Tensor scores = ops::BatchMatMul(q, ops::TransposeLast2(k));  // (b,n,n)
+  // The fused kernel reads K's rows directly instead of materializing the
+  // (b,n,d) transpose on every forward.
+  Tensor scores = ops::BatchMatMulTransB(q, k);  // (b,n,n)
   scores = ops::Add(scores, bias);
   scores = ops::MulScalar(scores, 1.0f / std::sqrt(static_cast<float>(dim_)));
   if (softmax_scores_) scores = ops::Softmax(scores);

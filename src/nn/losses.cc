@@ -1,5 +1,6 @@
 #include "nn/losses.h"
 
+#include "tensor/kernels/parallel.h"
 #include "tensor/tensor_ops.h"
 #include "util/logging.h"
 
@@ -25,12 +26,25 @@ Tensor LogitReplayLoss(const Tensor& current_source_logits,
 double Accuracy(const Tensor& logits, const std::vector<int64_t>& labels) {
   CDCL_CHECK_EQ(logits.dim(0), static_cast<int64_t>(labels.size()));
   if (labels.empty()) return 0.0;
-  const std::vector<int64_t> pred = ops::Argmax(logits);
-  int64_t correct = 0;
-  for (size_t i = 0; i < labels.size(); ++i) {
-    if (pred[i] == labels[i]) ++correct;
-  }
-  return static_cast<double>(correct) / static_cast<double>(labels.size());
+  CDCL_CHECK_EQ(logits.ndim(), 2);
+  const int64_t b = logits.dim(0), c = logits.dim(1);
+  const float* p = logits.data();
+  const int64_t* lbl = labels.data();
+  // Row-wise argmax fused with the hit count (exact integer partials).
+  const double correct = kernels::ParallelReduce(
+      b, kernels::RowGrain(c), [p, lbl, c](int64_t begin, int64_t end) {
+        int64_t hits = 0;
+        for (int64_t i = begin; i < end; ++i) {
+          const float* row = p + i * c;
+          int64_t best = 0;
+          for (int64_t j = 1; j < c; ++j) {
+            if (row[j] > row[best]) best = j;
+          }
+          if (best == lbl[i]) ++hits;
+        }
+        return static_cast<double>(hits);
+      });
+  return correct / static_cast<double>(labels.size());
 }
 
 }  // namespace nn

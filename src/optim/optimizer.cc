@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "tensor/kernels/parallel.h"
 #include "util/logging.h"
 
 namespace cdcl {
@@ -30,13 +31,16 @@ void Sgd::Step() {
     if (momentum_ > 0.0f) {
       auto& vel = velocity_[p.impl().get()];
       if (vel.size() != static_cast<size_t>(n)) vel.assign(n, 0.0f);
-      for (int64_t i = 0; i < n; ++i) {
-        vel[static_cast<size_t>(i)] =
-            momentum_ * vel[static_cast<size_t>(i)] + g[i];
-        w[i] -= lr_ * vel[static_cast<size_t>(i)];
-      }
+      float* v = vel.data();
+      const float momentum = momentum_;
+      const float lr = lr_;
+      kernels::EltwiseMap(n, [w, g, v, momentum, lr](int64_t i) {
+        v[i] = momentum * v[i] + g[i];
+        w[i] -= lr * v[i];
+      });
     } else {
-      for (int64_t i = 0; i < n; ++i) w[i] -= lr_ * g[i];
+      const float lr = lr_;
+      kernels::EltwiseMap(n, [w, g, lr](int64_t i) { w[i] -= lr * g[i]; });
     }
   }
 }
@@ -64,22 +68,24 @@ void Adam::Step() {
     ++st.step;
     const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(st.step));
     const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(st.step));
-    for (int64_t i = 0; i < n; ++i) {
+    float* pm = st.m.data();
+    float* pv = st.v.data();
+    const float beta1 = beta1_, beta2 = beta2_, eps = eps_, lr = lr_;
+    const float wd = weight_decay_;
+    const bool coupled_wd = wd > 0.0f && !decoupled_decay();
+    const bool decoupled_wd = wd > 0.0f && decoupled_decay();
+    kernels::EltwiseMap(n, [=](int64_t i) {
       float grad = g[i];
-      if (weight_decay_ > 0.0f && !decoupled_decay()) {
-        grad += weight_decay_ * w[i];
-      }
-      float& m = st.m[static_cast<size_t>(i)];
-      float& v = st.v[static_cast<size_t>(i)];
-      m = beta1_ * m + (1.0f - beta1_) * grad;
-      v = beta2_ * v + (1.0f - beta2_) * grad * grad;
+      if (coupled_wd) grad += wd * w[i];
+      const float m = beta1 * pm[i] + (1.0f - beta1) * grad;
+      const float v = beta2 * pv[i] + (1.0f - beta2) * grad * grad;
+      pm[i] = m;
+      pv[i] = v;
       const float mhat = m / bc1;
       const float vhat = v / bc2;
-      w[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
-      if (weight_decay_ > 0.0f && decoupled_decay()) {
-        w[i] -= lr_ * weight_decay_ * w[i];
-      }
-    }
+      w[i] -= lr * mhat / (std::sqrt(vhat) + eps);
+      if (decoupled_wd) w[i] -= lr * wd * w[i];
+    });
   }
 }
 

@@ -4,6 +4,9 @@
 #include <memory>
 #include <vector>
 
+#include "tensor/kernels/kernel_context.h"
+#include "tensor/kernels/matmul_kernel.h"
+#include "tensor/kernels/parallel.h"
 #include "tensor/tensor_ops.h"
 #include "util/logging.h"
 
@@ -102,26 +105,27 @@ Tensor Conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
       static_cast<size_t>(b * ckk * spatial));
 
   Tensor out(Shape{b, o, oh, ow});
-  const float* px = x.data();
-  const float* pw = w.data();
-  const float* pbias = bias.defined() ? bias.data() : nullptr;
-  float* po = out.data();
-  for (int64_t bi = 0; bi < b; ++bi) {
-    float* col = cols->data() + bi * ckk * spatial;
-    Im2Col(px + bi * c * h * ww, c, h, ww, kh, kw, stride, padding, oh, ow, col);
-    float* out_b = po + bi * o * spatial;
-    for (int64_t oi = 0; oi < o; ++oi) {
-      float* orow = out_b + oi * spatial;
-      const float base = pbias != nullptr ? pbias[oi] : 0.0f;
-      for (int64_t s = 0; s < spatial; ++s) orow[s] = base;
-      const float* wrow = pw + oi * ckk;
-      for (int64_t k = 0; k < ckk; ++k) {
-        const float wv = wrow[k];
-        if (wv == 0.0f) continue;
-        const float* crow = col + k * spatial;
-        for (int64_t s = 0; s < spatial; ++s) orow[s] += wv * crow[s];
+  {
+    const float* px = x.data();
+    const float* pw = w.data();
+    const float* pbias = bias.defined() ? bias.data() : nullptr;
+    float* po = out.data();
+    float* pcols = cols->data();
+    // Samples write disjoint column/output slices, so the batch loop fans out
+    // across the kernel pool; with few samples the blocked GEMM parallelizes
+    // internally instead (nested regions collapse to serial).
+    kernels::ForEachBatch(b, [=](int64_t bi) {
+      float* col = pcols + bi * ckk * spatial;
+      Im2Col(px + bi * c * h * ww, c, h, ww, kh, kw, stride, padding, oh, ow,
+             col);
+      float* out_b = po + bi * o * spatial;
+      for (int64_t oi = 0; oi < o; ++oi) {
+        const float base = pbias != nullptr ? pbias[oi] : 0.0f;
+        float* orow = out_b + oi * spatial;
+        for (int64_t s = 0; s < spatial; ++s) orow[s] = base;
       }
-    }
+      kernels::GemmNN(o, spatial, ckk, pw, col, out_b, /*accumulate=*/true);
+    });
   }
 
   auto x_impl = x.impl();
@@ -141,48 +145,29 @@ Tensor Conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
                if (need_b) b_impl->EnsureGrad();
                std::vector<float> gcol;
                if (need_x) gcol.assign(static_cast<size_t>(ckk * spatial), 0.0f);
+               // Weight/bias grads accumulate across samples, so the batch
+               // loop stays serial; the per-sample GEMMs parallelize inside.
                for (int64_t bi = 0; bi < b; ++bi) {
                  const float* gout = g + bi * o * spatial;
                  const float* col = cols->data() + bi * ckk * spatial;
                  if (need_b) {
                    float* gb = b_impl->grad.data();
-                   for (int64_t oi = 0; oi < o; ++oi) {
+                   kernels::RowMap(o, spatial, [gb, gout, spatial](int64_t oi) {
                      const float* grow = gout + oi * spatial;
                      float acc = 0.0f;
                      for (int64_t s = 0; s < spatial; ++s) acc += grow[s];
                      gb[oi] += acc;
-                   }
+                   });
                  }
                  if (need_w) {
-                   float* gw = w_impl->grad.data();
-                   for (int64_t oi = 0; oi < o; ++oi) {
-                     const float* grow = gout + oi * spatial;
-                     float* gwrow = gw + oi * ckk;
-                     for (int64_t k = 0; k < ckk; ++k) {
-                       const float* crow = col + k * spatial;
-                       float acc = 0.0f;
-                       for (int64_t s = 0; s < spatial; ++s) {
-                         acc += grow[s] * crow[s];
-                       }
-                       gwrow[k] += acc;
-                     }
-                   }
+                   // dW += G_b * col_b^T  ((o,spatial) x (ckk,spatial)^T)
+                   kernels::GemmNT(o, ckk, spatial, gout, col,
+                                   w_impl->grad.data(), /*accumulate=*/true);
                  }
                  if (need_x) {
-                   std::fill(gcol.begin(), gcol.end(), 0.0f);
-                   const float* pw = w_impl->data.data();
-                   for (int64_t oi = 0; oi < o; ++oi) {
-                     const float* grow = gout + oi * spatial;
-                     const float* wrow = pw + oi * ckk;
-                     for (int64_t k = 0; k < ckk; ++k) {
-                       const float wv = wrow[k];
-                       if (wv == 0.0f) continue;
-                       float* gcrow = gcol.data() + k * spatial;
-                       for (int64_t s = 0; s < spatial; ++s) {
-                         gcrow[s] += wv * grow[s];
-                       }
-                     }
-                   }
+                   // dcol = W^T * G_b  ((o,ckk)^T x (o,spatial))
+                   kernels::GemmTN(ckk, spatial, o, w_impl->data.data(), gout,
+                                   gcol.data(), /*accumulate=*/false);
                    Col2ImAccumulate(gcol.data(), c, h, ww, kh, kw, stride,
                                     padding, oh, ow,
                                     x_impl->grad.data() + bi * c * h * ww);

@@ -1,0 +1,178 @@
+#include "tensor/kernels/kernel_context.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <vector>
+
+#include "util/env.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace cdcl {
+namespace kernels {
+namespace {
+
+thread_local bool tl_in_parallel_region = false;
+
+/// Restores the nested-region flag even if a chunk body throws.
+class RegionGuard {
+ public:
+  RegionGuard() : previous_(tl_in_parallel_region) {
+    tl_in_parallel_region = true;
+  }
+  ~RegionGuard() { tl_in_parallel_region = previous_; }
+
+ private:
+  bool previous_;
+};
+
+}  // namespace
+
+KernelContext& KernelContext::Get() {
+  static KernelContext* ctx = new KernelContext();
+  return *ctx;
+}
+
+bool KernelContext::InParallelRegion() { return tl_in_parallel_region; }
+
+int64_t KernelContext::num_threads() {
+  const int64_t cached = cached_threads_.load(std::memory_order_acquire);
+  if (cached > 0) return cached;
+  std::lock_guard<std::mutex> lock(mutex_);
+  int64_t resolved = override_threads_;
+  if (resolved <= 0) {
+    const int64_t env = EnvInt("CDCL_NUM_THREADS", 0);
+    resolved =
+        env > 0 ? env : static_cast<int64_t>(ThreadPool::DefaultThreadCount());
+  }
+  cached_threads_.store(resolved, std::memory_order_release);
+  return resolved;
+}
+
+ThreadPool* KernelContext::pool() {
+  ThreadPool* cached = cached_pool_.load(std::memory_order_acquire);
+  if (cached != nullptr) return cached;
+  const int64_t threads = num_threads();
+  if (threads <= 1) return nullptr;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const size_t workers = static_cast<size_t>(threads - 1);
+  if (pool_ == nullptr || pool_->num_threads() != workers) {
+    pool_.reset();  // join the old pool before replacing it
+    pool_ = std::make_unique<ThreadPool>(workers);
+  }
+  cached_pool_.store(pool_.get(), std::memory_order_release);
+  return pool_.get();
+}
+
+void KernelContext::SetNumThreads(int64_t n) {
+  std::unique_ptr<ThreadPool> retired;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    override_threads_ = std::max<int64_t>(n, 0);
+    cached_threads_.store(0, std::memory_order_release);
+    cached_pool_.store(nullptr, std::memory_order_release);
+    retired = std::move(pool_);  // joined outside the lock on destruction
+  }
+}
+
+void SetNumThreads(int64_t n) { KernelContext::Get().SetNumThreads(n); }
+
+int64_t GetNumThreads() { return KernelContext::Get().num_threads(); }
+
+int64_t RowGrain(int64_t width) {
+  const int64_t w = std::max<int64_t>(width, 1);
+  return std::max<int64_t>(kEltwiseGrain / w, 1);
+}
+
+void ParallelChunks(int64_t n, int64_t grain,
+                    const std::function<void(int64_t, int64_t)>& chunk) {
+  if (n <= 0) return;
+  grain = std::max<int64_t>(grain, 1);
+  const int64_t chunks = (n + grain - 1) / grain;
+
+  KernelContext& ctx = KernelContext::Get();
+  const int64_t threads = ctx.num_threads();
+  if (threads <= 1 || chunks <= 1 || tl_in_parallel_region) {
+    // Serial fallback: same chunk decomposition, ascending order. The nested
+    // flag is left untouched so an enclosing op that collapsed to a single
+    // chunk (e.g. batch-of-1 BatchMatMul) can still parallelize inner kernels.
+    for (int64_t c = 0; c < chunks; ++c) {
+      chunk(c * grain, std::min(n, (c + 1) * grain));
+    }
+    return;
+  }
+
+  ThreadPool* pool = ctx.pool();
+  CDCL_CHECK(pool != nullptr);
+  // One task per helper; every participant (helpers + caller) pulls chunk
+  // indices off a shared counter, so ragged chunk costs self-balance.
+  const int64_t helpers = std::min<int64_t>(
+      static_cast<int64_t>(pool->num_threads()), chunks - 1);
+
+  struct CallState {
+    std::atomic<int64_t> next{0};
+    std::mutex mutex;
+    std::condition_variable done;
+    int64_t pending = 0;
+    std::exception_ptr error;  // first failure wins; guarded by mutex
+  };
+  CallState state;
+  state.pending = helpers;
+
+  // A throwing chunk body must not unwind past the join below while helpers
+  // still reference this frame, so every participant traps its exception and
+  // the first one is rethrown after all helpers have checked in.
+  auto drain = [&state, &chunk, n, grain, chunks]() {
+    RegionGuard guard;
+    try {
+      for (;;) {
+        const int64_t c = state.next.fetch_add(1, std::memory_order_relaxed);
+        if (c >= chunks) break;
+        chunk(c * grain, std::min(n, (c + 1) * grain));
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(state.mutex);
+      if (!state.error) state.error = std::current_exception();
+    }
+  };
+
+  for (int64_t h = 0; h < helpers; ++h) {
+    pool->Submit([&state, &drain] {
+      drain();
+      std::lock_guard<std::mutex> lock(state.mutex);
+      if (--state.pending == 0) state.done.notify_all();
+    });
+  }
+  drain();
+  {
+    std::unique_lock<std::mutex> lock(state.mutex);
+    state.done.wait(lock, [&state] { return state.pending == 0; });
+  }
+  if (state.error) std::rethrow_exception(state.error);
+}
+
+double ParallelReduce(int64_t n, int64_t grain,
+                      const std::function<double(int64_t, int64_t)>& partial) {
+  if (n <= 0) return 0.0;
+  grain = std::max<int64_t>(grain, 1);
+  const int64_t chunks = (n + grain - 1) / grain;
+  if (chunks == 1) {
+    // Same arithmetic as the combining loop below (0.0 + partial), without
+    // the per-call partials allocation on the small-reduction hot path.
+    double acc = 0.0;
+    acc += partial(0, n);
+    return acc;
+  }
+  std::vector<double> partials(static_cast<size_t>(chunks), 0.0);
+  ParallelChunks(n, grain, [&](int64_t begin, int64_t end) {
+    partials[static_cast<size_t>(begin / grain)] = partial(begin, end);
+  });
+  double acc = 0.0;
+  for (double p : partials) acc += p;  // fixed chunk order: deterministic
+  return acc;
+}
+
+}  // namespace kernels
+}  // namespace cdcl

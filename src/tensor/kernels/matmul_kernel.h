@@ -1,0 +1,36 @@
+#ifndef CDCL_TENSOR_KERNELS_MATMUL_KERNEL_H_
+#define CDCL_TENSOR_KERNELS_MATMUL_KERNEL_H_
+
+#include <cstdint>
+
+namespace cdcl {
+namespace kernels {
+
+// ---------------------------------------------------------------------------
+// Blocked single-precision GEMM kernels over dense row-major buffers.
+//
+// All three variants register-block the output and keep the k-accumulation
+// for each output element in ascending order, so results are bitwise
+// identical for every thread count (rows of C are partitioned across the
+// KernelContext pool; each element is produced by exactly one thread).
+// `accumulate` selects C += AB (true) vs C = AB (false).
+// ---------------------------------------------------------------------------
+
+/// C(m,n) (+)= A(m,k) * B(k,n).
+void GemmNN(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
+            float* c, bool accumulate);
+
+/// C(m,n) (+)= A(m,k) * B(n,k)^T — i.e. C[i][j] = dot(A row i, B row j).
+/// This is the dA = G * B^T backward shape and the Q K^T attention score.
+void GemmNT(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
+            float* c, bool accumulate);
+
+/// C(m,n) (+)= A(k,m)^T * B(k,n) — i.e. C[i][j] = sum_l A[l][i] * B[l][j].
+/// This is the dB = A^T * G backward shape.
+void GemmTN(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
+            float* c, bool accumulate);
+
+}  // namespace kernels
+}  // namespace cdcl
+
+#endif  // CDCL_TENSOR_KERNELS_MATMUL_KERNEL_H_

@@ -1,0 +1,101 @@
+#ifndef CDCL_TENSOR_KERNELS_PARALLEL_H_
+#define CDCL_TENSOR_KERNELS_PARALLEL_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "tensor/kernels/kernel_context.h"
+
+namespace cdcl {
+namespace kernels {
+
+// ---------------------------------------------------------------------------
+// Fused elementwise map framework. The per-element functor is templated so
+// the chunk loop inlines it; dispatch overhead is paid once per chunk, not
+// per element. All maps share the ParallelChunks determinism contract.
+// ---------------------------------------------------------------------------
+
+/// f(i) for i in [0, n).
+template <typename F>
+void ParallelFor(int64_t n, int64_t grain, F&& f) {
+  ParallelChunks(n, grain, [&f](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) f(i);
+  });
+}
+
+/// f(i) with the default elementwise grain.
+template <typename F>
+void EltwiseMap(int64_t n, F&& f) {
+  ParallelFor(n, kEltwiseGrain, std::forward<F>(f));
+}
+
+/// Suffix-broadcast index mapper: calls f(i, j) with j = i % period, but the
+/// wrap is carried incrementally per chunk instead of a modulo per element.
+/// `period` must be >= 1 (the broadcast operand's element count).
+template <typename F>
+void BroadcastMap(int64_t n, int64_t period, F&& f) {
+  if (period <= 1) {
+    ParallelFor(n, kEltwiseGrain, [&f](int64_t i) { f(i, int64_t{0}); });
+    return;
+  }
+  ParallelChunks(n, kEltwiseGrain, [&f, period](int64_t begin, int64_t end) {
+    int64_t j = begin % period;
+    for (int64_t i = begin; i < end; ++i) {
+      f(i, j);
+      if (++j == period) j = 0;
+    }
+  });
+}
+
+/// Reduction onto a suffix-broadcast operand: calls f(i, j) for every i in
+/// [0, n) with j = i % period, where each chunk owns a slot range of the
+/// period and sweeps the repeats row-major — the source reads stay
+/// sequential, slot j is only ever touched by its owning chunk, and per-slot
+/// accumulation order is repeat-ascending regardless of thread count.
+/// `period` must divide n; zero-element inputs are a no-op.
+template <typename F>
+void BroadcastReduce(int64_t n, int64_t period, F&& f) {
+  if (n <= 0 || period <= 0) return;
+  ParallelChunks(period, RowGrain(n / period),
+                 [&f, n, period](int64_t j0, int64_t j1) {
+                   for (int64_t base = 0; base < n; base += period) {
+                     for (int64_t j = j0; j < j1; ++j) f(base + j, j);
+                   }
+                 });
+}
+
+/// Row-wise map over `rows` rows of `width` elements: f(r). Each row is
+/// touched by exactly one chunk, so per-row accumulations stay race-free.
+template <typename F>
+void RowMap(int64_t rows, int64_t width, F&& f) {
+  ParallelFor(rows, RowGrain(width), std::forward<F>(f));
+}
+
+/// Batch-level dispatch for batched kernels (GEMMs, per-sample conv): many
+/// small problems parallelize across batch entries, few large ones
+/// parallelize inside each call (the nested-region guard collapses whichever
+/// level is inner to serial). Either way each output element sees identical
+/// arithmetic.
+template <typename F>
+void ForEachBatch(int64_t bs, F&& f) {
+  if (bs >= GetNumThreads()) {
+    ParallelFor(bs, 1, std::forward<F>(f));
+  } else {
+    for (int64_t bi = 0; bi < bs; ++bi) f(bi);
+  }
+}
+
+/// Deterministic sum over f(i) using fixed per-chunk partials.
+template <typename F>
+double ReduceSum(int64_t n, F&& f) {
+  return ParallelReduce(n, kReduceGrain, [&f](int64_t begin, int64_t end) {
+    double acc = 0.0;
+    for (int64_t i = begin; i < end; ++i) acc += f(i);
+    return acc;
+  });
+}
+
+}  // namespace kernels
+}  // namespace cdcl
+
+#endif  // CDCL_TENSOR_KERNELS_PARALLEL_H_

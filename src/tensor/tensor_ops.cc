@@ -6,6 +6,9 @@
 #include <memory>
 #include <utility>
 
+#include "tensor/kernels/kernel_context.h"
+#include "tensor/kernels/matmul_kernel.h"
+#include "tensor/kernels/parallel.h"
 #include "util/logging.h"
 
 namespace cdcl {
@@ -56,23 +59,25 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, BinaryKind kind,
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  for (int64_t i = 0; i < na; ++i) {
-    const float va = pa[i];
-    const float vb = pb[i % nb];
-    switch (kind) {
-      case BinaryKind::kAdd:
-        po[i] = va + vb;
-        break;
-      case BinaryKind::kSub:
-        po[i] = va - vb;
-        break;
-      case BinaryKind::kMul:
-        po[i] = va * vb;
-        break;
-      case BinaryKind::kDiv:
-        po[i] = va / vb;
-        break;
-    }
+  // The kernel framework's broadcast index mapper carries j = i % nb
+  // incrementally per chunk instead of recomputing the modulo per element.
+  switch (kind) {
+    case BinaryKind::kAdd:
+      kernels::BroadcastMap(
+          na, nb, [pa, pb, po](int64_t i, int64_t j) { po[i] = pa[i] + pb[j]; });
+      break;
+    case BinaryKind::kSub:
+      kernels::BroadcastMap(
+          na, nb, [pa, pb, po](int64_t i, int64_t j) { po[i] = pa[i] - pb[j]; });
+      break;
+    case BinaryKind::kMul:
+      kernels::BroadcastMap(
+          na, nb, [pa, pb, po](int64_t i, int64_t j) { po[i] = pa[i] * pb[j]; });
+      break;
+    case BinaryKind::kDiv:
+      kernels::BroadcastMap(
+          na, nb, [pa, pb, po](int64_t i, int64_t j) { po[i] = pa[i] / pb[j]; });
+      break;
   }
 
   auto a_impl = a.impl();
@@ -84,42 +89,49 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, BinaryKind kind,
     if (NeedsGrad(a_impl)) {
       a_impl->EnsureGrad();
       float* ga = a_impl->grad.data();
-      for (int64_t i = 0; i < na; ++i) {
-        switch (kind) {
-          case BinaryKind::kAdd:
-          case BinaryKind::kSub:
-            ga[i] += g[i];
-            break;
-          case BinaryKind::kMul:
-            ga[i] += g[i] * pb[i % nb];
-            break;
-          case BinaryKind::kDiv:
-            ga[i] += g[i] / pb[i % nb];
-            break;
-        }
+      switch (kind) {
+        case BinaryKind::kAdd:
+        case BinaryKind::kSub:
+          kernels::EltwiseMap(na, [ga, g](int64_t i) { ga[i] += g[i]; });
+          break;
+        case BinaryKind::kMul:
+          kernels::BroadcastMap(na, nb, [ga, g, pb](int64_t i, int64_t j) {
+            ga[i] += g[i] * pb[j];
+          });
+          break;
+        case BinaryKind::kDiv:
+          kernels::BroadcastMap(na, nb, [ga, g, pb](int64_t i, int64_t j) {
+            ga[i] += g[i] / pb[j];
+          });
+          break;
       }
     }
     if (NeedsGrad(b_impl)) {
       b_impl->EnsureGrad();
       float* gb = b_impl->grad.data();
-      for (int64_t i = 0; i < na; ++i) {
-        const int64_t j = i % nb;
-        switch (kind) {
-          case BinaryKind::kAdd:
-            gb[j] += g[i];
-            break;
-          case BinaryKind::kSub:
-            gb[j] -= g[i];
-            break;
-          case BinaryKind::kMul:
+      // The broadcast operand's gradient reduces over the leading dims;
+      // BroadcastReduce keeps per-slot accumulation in the pre-kernel loop
+      // order while reading g sequentially.
+      switch (kind) {
+        case BinaryKind::kAdd:
+          kernels::BroadcastReduce(
+              na, nb, [gb, g](int64_t i, int64_t j) { gb[j] += g[i]; });
+          break;
+        case BinaryKind::kSub:
+          kernels::BroadcastReduce(
+              na, nb, [gb, g](int64_t i, int64_t j) { gb[j] -= g[i]; });
+          break;
+        case BinaryKind::kMul:
+          kernels::BroadcastReduce(na, nb, [gb, g, pa](int64_t i, int64_t j) {
             gb[j] += g[i] * pa[i];
-            break;
-          case BinaryKind::kDiv: {
+          });
+          break;
+        case BinaryKind::kDiv:
+          kernels::BroadcastReduce(na, nb, [gb, g, pa, pb](int64_t i, int64_t j) {
             const float vb = pb[j];
             gb[j] -= g[i] * pa[i] / (vb * vb);
-            break;
-          }
-        }
+          });
+          break;
       }
     }
   });
@@ -135,10 +147,9 @@ Tensor UnaryOp(const Tensor& a, const char* name, Fwd fwd, Bwd dydx) {
   const int64_t n = a.NumElements();
   const float* pa = a.data();
   float* po = out.data();
-  for (int64_t i = 0; i < n; ++i) po[i] = fwd(pa[i]);
+  kernels::EltwiseMap(n, [pa, po, fwd](int64_t i) { po[i] = fwd(pa[i]); });
 
   auto a_impl = a.impl();
-  auto out_impl = out.impl();
   AttachNode(&out, {a}, name, [a_impl, dydx, n](TensorImpl& o) {
     if (!NeedsGrad(a_impl)) return;
     a_impl->EnsureGrad();
@@ -146,10 +157,13 @@ Tensor UnaryOp(const Tensor& a, const char* name, Fwd fwd, Bwd dydx) {
     const float* px = a_impl->data.data();
     const float* py = o.data.data();
     float* ga = a_impl->grad.data();
-    for (int64_t i = 0; i < n; ++i) ga[i] += g[i] * dydx(px[i], py[i]);
+    kernels::EltwiseMap(
+        n, [g, px, py, ga, dydx](int64_t i) { ga[i] += g[i] * dydx(px[i], py[i]); });
   });
   return out;
 }
+
+using kernels::ForEachBatch;
 
 }  // namespace
 
@@ -246,19 +260,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   CDCL_CHECK_EQ(b.dim(0), k);
   Tensor out(Shape{m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  // (i,k)-ordered loop keeps unit-stride access on b and out.
-  for (int64_t i = 0; i < m; ++i) {
-    float* orow = po + i * n;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float av = pa[i * k + kk];
-      if (av == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
+  kernels::GemmNN(m, n, k, a.data(), b.data(), out.data(), /*accumulate=*/false);
 
   auto a_impl = a.impl();
   auto b_impl = b.impl();
@@ -266,33 +268,15 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
     const float* g = o.grad.data();
     if (NeedsGrad(a_impl)) {
       a_impl->EnsureGrad();
-      float* ga = a_impl->grad.data();
-      const float* pb = b_impl->data.data();
-      // dA = G * B^T
-      for (int64_t i = 0; i < m; ++i) {
-        for (int64_t kk = 0; kk < k; ++kk) {
-          const float* grow = g + i * n;
-          const float* brow = pb + kk * n;
-          float acc = 0.0f;
-          for (int64_t j = 0; j < n; ++j) acc += grow[j] * brow[j];
-          ga[i * k + kk] += acc;
-        }
-      }
+      // dA += G * B^T
+      kernels::GemmNT(m, k, n, g, b_impl->data.data(), a_impl->grad.data(),
+                      /*accumulate=*/true);
     }
     if (NeedsGrad(b_impl)) {
       b_impl->EnsureGrad();
-      float* gb = b_impl->grad.data();
-      const float* pa = a_impl->data.data();
-      // dB = A^T * G
-      for (int64_t i = 0; i < m; ++i) {
-        const float* grow = g + i * n;
-        for (int64_t kk = 0; kk < k; ++kk) {
-          const float av = pa[i * k + kk];
-          if (av == 0.0f) continue;
-          float* gbrow = gb + kk * n;
-          for (int64_t j = 0; j < n; ++j) gbrow[j] += av * grow[j];
-        }
-      }
+      // dB += A^T * G
+      kernels::GemmTN(k, n, m, a_impl->data.data(), g, b_impl->grad.data(),
+                      /*accumulate=*/true);
     }
   });
   return out;
@@ -305,57 +289,81 @@ Tensor BatchMatMul(const Tensor& a, const Tensor& b) {
   CDCL_CHECK_EQ(b.dim(0), bs);
   CDCL_CHECK_EQ(b.dim(1), k);
   Tensor out(Shape{bs, m, n});
-  for (int64_t bi = 0; bi < bs; ++bi) {
-    const float* pa = a.data() + bi * m * k;
-    const float* pb = b.data() + bi * k * n;
-    float* po = out.data() + bi * m * n;
-    for (int64_t i = 0; i < m; ++i) {
-      float* orow = po + i * n;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const float av = pa[i * k + kk];
-        if (av == 0.0f) continue;
-        const float* brow = pb + kk * n;
-        for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-      }
-    }
+  {
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    ForEachBatch(bs, [=](int64_t bi) {
+      kernels::GemmNN(m, n, k, pa + bi * m * k, pb + bi * k * n,
+                      po + bi * m * n, /*accumulate=*/false);
+    });
   }
 
   auto a_impl = a.impl();
   auto b_impl = b.impl();
   AttachNode(&out, {a, b}, "bmm", [a_impl, b_impl, bs, m, k, n](TensorImpl& o) {
     const float* g_all = o.grad.data();
-    for (int64_t bi = 0; bi < bs; ++bi) {
+    const bool need_a = NeedsGrad(a_impl);
+    const bool need_b = NeedsGrad(b_impl);
+    if (need_a) a_impl->EnsureGrad();
+    if (need_b) b_impl->EnsureGrad();
+    ForEachBatch(bs, [&, m, k, n](int64_t bi) {
       const float* g = g_all + bi * m * n;
-      if (NeedsGrad(a_impl)) {
-        a_impl->EnsureGrad();
-        float* ga = a_impl->grad.data() + bi * m * k;
-        const float* pb = b_impl->data.data() + bi * k * n;
-        for (int64_t i = 0; i < m; ++i) {
-          for (int64_t kk = 0; kk < k; ++kk) {
-            const float* grow = g + i * n;
-            const float* brow = pb + kk * n;
-            float acc = 0.0f;
-            for (int64_t j = 0; j < n; ++j) acc += grow[j] * brow[j];
-            ga[i * k + kk] += acc;
-          }
-        }
+      if (need_a) {
+        kernels::GemmNT(m, k, n, g, b_impl->data.data() + bi * k * n,
+                        a_impl->grad.data() + bi * m * k, /*accumulate=*/true);
       }
-      if (NeedsGrad(b_impl)) {
-        b_impl->EnsureGrad();
-        float* gb = b_impl->grad.data() + bi * k * n;
-        const float* pa = a_impl->data.data() + bi * m * k;
-        for (int64_t i = 0; i < m; ++i) {
-          const float* grow = g + i * n;
-          for (int64_t kk = 0; kk < k; ++kk) {
-            const float av = pa[i * k + kk];
-            if (av == 0.0f) continue;
-            float* gbrow = gb + kk * n;
-            for (int64_t j = 0; j < n; ++j) gbrow[j] += av * grow[j];
-          }
-        }
+      if (need_b) {
+        kernels::GemmTN(k, n, m, a_impl->data.data() + bi * m * k, g,
+                        b_impl->grad.data() + bi * k * n, /*accumulate=*/true);
       }
-    }
+    });
   });
+  return out;
+}
+
+Tensor BatchMatMulTransB(const Tensor& a, const Tensor& b) {
+  CDCL_CHECK_EQ(a.ndim(), 3);
+  CDCL_CHECK_EQ(b.ndim(), 3);
+  const int64_t bs = a.dim(0), m = a.dim(1), k = a.dim(2), n = b.dim(1);
+  CDCL_CHECK_EQ(b.dim(0), bs);
+  CDCL_CHECK_EQ(b.dim(2), k);
+  Tensor out(Shape{bs, m, n});
+  {
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    ForEachBatch(bs, [=](int64_t bi) {
+      kernels::GemmNT(m, n, k, pa + bi * m * k, pb + bi * n * k,
+                      po + bi * m * n, /*accumulate=*/false);
+    });
+  }
+
+  auto a_impl = a.impl();
+  auto b_impl = b.impl();
+  AttachNode(&out, {a, b}, "bmm_nt",
+             [a_impl, b_impl, bs, m, k, n](TensorImpl& o) {
+               const float* g_all = o.grad.data();
+               const bool need_a = NeedsGrad(a_impl);
+               const bool need_b = NeedsGrad(b_impl);
+               if (need_a) a_impl->EnsureGrad();
+               if (need_b) b_impl->EnsureGrad();
+               ForEachBatch(bs, [&, m, k, n](int64_t bi) {
+                 const float* g = g_all + bi * m * n;
+                 if (need_a) {
+                   // dA += G * B  ((m,n) x (n,k))
+                   kernels::GemmNN(m, k, n, g, b_impl->data.data() + bi * n * k,
+                                   a_impl->grad.data() + bi * m * k,
+                                   /*accumulate=*/true);
+                 }
+                 if (need_b) {
+                   // dB += G^T * A  ((n,m) x (m,k))
+                   kernels::GemmTN(n, k, m, g, a_impl->data.data() + bi * m * k,
+                                   b_impl->grad.data() + bi * n * k,
+                                   /*accumulate=*/true);
+                 }
+               });
+             });
   return out;
 }
 
@@ -562,8 +570,10 @@ Tensor IndexRows(const Tensor& a, const std::vector<int64_t>& indices) {
 Tensor Sum(const Tensor& a) {
   const int64_t n = a.NumElements();
   const float* pa = a.data();
-  double acc = 0.0;
-  for (int64_t i = 0; i < n; ++i) acc += pa[i];
+  // Fixed per-chunk partials combined in chunk order: bitwise-stable for any
+  // thread count (the serial path walks the same chunk decomposition).
+  const double acc = kernels::ReduceSum(
+      n, [pa](int64_t i) { return static_cast<double>(pa[i]); });
   Tensor out = Tensor::Scalar(static_cast<float>(acc));
   auto a_impl = a.impl();
   AttachNode(&out, {a}, "sum", [a_impl, n](TensorImpl& o) {
@@ -571,7 +581,7 @@ Tensor Sum(const Tensor& a) {
     a_impl->EnsureGrad();
     const float g = o.grad[0];
     float* ga = a_impl->grad.data();
-    for (int64_t i = 0; i < n; ++i) ga[i] += g;
+    kernels::EltwiseMap(n, [ga, g](int64_t i) { ga[i] += g; });
   });
   return out;
 }
@@ -590,20 +600,20 @@ Tensor SumLastDim(const Tensor& a) {
   Tensor out{Shape(dims)};
   const float* pa = a.data();
   float* po = out.data();
-  for (int64_t r = 0; r < rows; ++r) {
+  kernels::RowMap(rows, d, [pa, po, d](int64_t r) {
     float acc = 0.0f;
     for (int64_t j = 0; j < d; ++j) acc += pa[r * d + j];
     po[r] = acc;
-  }
+  });
   auto a_impl = a.impl();
   AttachNode(&out, {a}, "sum_last", [a_impl, rows, d](TensorImpl& o) {
     if (!NeedsGrad(a_impl)) return;
     a_impl->EnsureGrad();
     const float* g = o.grad.data();
     float* ga = a_impl->grad.data();
-    for (int64_t r = 0; r < rows; ++r) {
+    kernels::RowMap(rows, d, [g, ga, d](int64_t r) {
       for (int64_t j = 0; j < d; ++j) ga[r * d + j] += g[r];
-    }
+    });
   });
   return out;
 }
@@ -620,7 +630,7 @@ Tensor Softmax(const Tensor& a) {
   Tensor out(a.shape());
   const float* pa = a.data();
   float* po = out.data();
-  for (int64_t r = 0; r < rows; ++r) {
+  kernels::RowMap(rows, d, [pa, po, d](int64_t r) {
     const float* xr = pa + r * d;
     float* yr = po + r * d;
     float mx = xr[0];
@@ -632,7 +642,7 @@ Tensor Softmax(const Tensor& a) {
     }
     const float inv = 1.0f / z;
     for (int64_t j = 0; j < d; ++j) yr[j] *= inv;
-  }
+  });
   auto a_impl = a.impl();
   AttachNode(&out, {a}, "softmax", [a_impl, rows, d](TensorImpl& o) {
     if (!NeedsGrad(a_impl)) return;
@@ -640,14 +650,14 @@ Tensor Softmax(const Tensor& a) {
     const float* g = o.grad.data();
     const float* y = o.data.data();
     float* ga = a_impl->grad.data();
-    for (int64_t r = 0; r < rows; ++r) {
+    kernels::RowMap(rows, d, [g, y, ga, d](int64_t r) {
       const float* gr = g + r * d;
       const float* yr = y + r * d;
       float dot = 0.0f;
       for (int64_t j = 0; j < d; ++j) dot += gr[j] * yr[j];
       float* gar = ga + r * d;
       for (int64_t j = 0; j < d; ++j) gar[j] += yr[j] * (gr[j] - dot);
-    }
+    });
   });
   return out;
 }
@@ -659,7 +669,7 @@ Tensor LogSoftmax(const Tensor& a) {
   Tensor out(a.shape());
   const float* pa = a.data();
   float* po = out.data();
-  for (int64_t r = 0; r < rows; ++r) {
+  kernels::RowMap(rows, d, [pa, po, d](int64_t r) {
     const float* xr = pa + r * d;
     float* yr = po + r * d;
     float mx = xr[0];
@@ -668,7 +678,7 @@ Tensor LogSoftmax(const Tensor& a) {
     for (int64_t j = 0; j < d; ++j) z += std::exp(xr[j] - mx);
     const float lse = mx + std::log(z);
     for (int64_t j = 0; j < d; ++j) yr[j] = xr[j] - lse;
-  }
+  });
   auto a_impl = a.impl();
   AttachNode(&out, {a}, "log_softmax", [a_impl, rows, d](TensorImpl& o) {
     if (!NeedsGrad(a_impl)) return;
@@ -676,7 +686,7 @@ Tensor LogSoftmax(const Tensor& a) {
     const float* g = o.grad.data();
     const float* y = o.data.data();
     float* ga = a_impl->grad.data();
-    for (int64_t r = 0; r < rows; ++r) {
+    kernels::RowMap(rows, d, [g, y, ga, d](int64_t r) {
       const float* gr = g + r * d;
       const float* yr = y + r * d;
       float gsum = 0.0f;
@@ -685,7 +695,7 @@ Tensor LogSoftmax(const Tensor& a) {
       for (int64_t j = 0; j < d; ++j) {
         gar[j] += gr[j] - std::exp(yr[j]) * gsum;
       }
-    }
+    });
   });
   return out;
 }
@@ -704,24 +714,28 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   const float* pg = gamma.data();
   const float* pb = beta.data();
   float* po = out.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* xr = px + r * d;
-    float mean = 0.0f;
-    for (int64_t j = 0; j < d; ++j) mean += xr[j];
-    mean /= static_cast<float>(d);
-    float var = 0.0f;
-    for (int64_t j = 0; j < d; ++j) {
-      const float c = xr[j] - mean;
-      var += c * c;
-    }
-    var /= static_cast<float>(d);
-    const float istd = 1.0f / std::sqrt(var + eps);
-    inv_std[static_cast<size_t>(r)] = istd;
-    for (int64_t j = 0; j < d; ++j) {
-      const float h = (xr[j] - mean) * istd;
-      xhat[static_cast<size_t>(r * d + j)] = h;
-      po[r * d + j] = h * pg[j] + pb[j];
-    }
+  {
+    float* pinv = inv_std.data();
+    float* phat = xhat.data();
+    kernels::RowMap(rows, d, [px, pg, pb, po, pinv, phat, d, eps](int64_t r) {
+      const float* xr = px + r * d;
+      float mean = 0.0f;
+      for (int64_t j = 0; j < d; ++j) mean += xr[j];
+      mean /= static_cast<float>(d);
+      float var = 0.0f;
+      for (int64_t j = 0; j < d; ++j) {
+        const float c = xr[j] - mean;
+        var += c * c;
+      }
+      var /= static_cast<float>(d);
+      const float istd = 1.0f / std::sqrt(var + eps);
+      pinv[r] = istd;
+      for (int64_t j = 0; j < d; ++j) {
+        const float h = (xr[j] - mean) * istd;
+        phat[r * d + j] = h;
+        po[r * d + j] = h * pg[j] + pb[j];
+      }
+    });
   }
 
   auto x_impl = x.impl();
@@ -787,24 +801,35 @@ Tensor CrossEntropy(const Tensor& logits, const std::vector<int64_t>& labels) {
   const int64_t b = logits.dim(0), c = logits.dim(1);
   CDCL_CHECK_EQ(static_cast<int64_t>(labels.size()), b);
   CDCL_CHECK_GT(b, 0);
-  // Save the softmax probabilities for the backward pass.
+  // Save the softmax probabilities for the backward pass. Rows are
+  // independent; per-row loss terms are summed in row order afterwards so the
+  // result matches the serial sweep bitwise.
   std::vector<float> probs(static_cast<size_t>(b * c));
+  std::vector<float> row_loss(static_cast<size_t>(b));
   const float* pl = logits.data();
-  double loss = 0.0;
   for (int64_t i = 0; i < b; ++i) {
-    const float* xr = pl + i * c;
-    float mx = xr[0];
-    for (int64_t j = 1; j < c; ++j) mx = std::max(mx, xr[j]);
-    float z = 0.0f;
-    for (int64_t j = 0; j < c; ++j) z += std::exp(xr[j] - mx);
-    const float lse = mx + std::log(z);
     CDCL_CHECK_GE(labels[static_cast<size_t>(i)], 0);
     CDCL_CHECK_LT(labels[static_cast<size_t>(i)], c);
-    loss += lse - xr[labels[static_cast<size_t>(i)]];
-    for (int64_t j = 0; j < c; ++j) {
-      probs[static_cast<size_t>(i * c + j)] = std::exp(xr[j] - lse);
-    }
   }
+  {
+    float* pp = probs.data();
+    float* prl = row_loss.data();
+    const int64_t* plb = labels.data();
+    kernels::RowMap(b, c, [pl, pp, prl, plb, c](int64_t i) {
+      const float* xr = pl + i * c;
+      float mx = xr[0];
+      for (int64_t j = 1; j < c; ++j) mx = std::max(mx, xr[j]);
+      float z = 0.0f;
+      for (int64_t j = 0; j < c; ++j) z += std::exp(xr[j] - mx);
+      const float lse = mx + std::log(z);
+      prl[i] = lse - xr[plb[i]];
+      for (int64_t j = 0; j < c; ++j) {
+        pp[i * c + j] = std::exp(xr[j] - lse);
+      }
+    });
+  }
+  double loss = 0.0;
+  for (int64_t i = 0; i < b; ++i) loss += row_loss[static_cast<size_t>(i)];
   Tensor out = Tensor::Scalar(static_cast<float>(loss / static_cast<double>(b)));
   auto l_impl = logits.impl();
   auto lbl = labels;
@@ -814,13 +839,15 @@ Tensor CrossEntropy(const Tensor& logits, const std::vector<int64_t>& labels) {
                l_impl->EnsureGrad();
                const float g = o.grad[0] / static_cast<float>(b);
                float* gl = l_impl->grad.data();
-               for (int64_t i = 0; i < b; ++i) {
+               const float* pp = probs.data();
+               const int64_t* plb = lbl.data();
+               kernels::RowMap(b, c, [gl, pp, plb, g, c](int64_t i) {
                  for (int64_t j = 0; j < c; ++j) {
-                   float p = probs[static_cast<size_t>(i * c + j)];
-                   if (j == lbl[static_cast<size_t>(i)]) p -= 1.0f;
+                   float p = pp[i * c + j];
+                   if (j == plb[i]) p -= 1.0f;
                    gl[i * c + j] += g * p;
                  }
-               }
+               });
              });
   return out;
 }

@@ -39,6 +39,9 @@ Tensor Square(const Tensor& a);
 Tensor MatMul(const Tensor& a, const Tensor& b);
 /// (b,m,k) x (b,k,n) -> (b,m,n)
 Tensor BatchMatMul(const Tensor& a, const Tensor& b);
+/// (b,m,k) x (b,n,k) -> (b,m,n): A * B^T without materializing the
+/// transpose (the attention-score shape Q K^T).
+Tensor BatchMatMulTransB(const Tensor& a, const Tensor& b);
 /// 2D transpose.
 Tensor Transpose(const Tensor& a);
 /// Swap the last two dims of a 3D tensor.

@@ -1,0 +1,337 @@
+// Kernel-dispatch layer coverage: kernel-vs-serial equivalence (exact for
+// elementwise/matmul, tolerance for reductions), thread-count determinism,
+// gradcheck over the migrated GEMM-backed backward paths, and a ThreadPool
+// stress test.
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tensor/gradcheck.h"
+#include "tensor/kernels/kernel_context.h"
+#include "tensor/kernels/matmul_kernel.h"
+#include "tensor/kernels/parallel.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+#include "util/thread_pool.h"
+
+namespace cdcl {
+namespace {
+
+/// Restores the global thread override when a test scope ends.
+class ThreadScope {
+ public:
+  explicit ThreadScope(int64_t n) { kernels::SetNumThreads(n); }
+  ~ThreadScope() { kernels::SetNumThreads(0); }
+};
+
+std::vector<float> RandVec(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(static_cast<size_t>(n));
+  for (float& x : v) x = static_cast<float>(rng.Gaussian(0.0, 1.0));
+  return v;
+}
+
+/// Plain triple-loop reference: C = A(m,k) * B(k,n), k ascending.
+std::vector<float> NaiveMatMul(const std::vector<float>& a,
+                               const std::vector<float>& b, int64_t m,
+                               int64_t k, int64_t n) {
+  std::vector<float> c(static_cast<size_t>(m * n), 0.0f);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int64_t l = 0; l < k; ++l) {
+        acc += a[static_cast<size_t>(i * k + l)] * b[static_cast<size_t>(l * n + j)];
+      }
+      c[static_cast<size_t>(i * n + j)] = acc;
+    }
+  }
+  return c;
+}
+
+TEST(KernelContextTest, ThreadCountOverrideAndDefault) {
+  kernels::SetNumThreads(3);
+  EXPECT_EQ(kernels::GetNumThreads(), 3);
+  kernels::SetNumThreads(0);
+  EXPECT_GE(kernels::GetNumThreads(), 1);
+}
+
+TEST(KernelContextTest, ParallelForCoversEveryIndexOnce) {
+  ThreadScope threads(4);
+  constexpr int64_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  kernels::ParallelFor(kN, 64, [&hits](int64_t i) { hits[i].fetch_add(1); });
+  for (int64_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(KernelContextTest, ReduceMatchesSerialSweepBitwise) {
+  const std::vector<float> v = RandVec(100000, 1);
+  auto run = [&] {
+    return kernels::ReduceSum(static_cast<int64_t>(v.size()),
+                              [&v](int64_t i) { return double{v[i]}; });
+  };
+  double serial, parallel;
+  {
+    ThreadScope threads(1);
+    serial = run();
+  }
+  {
+    ThreadScope threads(4);
+    parallel = run();
+  }
+  EXPECT_EQ(serial, parallel);  // fixed per-chunk partials: bitwise stable
+  double naive = 0.0;
+  for (float x : v) naive += x;
+  EXPECT_NEAR(serial, naive, 1e-3 * std::abs(naive) + 1e-6);
+}
+
+TEST(KernelContextTest, ZeroElementBinaryOpBackwardIsNoOp) {
+  // Regression: BroadcastReduce(0, 0) must not divide by zero computing the
+  // grain (zero-element tensors reach it via BinaryOp's backward).
+  Tensor a = Tensor::Zeros(Shape{0, 3}, /*requires_grad=*/true);
+  Tensor b = Tensor::Zeros(Shape{0, 3}, /*requires_grad=*/true);
+  Tensor loss = ops::Sum(ops::Add(a, b));
+  loss.Backward();
+  EXPECT_EQ(a.GradTensor().NumElements(), 0);
+}
+
+TEST(KernelContextTest, BroadcastMapMatchesModulo) {
+  ThreadScope threads(4);
+  constexpr int64_t kN = 30000, kPeriod = 7;
+  std::vector<int64_t> got(kN, -1);
+  kernels::BroadcastMap(kN, kPeriod,
+                        [&got](int64_t i, int64_t j) { got[i] = j; });
+  for (int64_t i = 0; i < kN; ++i) ASSERT_EQ(got[i], i % kPeriod) << i;
+}
+
+TEST(KernelContextTest, NestedParallelRunsSerially) {
+  ThreadScope threads(4);
+  std::atomic<int> total{0};
+  kernels::ParallelFor(8, 1, [&total](int64_t) {
+    EXPECT_TRUE(kernels::KernelContext::InParallelRegion());
+    kernels::ParallelFor(100, 10, [&total](int64_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 800);
+}
+
+TEST(MatMulKernelTest, GemmNNMatchesNaiveAndIsThreadInvariant) {
+  const int64_t m = 37, k = 53, n = 41;  // ragged: exercises all tails
+  const std::vector<float> a = RandVec(m * k, 2), b = RandVec(k * n, 3);
+  // vs naive: tolerance only — FP contraction (FMA) fuses differently across
+  // the two loops even though the accumulation order matches.
+  const std::vector<float> want = NaiveMatMul(a, b, m, k, n);
+  std::vector<float> serial(static_cast<size_t>(m * n), -1.0f);
+  {
+    ThreadScope scope(1);
+    kernels::GemmNN(m, n, k, a.data(), b.data(), serial.data(), false);
+  }
+  for (size_t i = 0; i < want.size(); ++i) {
+    ASSERT_NEAR(serial[i], want[i], 1e-4f) << i;
+  }
+  // vs itself across thread counts: bitwise.
+  ThreadScope scope(4);
+  std::vector<float> parallel(static_cast<size_t>(m * n), -1.0f);
+  kernels::GemmNN(m, n, k, a.data(), b.data(), parallel.data(), false);
+  for (size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(serial[i], parallel[i]) << i;
+  }
+}
+
+TEST(MatMulKernelTest, GemmNTMatchesNaive) {
+  const int64_t m = 19, n = 23, k = 31;
+  const std::vector<float> a = RandVec(m * k, 4), b = RandVec(n * k, 5);
+  std::vector<float> want(static_cast<size_t>(m * n), 0.0f);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int64_t l = 0; l < k; ++l) {
+        acc += a[static_cast<size_t>(i * k + l)] * b[static_cast<size_t>(j * k + l)];
+      }
+      want[static_cast<size_t>(i * n + j)] = acc;
+    }
+  }
+  ThreadScope scope(4);
+  std::vector<float> c(static_cast<size_t>(m * n), 0.0f);
+  kernels::GemmNT(m, n, k, a.data(), b.data(), c.data(), false);
+  for (size_t i = 0; i < want.size(); ++i) ASSERT_EQ(c[i], want[i]) << i;
+}
+
+TEST(MatMulKernelTest, GemmTNMatchesNaiveWithAccumulate) {
+  const int64_t m = 21, n = 17, k = 29;  // C(m,n) += A(k,m)^T B(k,n)
+  const std::vector<float> a = RandVec(k * m, 6), b = RandVec(k * n, 7);
+  std::vector<float> want = RandVec(m * n, 8);
+  std::vector<float> c = want;
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t l = 0; l < k; ++l) {
+      const float av = a[static_cast<size_t>(l * m + i)];
+      for (int64_t j = 0; j < n; ++j) {
+        want[static_cast<size_t>(i * n + j)] += av * b[static_cast<size_t>(l * n + j)];
+      }
+    }
+  }
+  ThreadScope scope(4);
+  kernels::GemmTN(m, n, k, a.data(), b.data(), c.data(), true);
+  for (size_t i = 0; i < want.size(); ++i) {
+    ASSERT_NEAR(c[i], want[i], 1e-4f) << i;
+  }
+}
+
+/// Runs fn at 1 and 4 threads and asserts bitwise-identical output tensors.
+template <typename Fn>
+void ExpectThreadCountInvariant(Fn fn) {
+  Tensor serial, parallel;
+  {
+    ThreadScope scope(1);
+    serial = fn();
+  }
+  {
+    ThreadScope scope(4);
+    parallel = fn();
+  }
+  ASSERT_TRUE(serial.shape() == parallel.shape());
+  const float* ps = serial.data();
+  const float* pp = parallel.data();
+  for (int64_t i = 0; i < serial.NumElements(); ++i) {
+    ASSERT_EQ(ps[i], pp[i]) << "element " << i;
+  }
+}
+
+TEST(OpsEquivalenceTest, ElementwiseBitwiseStableAcrossThreadCounts) {
+  Rng rng(9);
+  Tensor x = Tensor::Randn(Shape{64, 257}, &rng);
+  Tensor y = Tensor::Randn(Shape{64, 257}, &rng);
+  Tensor bias = Tensor::Randn(Shape{257}, &rng);
+  ExpectThreadCountInvariant([&] { return ops::Add(x, bias); });
+  ExpectThreadCountInvariant([&] { return ops::Mul(x, y); });
+  ExpectThreadCountInvariant([&] { return ops::Div(x, ops::AddScalar(ops::Square(y), 1.0f)); });
+  ExpectThreadCountInvariant([&] { return ops::Gelu(x); });
+  ExpectThreadCountInvariant([&] { return ops::Softmax(x); });
+  ExpectThreadCountInvariant([&] { return ops::LogSoftmax(x); });
+}
+
+TEST(OpsEquivalenceTest, MatMulBitwiseStableAcrossThreadCounts) {
+  Rng rng(10);
+  Tensor a = Tensor::Randn(Shape{65, 47}, &rng);
+  Tensor b = Tensor::Randn(Shape{47, 33}, &rng);
+  Tensor ba = Tensor::Randn(Shape{6, 19, 23}, &rng);
+  Tensor bb = Tensor::Randn(Shape{6, 23, 9}, &rng);
+  Tensor bt = Tensor::Randn(Shape{6, 9, 23}, &rng);
+  ExpectThreadCountInvariant([&] { return ops::MatMul(a, b); });
+  ExpectThreadCountInvariant([&] { return ops::BatchMatMul(ba, bb); });
+  ExpectThreadCountInvariant([&] { return ops::BatchMatMulTransB(ba, bt); });
+  ExpectThreadCountInvariant([&] { return ops::Sum(a); });
+  ExpectThreadCountInvariant([&] { return ops::SumLastDim(a); });
+}
+
+TEST(OpsEquivalenceTest, BackwardBitwiseStableAcrossThreadCounts) {
+  auto grads = [](int64_t threads) {
+    ThreadScope scope(threads);
+    Rng rng(11);
+    Tensor a = Tensor::Randn(Shape{31, 17}, &rng, 1.0f, true);
+    Tensor b = Tensor::Randn(Shape{17, 13}, &rng, 1.0f, true);
+    Tensor bias = Tensor::Randn(Shape{13}, &rng, 1.0f, true);
+    Tensor loss = ops::Sum(ops::Square(ops::Add(ops::MatMul(a, b), bias)));
+    loss.Backward();
+    std::vector<float> out = a.GradTensor().ToVector();
+    std::vector<float> gb = b.GradTensor().ToVector();
+    std::vector<float> gbias = bias.GradTensor().ToVector();
+    out.insert(out.end(), gb.begin(), gb.end());
+    out.insert(out.end(), gbias.begin(), gbias.end());
+    return out;
+  };
+  const std::vector<float> serial = grads(1);
+  const std::vector<float> parallel = grads(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i], parallel[i]) << i;
+  }
+}
+
+TEST(OpsEquivalenceTest, BatchMatMulTransBMatchesExplicitTranspose) {
+  Rng rng(12);
+  Tensor a = Tensor::Randn(Shape{4, 11, 7}, &rng);
+  Tensor b = Tensor::Randn(Shape{4, 13, 7}, &rng);
+  Tensor fused = ops::BatchMatMulTransB(a, b);
+  Tensor reference = ops::BatchMatMul(a, ops::TransposeLast2(b));
+  ASSERT_TRUE(fused.shape() == reference.shape());
+  for (int64_t i = 0; i < fused.NumElements(); ++i) {
+    ASSERT_NEAR(fused.data()[i], reference.data()[i], 1e-5f) << i;
+  }
+}
+
+TEST(KernelGradCheckTest, MatMulBackwardAtFourThreads) {
+  ThreadScope scope(4);
+  Rng rng(13);
+  GradCheckResult r = GradCheck(
+      [](const std::vector<Tensor>& in) {
+        return ops::Sum(ops::Square(ops::MatMul(in[0], in[1])));
+      },
+      {Tensor::Randn(Shape{5, 6}, &rng, 1.0f, true),
+       Tensor::Randn(Shape{6, 4}, &rng, 1.0f, true)});
+  EXPECT_TRUE(r.passed) << r.detail;
+}
+
+TEST(KernelGradCheckTest, BatchMatMulTransBBackward) {
+  ThreadScope scope(4);
+  Rng rng(14);
+  GradCheckResult r = GradCheck(
+      [](const std::vector<Tensor>& in) {
+        return ops::Sum(ops::Square(ops::BatchMatMulTransB(in[0], in[1])));
+      },
+      {Tensor::Randn(Shape{2, 3, 4}, &rng, 1.0f, true),
+       Tensor::Randn(Shape{2, 5, 4}, &rng, 1.0f, true)});
+  EXPECT_TRUE(r.passed) << r.detail;
+}
+
+TEST(KernelGradCheckTest, Conv2dBackwardAtFourThreads) {
+  ThreadScope scope(4);
+  Rng rng(15);
+  GradCheckResult r = GradCheck(
+      [](const std::vector<Tensor>& in) {
+        return ops::Mean(ops::Square(ops::Conv2d(in[0], in[1], in[2], 1, 1)));
+      },
+      {Tensor::Randn(Shape{2, 2, 5, 5}, &rng, 0.5f, true),
+       Tensor::Randn(Shape{3, 2, 3, 3}, &rng, 0.5f, true),
+       Tensor::Randn(Shape{3}, &rng, 0.5f, true)},
+      /*epsilon=*/2e-2);
+  EXPECT_TRUE(r.passed) << r.detail;
+}
+
+TEST(ThreadPoolStressTest, SubmitWaitUnderContention) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> counter{0};
+  // Several waves of submissions interleaved with Wait() — exercises the
+  // queue/cv handshake under contention.
+  for (int wave = 0; wave < 20; ++wave) {
+    const int tasks = 50 + wave;
+    for (int t = 0; t < tasks; ++t) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+  }
+  int64_t want = 0;
+  for (int wave = 0; wave < 20; ++wave) want += 50 + wave;
+  EXPECT_EQ(counter.load(), want);
+}
+
+TEST(ThreadPoolStressTest, ConcurrentSubmittersViaKernelPool) {
+  // Outer pool workers each drive kernel ParallelFor calls that share the
+  // KernelContext pool: per-call completion tracking must not cross wires.
+  ThreadScope scope(3);
+  ThreadPool outer(4);
+  std::atomic<int64_t> total{0};
+  for (int t = 0; t < 16; ++t) {
+    outer.Submit([&total] {
+      kernels::ParallelFor(1000, 16,
+                           [&total](int64_t) { total.fetch_add(1); });
+    });
+  }
+  outer.Wait();
+  EXPECT_EQ(total.load(), 16 * 1000);
+}
+
+}  // namespace
+}  // namespace cdcl
