@@ -17,11 +17,12 @@
 
 #include "cl/metrics.h"
 #include "core/driver.h"
+#include "table_harness.h"
+#include "tensor/kernels/parallel.h"
 #include "util/env.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
-#include "util/thread_pool.h"
 
 namespace {
 
@@ -50,8 +51,7 @@ int main() {
 
   std::vector<std::string> methods =
       EnvStringList("CDCL_METHODS", {"DER", "HAL", "CDTrans-S", "CDCL", "TVT"});
-  const int64_t threads = EnvInt(
-      "CDCL_THREADS", static_cast<int64_t>(ThreadPool::DefaultThreadCount()));
+  const int64_t threads = bench::ConfigureBenchThreads();
 
   std::printf("== Table III - DomainNet 6x6 (synthetic substitution) ==\n");
   std::printf(
@@ -92,24 +92,21 @@ int main() {
   }
 
   Stopwatch timer;
-  {
-    ThreadPool pool(static_cast<size_t>(std::max<int64_t>(threads, 1)));
-    ParallelFor(&pool, cells.size(), [&](size_t i) {
-      const Cell& cell = cells[i];
-      core::ExperimentSpec cell_spec = spec;
-      cell_spec.source_domain = kDomains[cell.s];
-      cell_spec.target_domain = kDomains[cell.t];
-      cell_spec.seed = 1;
-      Result<cl::ContinualResult> result =
-          core::RunMethodOnPair(cell.method, cell_spec, options);
-      std::lock_guard<std::mutex> lock(mu);
-      if (!result.ok()) {
-        errors.push_back(cell.method + ": " + result.status().ToString());
-        return;
-      }
-      results.emplace(Key{cell.method, cell.s, cell.t}, std::move(*result));
-    });
-  }
+  kernels::ParallelFor(static_cast<int64_t>(cells.size()), 1, [&](int64_t i) {
+    const Cell& cell = cells[static_cast<size_t>(i)];
+    core::ExperimentSpec cell_spec = spec;
+    cell_spec.source_domain = kDomains[cell.s];
+    cell_spec.target_domain = kDomains[cell.t];
+    cell_spec.seed = 1;
+    Result<cl::ContinualResult> result =
+        core::RunMethodOnPair(cell.method, cell_spec, options);
+    std::lock_guard<std::mutex> lock(mu);
+    if (!result.ok()) {
+      errors.push_back(cell.method + ": " + result.status().ToString());
+      return;
+    }
+    results.emplace(Key{cell.method, cell.s, cell.t}, std::move(*result));
+  });
   if (!errors.empty()) {
     for (const auto& e : errors) std::fprintf(stderr, "ERROR %s\n", e.c_str());
     return 1;

@@ -15,11 +15,12 @@
 #include "cl/experiment.h"
 #include "core/cdcl_trainer.h"
 #include "core/driver.h"
+#include "table_harness.h"
+#include "tensor/kernels/parallel.h"
 #include "util/env.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
-#include "util/thread_pool.h"
 
 namespace {
 
@@ -90,10 +91,10 @@ int main() {
   }
 
   const char* kPairs[][2] = {{"MN", "US"}, {"US", "MN"}};
-  const int64_t threads = EnvInt(
-      "CDCL_THREADS", static_cast<int64_t>(ThreadPool::DefaultThreadCount()));
+  const int64_t threads = bench::ConfigureBenchThreads();
 
-  std::printf("== Table IV - ablation study (synthetic digits) ==\n");
+  std::printf("== Table IV - ablation study (synthetic digits, threads=%lld) ==\n",
+              static_cast<long long>(threads));
 
   std::map<std::pair<size_t, int>, cl::ContinualResult> results;
   std::mutex mu;
@@ -108,39 +109,36 @@ int main() {
   }
 
   Stopwatch timer;
-  {
-    ThreadPool pool(static_cast<size_t>(std::max<int64_t>(threads, 1)));
-    ParallelFor(&pool, cells.size(), [&](size_t i) {
-      const Cell& cell = cells[i];
-      data::TaskStreamOptions stream_opt;
-      stream_opt.family = spec.family;
-      stream_opt.source_domain = kPairs[cell.pair][0];
-      stream_opt.target_domain = kPairs[cell.pair][1];
-      stream_opt.num_tasks = spec.num_tasks;
-      stream_opt.classes_per_task = spec.classes_per_task;
-      stream_opt.train_per_class = spec.train_per_class;
-      stream_opt.test_per_class = spec.test_per_class;
-      stream_opt.seed = 1;
-      auto stream = data::CrossDomainTaskStream::Make(stream_opt);
-      if (!stream.ok()) {
-        std::lock_guard<std::mutex> lock(mu);
-        errors.push_back(stream.status().ToString());
-        return;
-      }
-      core::CdclOptions opt = variants[cell.variant].options;
-      opt.base.model.channels = 1;
-      opt.base.seed = 1;
-      core::CdclTrainer trainer(opt);
-      auto result = cl::RunContinualExperiment(&trainer, *stream);
+  kernels::ParallelFor(static_cast<int64_t>(cells.size()), 1, [&](int64_t i) {
+    const Cell& cell = cells[static_cast<size_t>(i)];
+    data::TaskStreamOptions stream_opt;
+    stream_opt.family = spec.family;
+    stream_opt.source_domain = kPairs[cell.pair][0];
+    stream_opt.target_domain = kPairs[cell.pair][1];
+    stream_opt.num_tasks = spec.num_tasks;
+    stream_opt.classes_per_task = spec.classes_per_task;
+    stream_opt.train_per_class = spec.train_per_class;
+    stream_opt.test_per_class = spec.test_per_class;
+    stream_opt.seed = 1;
+    auto stream = data::CrossDomainTaskStream::Make(stream_opt);
+    if (!stream.ok()) {
       std::lock_guard<std::mutex> lock(mu);
-      if (!result.ok()) {
-        errors.push_back(result.status().ToString());
-        return;
-      }
-      results.emplace(std::make_pair(cell.variant, cell.pair),
-                      std::move(*result));
-    });
-  }
+      errors.push_back(stream.status().ToString());
+      return;
+    }
+    core::CdclOptions opt = variants[cell.variant].options;
+    opt.base.model.channels = 1;
+    opt.base.seed = 1;
+    core::CdclTrainer trainer(opt);
+    auto result = cl::RunContinualExperiment(&trainer, *stream);
+    std::lock_guard<std::mutex> lock(mu);
+    if (!result.ok()) {
+      errors.push_back(result.status().ToString());
+      return;
+    }
+    results.emplace(std::make_pair(cell.variant, cell.pair),
+                    std::move(*result));
+  });
   if (!errors.empty()) {
     for (const auto& e : errors) std::fprintf(stderr, "ERROR %s\n", e.c_str());
     return 1;

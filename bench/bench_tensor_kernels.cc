@@ -1,6 +1,10 @@
-// Kernel-dispatch throughput benchmark: blocked/parallel kernels vs the
-// pre-kernel serial seed loops, at 1, 2 and N worker threads. Prints the
-// usual aligned table and emits a BENCH_kernels.json report for tracking.
+// Kernel-dispatch throughput benchmark: blocked/packed/parallel kernels vs
+// the pre-kernel serial seed loops, at 1, 2 and N worker threads. The matmul
+// rows pin the dispatcher to one kernel each (blocked scalar tile vs the
+// packed-B SIMD path) so the packed-vs-blocked trajectory is recorded per
+// run; the conv row times a full forward+backward step through the parallel
+// per-chunk grad-scratch path. Prints the usual aligned table and emits a
+// BENCH_kernels.json report for tracking.
 //
 // Env knobs:
 //   CDCL_BENCH_REPS   timing repetitions, best-of (default 3)
@@ -14,12 +18,13 @@
 #include "tensor/kernels/kernel_context.h"
 #include "tensor/kernels/matmul_kernel.h"
 #include "tensor/kernels/parallel.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
 #include "util/env.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
-#include "util/thread_pool.h"
 
 namespace {
 
@@ -74,13 +79,17 @@ struct BenchRow {
   }
 };
 
-void WriteJson(const std::string& path, const std::vector<BenchRow>& rows) {
+void WriteJson(const std::string& path, const std::vector<BenchRow>& rows,
+               double packed_vs_blocked_1t) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "WARNING: cannot write %s\n", path.c_str());
     return;
   }
-  std::fprintf(f, "{\n  \"bench\": \"tensor_kernels\",\n  \"results\": [\n");
+  std::fprintf(f,
+               "{\n  \"bench\": \"tensor_kernels\",\n"
+               "  \"packed_vs_blocked_1t\": %.3f,\n  \"results\": [\n",
+               packed_vs_blocked_1t);
   for (size_t i = 0; i < rows.size(); ++i) {
     const BenchRow& r = rows[i];
     std::fprintf(f, "    {\"op\": \"%s\", \"size\": \"%s\", \"serial_ms\": %.3f, ",
@@ -108,29 +117,78 @@ int main() {
   const std::string out_path =
       EnvString("CDCL_BENCH_OUT", "BENCH_kernels.json");
   std::vector<int64_t> thread_counts = {1, 2, 4};
-  const int64_t hw = static_cast<int64_t>(ThreadPool::DefaultThreadCount());
+  kernels::SetNumThreads(0);
+  const int64_t hw = kernels::GetNumThreads();
   if (hw > 4) thread_counts.push_back(hw);
 
-  std::printf("== tensor kernel throughput (reps=%lld, hw threads=%lld) ==\n",
-              static_cast<long long>(reps), static_cast<long long>(hw));
+  std::printf(
+      "== tensor kernel throughput (reps=%lld, hw threads=%lld, "
+      "avx2=%d) ==\n",
+      static_cast<long long>(reps), static_cast<long long>(hw),
+      kernels::CpuHasAvx2Fma() ? 1 : 0);
   std::vector<BenchRow> rows;
 
-  // --- MatMul: mm x mm x mm --------------------------------------------------
+  // --- MatMul: mm x mm x mm, blocked scalar tile vs packed SIMD path --------
   {
     const int64_t m = mm, n = mm, k = mm;
     const std::vector<float> a = RandVec(m * k, 1), b = RandVec(k * n, 2);
     std::vector<float> c(static_cast<size_t>(m * n));
-    BenchRow row;
-    row.op = "matmul";
-    row.size = StrFormat("%lldx%lldx%lld", static_cast<long long>(m),
-                         static_cast<long long>(k), static_cast<long long>(n));
-    row.serial_ms =
+    const std::string size =
+        StrFormat("%lldx%lldx%lld", static_cast<long long>(m),
+                  static_cast<long long>(k), static_cast<long long>(n));
+    const double seed_serial_ms =
         TimeMs(reps, [&] { SeedMatMul(m, n, k, a.data(), b.data(), c.data()); });
+    const struct {
+      const char* op;
+      kernels::GemmKernel kernel;
+    } kMatmulRows[] = {
+        {"matmul_blocked", kernels::GemmKernel::kScalar},
+        {"matmul_packed", kernels::GemmKernel::kPacked},
+        {"matmul_auto", kernels::GemmKernel::kAuto},
+    };
+    for (const auto& spec : kMatmulRows) {
+      BenchRow row;
+      row.op = spec.op;
+      row.size = size;
+      row.serial_ms = seed_serial_ms;
+      kernels::SetGemmKernel(spec.kernel);
+      for (int64_t t : thread_counts) {
+        kernels::SetNumThreads(t);
+        row.per_thread_ms.emplace_back(t, TimeMs(reps, [&] {
+          kernels::GemmNN(m, n, k, a.data(), b.data(), c.data(), false);
+        }));
+      }
+      kernels::SetGemmKernel(kernels::GemmKernel::kAuto);
+      rows.push_back(row);
+    }
+  }
+
+  // --- Conv2d forward+backward through the parallel grad-scratch path -------
+  {
+    const int64_t cb = 8, cc = 8, chw = 32, co = 16, ck = 3;
+    Rng rng(6);
+    Tensor x = Tensor::Randn(Shape{cb, cc, chw, chw}, &rng, 1.0f, true);
+    Tensor w = Tensor::Randn(Shape{co, cc, ck, ck}, &rng, 1.0f, true);
+    Tensor bias = Tensor::Randn(Shape{co}, &rng, 1.0f, true);
+    auto step = [&] {
+      x.ZeroGrad();
+      w.ZeroGrad();
+      bias.ZeroGrad();
+      Tensor loss = ops::Sum(ops::Conv2d(x, w, bias, 1, 1));
+      loss.Backward();
+    };
+    BenchRow row;
+    row.op = "conv2d_fwd_bwd";
+    row.size = StrFormat("b%lld %lldx%lldx%lld k%lld o%lld",
+                         static_cast<long long>(cb), static_cast<long long>(cc),
+                         static_cast<long long>(chw),
+                         static_cast<long long>(chw), static_cast<long long>(ck),
+                         static_cast<long long>(co));
+    kernels::SetNumThreads(1);
+    row.serial_ms = TimeMs(reps, step);
     for (int64_t t : thread_counts) {
       kernels::SetNumThreads(t);
-      row.per_thread_ms.emplace_back(t, TimeMs(reps, [&] {
-        kernels::GemmNN(m, n, k, a.data(), b.data(), c.data(), false);
-      }));
+      row.per_thread_ms.emplace_back(t, TimeMs(reps, step));
     }
     rows.push_back(row);
   }
@@ -205,7 +263,21 @@ int main() {
   }
   table.Print();
 
-  WriteJson(out_path, rows);
+  // Headline number for the packed-B SIMD path: single-thread speedup over
+  // the PR-1 blocked scalar tile on the same shape.
+  double packed_vs_blocked = 0.0;
+  {
+    double blocked = 0.0, packed = 0.0;
+    for (const BenchRow& r : rows) {
+      if (r.op == "matmul_blocked") blocked = r.ThreadMs(1);
+      if (r.op == "matmul_packed") packed = r.ThreadMs(1);
+    }
+    if (blocked > 0.0 && packed > 0.0) packed_vs_blocked = blocked / packed;
+    std::printf("packed vs blocked GEMM (1 thread): %.2fx\n",
+                packed_vs_blocked);
+  }
+
+  WriteJson(out_path, rows, packed_vs_blocked);
   std::printf("report written to %s\n", out_path.c_str());
   return 0;
 }

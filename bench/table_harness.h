@@ -4,12 +4,18 @@
 // prints the paper's row/column layout (TIL block, CIL block, TVT row).
 //
 // Env knobs (read on top of the per-bench defaults):
-//   CDCL_METHODS   comma list; default per bench
-//   CDCL_SEEDS     number of seeds averaged (default 1)
-//   CDCL_THREADS   worker threads (default: hardware concurrency)
+//   CDCL_METHODS       comma list; default per bench
+//   CDCL_SEEDS         number of seeds averaged (default 1)
+//   CDCL_NUM_THREADS   worker threads for the shared kernel pool (default:
+//                      hardware concurrency; CDCL_THREADS is a legacy alias)
 //   CDCL_EPOCHS, CDCL_WARMUP, CDCL_BATCH, CDCL_MEMORY,
 //   CDCL_TASKS, CDCL_TRAIN_PER_CLASS, CDCL_TEST_PER_CLASS,
 //   CDCL_EMBED_DIM, CDCL_LAYERS (see core/driver.h)
+//
+// Cells fan out over the process-wide KernelContext pool (no private pool):
+// a cell body runs inside the pool's parallel region, so the tensor kernels
+// it reaches collapse to serial inline execution — coarse cell parallelism
+// outside, per-op parallelism only when cells are fewer than workers.
 
 #ifndef CDCL_BENCH_TABLE_HARNESS_H_
 #define CDCL_BENCH_TABLE_HARNESS_H_
@@ -22,14 +28,27 @@
 
 #include "cl/metrics.h"
 #include "core/driver.h"
+#include "tensor/kernels/kernel_context.h"
+#include "tensor/kernels/parallel.h"
 #include "util/env.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
-#include "util/thread_pool.h"
 
 namespace cdcl {
 namespace bench {
+
+/// Applies the harness thread knobs to the shared kernel pool and returns
+/// the resolved count. CDCL_THREADS (the pre-unification knob) still works
+/// as an alias but never overrides CDCL_NUM_THREADS, which KernelContext
+/// itself resolves.
+inline int64_t ConfigureBenchThreads() {
+  const int64_t legacy = EnvInt("CDCL_THREADS", 0);
+  if (legacy > 0 && EnvInt("CDCL_NUM_THREADS", 0) <= 0) {
+    kernels::SetNumThreads(legacy);
+  }
+  return kernels::GetNumThreads();
+}
 
 struct PairSpec {
   std::string source;
@@ -66,9 +85,7 @@ inline int RunTableBench(TableBenchConfig config) {
   core::ApplyEnvOverrides(&config.spec, &config.options);
   config.methods = EnvStringList("CDCL_METHODS", config.methods);
   const int64_t seeds = EnvInt("CDCL_SEEDS", 1);
-  const int64_t threads =
-      EnvInt("CDCL_THREADS",
-             static_cast<int64_t>(ThreadPool::DefaultThreadCount()));
+  const int64_t threads = ConfigureBenchThreads();
   config.spec.family = config.family;
 
   std::printf("== %s ==\n", config.title.c_str());
@@ -102,26 +119,23 @@ inline int RunTableBench(TableBenchConfig config) {
       raw;
   std::vector<std::string> errors;
   Stopwatch timer;
-  {
-    ThreadPool pool(static_cast<size_t>(std::max<int64_t>(threads, 1)));
-    ParallelFor(&pool, cells.size(), [&](size_t i) {
-      const Cell& cell = cells[i];
-      core::ExperimentSpec spec = config.spec;
-      spec.source_domain = config.pairs[cell.pair_index].source;
-      spec.target_domain = config.pairs[cell.pair_index].target;
-      spec.seed = cell.seed;
-      Result<cl::ContinualResult> result =
-          core::RunMethodOnPair(cell.method, spec, config.options);
-      std::lock_guard<std::mutex> lock(mu);
-      if (!result.ok()) {
-        errors.push_back(cell.method + "/" +
-                         config.pairs[cell.pair_index].label + ": " +
-                         result.status().ToString());
-        return;
-      }
-      raw[{cell.method, cell.pair_index}].push_back(std::move(*result));
-    });
-  }
+  kernels::ParallelFor(static_cast<int64_t>(cells.size()), 1, [&](int64_t i) {
+    const Cell& cell = cells[static_cast<size_t>(i)];
+    core::ExperimentSpec spec = config.spec;
+    spec.source_domain = config.pairs[cell.pair_index].source;
+    spec.target_domain = config.pairs[cell.pair_index].target;
+    spec.seed = cell.seed;
+    Result<cl::ContinualResult> result =
+        core::RunMethodOnPair(cell.method, spec, config.options);
+    std::lock_guard<std::mutex> lock(mu);
+    if (!result.ok()) {
+      errors.push_back(cell.method + "/" +
+                       config.pairs[cell.pair_index].label + ": " +
+                       result.status().ToString());
+      return;
+    }
+    raw[{cell.method, cell.pair_index}].push_back(std::move(*result));
+  });
   if (!errors.empty()) {
     for (const auto& e : errors) std::fprintf(stderr, "ERROR %s\n", e.c_str());
     return 1;

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # One-command tier-1 gate: configure + build + ctest, Debug and Release, with
-# -Wall -Wextra (always on via CMakeLists). Usage: scripts/verify.sh [jobs]
+# -Wall -Wextra (always on via CMakeLists), plus an ASan/UBSan pass over the
+# kernel suites (packing buffers and per-thread grad scratch are where
+# lifetime bugs hide). Usage: scripts/verify.sh [jobs]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -16,4 +18,13 @@ for config in Debug Release; do
   ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"
 done
 
-echo "verify: OK (Debug + Release)"
+echo "== ASan/UBSan: kernel suites =="
+asan_dir="build-verify-asan"
+cmake -B "${asan_dir}" -S . -DCMAKE_BUILD_TYPE=Debug -DCDCL_SANITIZE=ON \
+  -DCDCL_BUILD_BENCH=OFF -DCDCL_BUILD_EXAMPLES=OFF
+cmake --build "${asan_dir}" -j "${JOBS}" \
+  --target kernels_test gemm_packed_test
+ctest --test-dir "${asan_dir}" --output-on-failure -j "${JOBS}" \
+  -R '^(kernels_test|gemm_packed_test)$'
+
+echo "verify: OK (Debug + Release + ASan/UBSan kernels)"

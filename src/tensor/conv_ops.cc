@@ -80,6 +80,20 @@ void Col2ImAccumulate(const float* col, int64_t c, int64_t h, int64_t w,
   }
 }
 
+/// Batch-chunk width for the conv backward grad scratch. Weight/bias grads
+/// accumulate across samples, so the batch loop keeps one scratch slot per
+/// fixed chunk of samples and reduces the slots in chunk order afterwards —
+/// the accumulation order is sample-ascending for every element no matter
+/// how many threads run, which keeps the kernel determinism contract. The
+/// chunk width is a pure function of the shape (never the thread count):
+/// one sample per chunk until the scratch would exceed the budget.
+int64_t ConvGradChunk(int64_t batch, int64_t grad_elems) {
+  constexpr int64_t kScratchBudget = int64_t{1} << 21;  // floats (8 MiB)
+  const int64_t max_chunks =
+      std::max<int64_t>(kScratchBudget / std::max<int64_t>(grad_elems, 1), 1);
+  return (batch + max_chunks - 1) / max_chunks;
+}
+
 }  // namespace
 
 Tensor Conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
@@ -143,34 +157,82 @@ Tensor Conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
                if (need_x) x_impl->EnsureGrad();
                if (need_w) w_impl->EnsureGrad();
                if (need_b) b_impl->EnsureGrad();
-               std::vector<float> gcol;
-               if (need_x) gcol.assign(static_cast<size_t>(ckk * spatial), 0.0f);
-               // Weight/bias grads accumulate across samples, so the batch
-               // loop stays serial; the per-sample GEMMs parallelize inside.
-               for (int64_t bi = 0; bi < b; ++bi) {
-                 const float* gout = g + bi * o * spatial;
-                 const float* col = cols->data() + bi * ckk * spatial;
-                 if (need_b) {
-                   float* gb = b_impl->grad.data();
-                   kernels::RowMap(o, spatial, [gb, gout, spatial](int64_t oi) {
-                     const float* grow = gout + oi * spatial;
-                     float acc = 0.0f;
-                     for (int64_t s = 0; s < spatial; ++s) acc += grow[s];
-                     gb[oi] += acc;
-                   });
-                 }
-                 if (need_w) {
-                   // dW += G_b * col_b^T  ((o,spatial) x (ckk,spatial)^T)
-                   kernels::GemmNT(o, ckk, spatial, gout, col,
-                                   w_impl->grad.data(), /*accumulate=*/true);
-                 }
+               // Input grads are disjoint per sample, but weight/bias grads
+               // accumulate across the batch, so the parallel batch loop
+               // writes them into per-chunk scratch slots that are reduced
+               // in chunk order below (fixed sample-ascending order for
+               // every element => bitwise identical at any thread count).
+               const int64_t chunk = ConvGradChunk(b, o * ckk);
+               const int64_t nchunks = (b + chunk - 1) / chunk;
+               std::vector<float> wpart, bpart;
+               if (need_w) {
+                 wpart.assign(static_cast<size_t>(nchunks * o * ckk), 0.0f);
+               }
+               if (need_b) {
+                 bpart.assign(static_cast<size_t>(nchunks * o), 0.0f);
+               }
+               const float* pw = w_impl->data.data();
+               const float* pcols = cols->data();
+               float* gx = need_x ? x_impl->grad.data() : nullptr;
+               float* pwpart = wpart.data();
+               float* pbpart = bpart.data();
+               kernels::ParallelChunks(b, chunk, [&](int64_t b0, int64_t b1) {
+                 const int64_t ci = b0 / chunk;
+                 // Per-chunk column-grad scratch; the inner GEMMs run serial
+                 // inline here (nested parallel regions collapse).
+                 std::vector<float> gcol;
                  if (need_x) {
-                   // dcol = W^T * G_b  ((o,ckk)^T x (o,spatial))
-                   kernels::GemmTN(ckk, spatial, o, w_impl->data.data(), gout,
-                                   gcol.data(), /*accumulate=*/false);
-                   Col2ImAccumulate(gcol.data(), c, h, ww, kh, kw, stride,
-                                    padding, oh, ow,
-                                    x_impl->grad.data() + bi * c * h * ww);
+                   gcol.resize(static_cast<size_t>(ckk * spatial));
+                 }
+                 for (int64_t bi = b0; bi < b1; ++bi) {
+                   const float* gout = g + bi * o * spatial;
+                   const float* col = pcols + bi * ckk * spatial;
+                   if (need_b) {
+                     float* gb = pbpart + ci * o;
+                     for (int64_t oi = 0; oi < o; ++oi) {
+                       const float* grow = gout + oi * spatial;
+                       float acc = 0.0f;
+                       for (int64_t s = 0; s < spatial; ++s) acc += grow[s];
+                       gb[oi] += acc;
+                     }
+                   }
+                   if (need_w) {
+                     // dW_chunk += G_b * col_b^T ((o,spatial) x (ckk,spatial)^T)
+                     kernels::GemmNT(o, ckk, spatial, gout, col,
+                                     pwpart + ci * o * ckk,
+                                     /*accumulate=*/true);
+                   }
+                   if (need_x) {
+                     // dcol = W^T * G_b  ((o,ckk)^T x (o,spatial))
+                     kernels::GemmTN(ckk, spatial, o, pw, gout, gcol.data(),
+                                     /*accumulate=*/false);
+                     Col2ImAccumulate(gcol.data(), c, h, ww, kh, kw, stride,
+                                      padding, oh, ow, gx + bi * c * h * ww);
+                   }
+                 }
+               });
+               // Chunk-ordered reduction, parallel over grad elements: each
+               // element sums its per-chunk partials in ascending chunk
+               // (= sample) order regardless of which thread owns it.
+               if (need_w) {
+                 float* gw = w_impl->grad.data();
+                 const int64_t wn = o * ckk;
+                 kernels::EltwiseMap(wn, [=](int64_t idx) {
+                   float acc = gw[idx];
+                   for (int64_t ci = 0; ci < nchunks; ++ci) {
+                     acc += pwpart[ci * wn + idx];
+                   }
+                   gw[idx] = acc;
+                 });
+               }
+               if (need_b) {
+                 float* gb = b_impl->grad.data();
+                 for (int64_t oi = 0; oi < o; ++oi) {
+                   float acc = gb[oi];
+                   for (int64_t ci = 0; ci < nchunks; ++ci) {
+                     acc += pbpart[ci * o + oi];
+                   }
+                   gb[oi] = acc;
                  }
                }
              });

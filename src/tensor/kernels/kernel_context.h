@@ -73,9 +73,10 @@ int64_t GetNumThreads();
 inline constexpr int64_t kEltwiseGrain = 8192;
 /// Fixed reduction grain; must never depend on the thread count.
 inline constexpr int64_t kReduceGrain = 8192;
-/// Rows of a GEMM output partitioned across workers (multiple of the
-/// register-block height used by matmul_kernel.cc).
-inline constexpr int64_t kGemmRowGrain = 32;
+/// Rows of a GEMM output partitioned across workers. A common multiple of
+/// every register-block height in play (8x32 scalar tile, 4-row NT/TN,
+/// 6-row AVX2 packed tile) so only the final chunk sees row tails.
+inline constexpr int64_t kGemmRowGrain = 48;
 
 /// Grain for row-wise ops (softmax/layernorm/losses) with rows of `width`
 /// elements: targets roughly kEltwiseGrain touched elements per chunk.

@@ -1,8 +1,14 @@
 #include "tensor/kernels/matmul_kernel.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cstring>
+#include <memory>
+#include <string>
 
 #include "tensor/kernels/kernel_context.h"
+#include "tensor/kernels/matmul_internal.h"
+#include "util/env.h"
 
 namespace cdcl {
 namespace kernels {
@@ -20,6 +26,90 @@ constexpr int64_t kNr = 32;
 constexpr int64_t kMrNT = 4;
 static_assert(kGemmRowGrain % kMr == 0, "row grain must align register block");
 static_assert(kGemmRowGrain % kMrNT == 0, "row grain must align NT/TN block");
+static_assert(kGemmRowGrain % 6 == 0, "row grain must align AVX2 6-row block");
+
+// ---------------------------------------------------------------------------
+// Kernel selection. The choice is a pure function of (shape, ISA, override)
+// — never of the thread count — so dispatch cannot break the bitwise
+// thread-count-invariance contract. Thresholds are documented in README.md.
+// ---------------------------------------------------------------------------
+
+// Packed NN pays an O(k*n) pack of B, so it needs enough arithmetic to
+// amortize: every dimension past the register tile and ~64^3 total work.
+constexpr int64_t kPackedMinM = 8;
+constexpr int64_t kPackedMinN = 16;
+constexpr int64_t kPackedMinK = 16;
+constexpr int64_t kPackedMinWork = int64_t{1} << 18;  // 64^3 madds
+// NT/TN SIMD paths have no packing cost; they only need vectorizable width.
+constexpr int64_t kSimdMinKNT = 16;   // dot length worth 8-lane FMA
+constexpr int64_t kSimdMinNTN = 16;   // one full output tile of columns
+
+std::atomic<int> g_kernel_override{-1};  // -1 = unset (env var / auto)
+
+GemmKernel KernelFromEnv() {
+  const std::string v = EnvString("CDCL_GEMM_KERNEL", "auto");
+  if (v == "scalar") return GemmKernel::kScalar;
+  if (v == "packed") return GemmKernel::kPacked;
+  return GemmKernel::kAuto;
+}
+
+/// Resolves the configured kernel choice against the ISA and the shape's
+/// auto-policy verdict: forced scalar always wins, forced packed wins when
+/// the ISA allows, auto follows `auto_simd`.
+bool UseSimd(bool auto_simd) {
+  if (!internal::Avx2Available()) return false;
+  switch (GetGemmKernel()) {
+    case GemmKernel::kScalar:
+      return false;
+    case GemmKernel::kPacked:
+      return true;
+    case GemmKernel::kAuto:
+    default:
+      return auto_simd;
+  }
+}
+
+/// C rows [0, m) zeroed in the usual row partition (the k == 0 case).
+void ZeroOutput(int64_t m, int64_t n, float* c) {
+  ParallelChunks(m, kGemmRowGrain, [=](int64_t r0, int64_t r1) {
+    std::memset(c + r0 * n, 0,
+                static_cast<size_t>((r1 - r0) * n) * sizeof(float));
+  });
+}
+
+/// Packs B(k,n) into zero-padded `panel`-wide panels (see matmul_internal.h)
+/// and runs the widest available SIMD row workers over the usual row
+/// partition. The AVX-512 tier uses kPanel512-wide panels for its 8x32 ZMM
+/// tile; the AVX2 tier uses kPanel-wide panels for its 6x16 YMM tile.
+void GemmNNPacked(int64_t m, int64_t n, int64_t k, const float* a,
+                  const float* b, float* c, bool accumulate) {
+  const bool wide = internal::Avx512Available();
+  const int64_t panel = wide ? internal::kPanel512 : internal::kPanel;
+  const int64_t panels = (n + panel - 1) / panel;
+  // new[] (not vector) so the pack loop is the first and only writer.
+  std::unique_ptr<float[]> packed(
+      new float[static_cast<size_t>(panels * k * panel)]);
+  float* pb = packed.get();
+  ParallelChunks(panels, 4, [=](int64_t p0, int64_t p1) {
+    for (int64_t p = p0; p < p1; ++p) {
+      const int64_t j0 = p * panel;
+      const int64_t ncols = std::min(panel, n - j0);
+      float* dst = pb + p * k * panel;
+      for (int64_t l = 0; l < k; ++l) {
+        std::memcpy(dst + l * panel, b + l * n + j0,
+                    static_cast<size_t>(ncols) * sizeof(float));
+        for (int64_t t = ncols; t < panel; ++t) dst[l * panel + t] = 0.0f;
+      }
+    }
+  });
+  ParallelChunks(m, kGemmRowGrain, [=](int64_t r0, int64_t r1) {
+    if (wide) {
+      internal::Avx512GemmNNPacked(r0, r1, n, k, a, pb, c, accumulate);
+    } else {
+      internal::Avx2GemmNNPacked(r0, r1, n, k, a, pb, c, accumulate);
+    }
+  });
+}
 
 /// One kMr x kNr block of C(m,n) (+)= A(m,k) * B(k,n) at columns [j0, j0+kNr).
 inline void MicroNN(int64_t n, int64_t k, const float* const* arows,
@@ -67,9 +157,31 @@ inline void RowNN(int64_t n, int64_t k, const float* arow, const float* b,
 
 }  // namespace
 
+void SetGemmKernel(GemmKernel kernel) {
+  g_kernel_override.store(static_cast<int>(kernel), std::memory_order_relaxed);
+}
+
+GemmKernel GetGemmKernel() {
+  const int o = g_kernel_override.load(std::memory_order_relaxed);
+  if (o >= 0) return static_cast<GemmKernel>(o);
+  static const GemmKernel from_env = KernelFromEnv();
+  return from_env;
+}
+
+bool CpuHasAvx2Fma() { return internal::Avx2Available(); }
+
 void GemmNN(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
             float* c, bool accumulate) {
   if (m <= 0 || n <= 0) return;
+  if (k <= 0) {
+    if (!accumulate) ZeroOutput(m, n, c);
+    return;
+  }
+  if (UseSimd(m >= kPackedMinM && n >= kPackedMinN && k >= kPackedMinK &&
+              m * n * k >= kPackedMinWork)) {
+    GemmNNPacked(m, n, k, a, b, c, accumulate);
+    return;
+  }
   ParallelChunks(m, kGemmRowGrain, [=](int64_t r0, int64_t r1) {
     int64_t i = r0;
     for (; i + kMr <= r1; i += kMr) {
@@ -104,6 +216,16 @@ void GemmNN(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
 void GemmNT(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
             float* c, bool accumulate) {
   if (m <= 0 || n <= 0) return;
+  if (k <= 0) {
+    if (!accumulate) ZeroOutput(m, n, c);
+    return;
+  }
+  if (UseSimd(k >= kSimdMinKNT)) {
+    ParallelChunks(m, kGemmRowGrain, [=](int64_t r0, int64_t r1) {
+      internal::Avx2GemmNT(r0, r1, n, k, a, b, c, accumulate);
+    });
+    return;
+  }
   ParallelChunks(m, kGemmRowGrain, [=](int64_t r0, int64_t r1) {
     int64_t i = r0;
     for (; i + kMrNT <= r1; i += kMrNT) {
@@ -171,6 +293,16 @@ void GemmNT(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
 void GemmTN(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
             float* c, bool accumulate) {
   if (m <= 0 || n <= 0) return;
+  if (k <= 0) {
+    if (!accumulate) ZeroOutput(m, n, c);
+    return;
+  }
+  if (UseSimd(n >= kSimdMinNTN)) {
+    ParallelChunks(m, kGemmRowGrain, [=](int64_t r0, int64_t r1) {
+      internal::Avx2GemmTN(r0, r1, m, n, k, a, b, c, accumulate);
+    });
+    return;
+  }
   ParallelChunks(m, kGemmRowGrain, [=](int64_t r0, int64_t r1) {
     if (!accumulate) {
       std::memset(c + r0 * n, 0,

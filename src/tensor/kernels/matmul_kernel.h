@@ -7,14 +7,36 @@ namespace cdcl {
 namespace kernels {
 
 // ---------------------------------------------------------------------------
-// Blocked single-precision GEMM kernels over dense row-major buffers.
+// Single-precision GEMM kernels over dense row-major buffers.
 //
-// All three variants register-block the output and keep the k-accumulation
-// for each output element in ascending order, so results are bitwise
-// identical for every thread count (rows of C are partitioned across the
-// KernelContext pool; each element is produced by exactly one thread).
+// Two implementations live behind each entry point:
+//   - the portable scalar register-tile path (8x32 NN tile, 4-row NT/TN), and
+//   - a packed-B, k-blocked SIMD path with AVX2/FMA micro-kernels picked at
+//     runtime when the CPU supports them.
+// The dispatcher chooses per shape (see kernels/README.md for the decision
+// table); the choice never depends on the thread count, each output element
+// is produced by exactly one thread, and the k-accumulation order for every
+// element is fixed, so any given kernel's results are bitwise identical for
+// every thread count. Different kernels (scalar vs SIMD) agree only to float
+// rounding, which is why the selection must be shape-deterministic.
 // `accumulate` selects C += AB (true) vs C = AB (false).
 // ---------------------------------------------------------------------------
+
+/// Which GEMM implementation the dispatcher uses. kAuto picks per shape and
+/// ISA; the forced modes exist for tests and benchmarks that pin one path.
+enum class GemmKernel {
+  kAuto = 0,
+  kScalar = 1,  // portable register-tile path
+  kPacked = 2,  // packed-B SIMD path (falls back to scalar without AVX2/FMA)
+};
+
+/// Overrides the dispatcher. Also settable via CDCL_GEMM_KERNEL
+/// (auto|scalar|packed); an explicit SetGemmKernel wins over the env var.
+void SetGemmKernel(GemmKernel kernel);
+GemmKernel GetGemmKernel();
+
+/// True when the CPU (and build) support the AVX2/FMA micro-kernels.
+bool CpuHasAvx2Fma();
 
 /// C(m,n) (+)= A(m,k) * B(k,n).
 void GemmNN(int64_t m, int64_t n, int64_t k, const float* a, const float* b,

@@ -1,8 +1,11 @@
 // Finite-difference verification of every differentiable op, including a
-// parameterized sweep over random shapes (property-style).
+// parameterized sweep over random shapes (property-style) and a re-run of
+// the GEMM-heavy ops forced through the packed/SIMD kernel path.
 
 #include "gtest/gtest.h"
 #include "tensor/gradcheck.h"
+#include "tensor/kernels/kernel_context.h"
+#include "tensor/kernels/matmul_kernel.h"
 #include "tensor/tensor.h"
 #include "tensor/tensor_ops.h"
 
@@ -207,6 +210,59 @@ TEST(GradCheckTest, SliceConcatIndex) {
         return ops::Sum(ops::Square(g));
       },
       {RandInput(Shape{2, 3}, 32), RandInput(Shape{2, 3}, 33)}));
+}
+
+// End-to-end backward correctness over the packed/SIMD GEMM kernels and the
+// parallel conv backward: the same finite-difference checks, but with the
+// dispatcher forced to the packed path (which bypasses its size thresholds)
+// and the kernel pool at 4 threads, so every forward and backward GEMM and
+// the per-chunk conv grad scratch run exactly the code the big shapes hit.
+class PackedKernelGradCheck : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    kernels::SetGemmKernel(kernels::GemmKernel::kPacked);
+    kernels::SetNumThreads(4);
+  }
+  void TearDown() override {
+    kernels::SetGemmKernel(kernels::GemmKernel::kAuto);
+    kernels::SetNumThreads(0);
+  }
+};
+
+TEST_F(PackedKernelGradCheck, MatMul) {
+  EXPECT_GRADCHECK_OK(GradCheck(
+      [](const std::vector<Tensor>& in) {
+        return ops::Sum(ops::Square(ops::MatMul(in[0], in[1])));
+      },
+      {RandInput(Shape{5, 7}, 101), RandInput(Shape{7, 6}, 102)}));
+}
+
+TEST_F(PackedKernelGradCheck, BatchMatMul) {
+  EXPECT_GRADCHECK_OK(GradCheck(
+      [](const std::vector<Tensor>& in) {
+        return ops::Sum(ops::Square(ops::BatchMatMul(in[0], in[1])));
+      },
+      {RandInput(Shape{2, 3, 4}, 103), RandInput(Shape{2, 4, 3}, 104)}));
+}
+
+TEST_F(PackedKernelGradCheck, Conv2dMultiSampleBatch) {
+  // Batch of 3 so the conv backward fans out and reduces per-chunk scratch.
+  EXPECT_GRADCHECK_OK(GradCheck(
+      [](const std::vector<Tensor>& in) {
+        return ops::Mean(ops::Square(ops::Conv2d(in[0], in[1], in[2], 1, 1)));
+      },
+      {RandInput(Shape{3, 2, 5, 5}, 105, 0.5f),
+       RandInput(Shape{3, 2, 3, 3}, 106, 0.5f),
+       RandInput(Shape{3}, 107, 0.5f)},
+      /*epsilon=*/2e-2));
+}
+
+TEST_F(PackedKernelGradCheck, Conv2dStride2NoBias) {
+  EXPECT_GRADCHECK_OK(GradCheck(
+      [](const std::vector<Tensor>& in) {
+        return ops::Sum(ops::Square(ops::Conv2d(in[0], in[1], Tensor(), 2, 0)));
+      },
+      {RandInput(Shape{2, 1, 6, 6}, 108), RandInput(Shape{2, 1, 2, 2}, 109)}));
 }
 
 // Property-style sweep: random shapes for a composite expression.

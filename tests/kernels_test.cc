@@ -153,10 +153,23 @@ TEST(MatMulKernelTest, GemmNTMatchesNaive) {
       want[static_cast<size_t>(i * n + j)] = acc;
     }
   }
+  // vs naive: tolerance — the SIMD NT kernel reduces its vector lanes in a
+  // fixed tree order that differs from the serial sweep.
+  std::vector<float> serial(static_cast<size_t>(m * n), 0.0f);
+  {
+    ThreadScope scope(1);
+    kernels::GemmNT(m, n, k, a.data(), b.data(), serial.data(), false);
+  }
+  for (size_t i = 0; i < want.size(); ++i) {
+    ASSERT_NEAR(serial[i], want[i], 1e-4f) << i;
+  }
+  // vs itself across thread counts: bitwise.
   ThreadScope scope(4);
-  std::vector<float> c(static_cast<size_t>(m * n), 0.0f);
-  kernels::GemmNT(m, n, k, a.data(), b.data(), c.data(), false);
-  for (size_t i = 0; i < want.size(); ++i) ASSERT_EQ(c[i], want[i]) << i;
+  std::vector<float> parallel(static_cast<size_t>(m * n), 0.0f);
+  kernels::GemmNT(m, n, k, a.data(), b.data(), parallel.data(), false);
+  for (size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(serial[i], parallel[i]) << i;
+  }
 }
 
 TEST(MatMulKernelTest, GemmTNMatchesNaiveWithAccumulate) {
@@ -259,6 +272,116 @@ TEST(OpsEquivalenceTest, BatchMatMulTransBMatchesExplicitTranspose) {
   ASSERT_TRUE(fused.shape() == reference.shape());
   for (int64_t i = 0; i < fused.NumElements(); ++i) {
     ASSERT_NEAR(fused.data()[i], reference.data()[i], 1e-5f) << i;
+  }
+}
+
+/// Conv2d forward + backward at `threads` threads; returns {gx, gw, gb}
+/// concatenated. Batch of 5 with the scratch chunked per sample exercises
+/// the parallel batch loop and the fixed-order grad reduction.
+std::vector<float> ConvGrads(int64_t threads) {
+  ThreadScope scope(threads);
+  Rng rng(21);
+  Tensor x = Tensor::Randn(Shape{5, 3, 7, 7}, &rng, 0.5f, true);
+  Tensor w = Tensor::Randn(Shape{4, 3, 3, 3}, &rng, 0.5f, true);
+  Tensor bias = Tensor::Randn(Shape{4}, &rng, 0.5f, true);
+  Tensor loss = ops::Sum(ops::Square(ops::Conv2d(x, w, bias, 1, 1)));
+  loss.Backward();
+  std::vector<float> out = x.GradTensor().ToVector();
+  std::vector<float> gw = w.GradTensor().ToVector();
+  std::vector<float> gb = bias.GradTensor().ToVector();
+  out.insert(out.end(), gw.begin(), gw.end());
+  out.insert(out.end(), gb.begin(), gb.end());
+  return out;
+}
+
+TEST(ConvBackwardTest, BitwiseStableAcrossThreadCounts) {
+  const std::vector<float> serial = ConvGrads(1);
+  for (int64_t threads : {2, 8}) {
+    const std::vector<float> parallel = ConvGrads(threads);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      ASSERT_EQ(serial[i], parallel[i]) << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(ConvBackwardTest, MatchesSerialBatchLoopReference) {
+  // Direct-convolution reference for the gradients the im2col + per-chunk
+  // scratch path computes: the pre-parallelization serial batch loop in
+  // naive loop form. Tolerance only — the scratch path sums each sample's
+  // contribution before folding it into the running grad, which rounds
+  // differently from one long accumulation chain.
+  const int64_t b = 3, c = 2, h = 5, w = 5;
+  const int64_t o = 4, kh = 3, kw = 3, stride = 1, pad = 1;
+  const int64_t oh = (h + 2 * pad - kh) / stride + 1;
+  const int64_t ow = (w + 2 * pad - kw) / stride + 1;
+  Rng rng(22);
+  Tensor x = Tensor::Randn(Shape{b, c, h, w}, &rng, 0.5f, true);
+  Tensor wt = Tensor::Randn(Shape{o, c, kh, kw}, &rng, 0.5f, true);
+  Tensor bias = Tensor::Randn(Shape{o}, &rng, 0.5f, true);
+  Tensor out = ops::Conv2d(x, wt, bias, stride, pad);
+  Tensor loss = ops::Sum(out);  // dL/dout = 1 everywhere: easy reference
+  loss.Backward();
+
+  // gb[oi] = b * oh * ow ones summed.
+  for (int64_t oi = 0; oi < o; ++oi) {
+    EXPECT_NEAR(bias.GradTensor().data()[oi],
+                static_cast<float>(b * oh * ow), 1e-3f);
+  }
+  // gw[oi][ci][ki][kj] = sum over samples and output positions of x at the
+  // corresponding input position (zero outside the padded border); with
+  // dL/dout = 1 everywhere it is identical across output channels.
+  const float* px = x.data();
+  for (int64_t oi = 0; oi < o; ++oi) {
+    for (int64_t ci = 0; ci < c; ++ci) {
+      for (int64_t ki = 0; ki < kh; ++ki) {
+        for (int64_t kj = 0; kj < kw; ++kj) {
+          float acc = 0.0f;
+          for (int64_t bi = 0; bi < b; ++bi) {
+            for (int64_t i = 0; i < oh; ++i) {
+              for (int64_t j = 0; j < ow; ++j) {
+                const int64_t ii = i * stride + ki - pad;
+                const int64_t jj = j * stride + kj - pad;
+                if (ii < 0 || ii >= h || jj < 0 || jj >= w) continue;
+                acc += px[((bi * c + ci) * h + ii) * w + jj];
+              }
+            }
+          }
+          EXPECT_NEAR(
+              wt.GradTensor()
+                  .data()[((oi * c + ci) * kh + ki) * kw + kj],
+              acc, 1e-3f)
+              << oi << "," << ci << "," << ki << "," << kj;
+        }
+      }
+    }
+  }
+  // gx[ci][ii][jj] = sum over output channels and kernel taps that touch it.
+  const float* pw = wt.data();
+  for (int64_t bi = 0; bi < b; ++bi) {
+    for (int64_t ci = 0; ci < c; ++ci) {
+      for (int64_t ii = 0; ii < h; ++ii) {
+        for (int64_t jj = 0; jj < w; ++jj) {
+          float acc = 0.0f;
+          for (int64_t oi = 0; oi < o; ++oi) {
+            for (int64_t ki = 0; ki < kh; ++ki) {
+              for (int64_t kj = 0; kj < kw; ++kj) {
+                const int64_t i = ii + pad - ki;
+                const int64_t j = jj + pad - kj;
+                if (i % stride != 0 || j % stride != 0) continue;
+                if (i / stride < 0 || i / stride >= oh) continue;
+                if (j / stride < 0 || j / stride >= ow) continue;
+                acc += pw[((oi * c + ci) * kh + ki) * kw + kj];
+              }
+            }
+          }
+          EXPECT_NEAR(
+              x.GradTensor().data()[((bi * c + ci) * h + ii) * w + jj], acc,
+              1e-3f)
+              << bi << "," << ci << "," << ii << "," << jj;
+        }
+      }
+    }
   }
 }
 
