@@ -3,18 +3,23 @@
 // rows pin the dispatcher to one kernel each (blocked scalar tile vs the
 // packed-B SIMD path) so the packed-vs-blocked trajectory is recorded per
 // run; the conv row times a full forward+backward step through the parallel
-// per-chunk grad-scratch path. Prints the usual aligned table and emits a
-// BENCH_kernels.json report for tracking.
+// per-chunk grad-scratch path; the attention rows time the fused batched
+// inference path against the per-sample eval loop it replaces (both at 8
+// threads too, the acceptance shape for the batched-eval PR). Prints the
+// usual aligned table and emits a BENCH_kernels.json report for tracking.
 //
 // Env knobs:
 //   CDCL_BENCH_REPS   timing repetitions, best-of (default 3)
 //   CDCL_BENCH_OUT    JSON report path (default BENCH_kernels.json)
 //   CDCL_BENCH_MM     matmul dimension (default 512, i.e. 512^3)
+//   CDCL_BENCH_ATTN   batched-attention batch size (default 128)
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "nn/attention.h"
 #include "tensor/kernels/kernel_context.h"
 #include "tensor/kernels/matmul_kernel.h"
 #include "tensor/kernels/parallel.h"
@@ -80,7 +85,7 @@ struct BenchRow {
 };
 
 void WriteJson(const std::string& path, const std::vector<BenchRow>& rows,
-               double packed_vs_blocked_1t) {
+               double packed_vs_blocked_1t, double batched_attention_8t) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "WARNING: cannot write %s\n", path.c_str());
@@ -88,8 +93,9 @@ void WriteJson(const std::string& path, const std::vector<BenchRow>& rows,
   }
   std::fprintf(f,
                "{\n  \"bench\": \"tensor_kernels\",\n"
-               "  \"packed_vs_blocked_1t\": %.3f,\n  \"results\": [\n",
-               packed_vs_blocked_1t);
+               "  \"packed_vs_blocked_1t\": %.3f,\n"
+               "  \"batched_attention_8t\": %.3f,\n  \"results\": [\n",
+               packed_vs_blocked_1t, batched_attention_8t);
   for (size_t i = 0; i < rows.size(); ++i) {
     const BenchRow& r = rows[i];
     std::fprintf(f, "    {\"op\": \"%s\", \"size\": \"%s\", \"serial_ms\": %.3f, ",
@@ -193,6 +199,58 @@ int main() {
     rows.push_back(row);
   }
 
+  // --- Batched fused attention vs the per-sample eval loop ------------------
+  // Paper-model eval shape: seq 16 tokens (image_hw=16 through the 2-layer
+  // tokenizer) at embed_dim 24 (ModelConfig::Small). Per-sample, every GEMM
+  // sits below the packed-SIMD work floor and runs on the scalar tile; the
+  // flattened (b*n, d) batched projections cross it, which is the fused
+  // path's headline win on the table benches.
+  {
+    const int64_t ab = EnvInt("CDCL_BENCH_ATTN", 128), an = 16, ad = 24;
+    Rng rng(7);
+    nn::TaskConditionedAttention attn(ad, an, &rng);
+    attn.AddTask();
+    attn.SetTraining(false);
+    Tensor x = Tensor::Randn(Shape{ab, an, ad}, &rng);
+    NoGradGuard no_grad;
+    // The pre-batching eval shape: one sample at a time through the op-by-op
+    // attention (per-sample projections, scores, softmax, scores*V).
+    auto per_sample = [&] {
+      for (int64_t i = 0; i < ab; ++i) {
+        Tensor y = attn.SelfAttention(ops::Slice0(x, i, 1), 0);
+        (void)y;
+      }
+    };
+    auto batched = [&] {
+      Tensor y = attn.SelfAttentionFused(x, 0);
+      (void)y;
+    };
+    // The acceptance shape for the batched-eval path is 8 threads; make sure
+    // it is timed even when the default ladder stops earlier.
+    std::vector<int64_t> attn_threads = thread_counts;
+    if (std::find(attn_threads.begin(), attn_threads.end(), int64_t{8}) ==
+        attn_threads.end()) {
+      attn_threads.push_back(8);
+    }
+    const std::string size =
+        StrFormat("b%lld n%lld d%lld", static_cast<long long>(ab),
+                  static_cast<long long>(an), static_cast<long long>(ad));
+    kernels::SetNumThreads(1);
+    const double per_sample_1t = TimeMs(reps, per_sample);
+    BenchRow loop_row, fused_row;
+    loop_row.op = "attn_eval_persample";
+    fused_row.op = "attn_eval_batched";
+    loop_row.size = fused_row.size = size;
+    loop_row.serial_ms = fused_row.serial_ms = per_sample_1t;
+    for (int64_t t : attn_threads) {
+      kernels::SetNumThreads(t);
+      loop_row.per_thread_ms.emplace_back(t, TimeMs(reps, per_sample));
+      fused_row.per_thread_ms.emplace_back(t, TimeMs(reps, batched));
+    }
+    rows.push_back(loop_row);
+    rows.push_back(fused_row);
+  }
+
   // --- Elementwise: suffix-broadcast add ------------------------------------
   {
     const int64_t n = int64_t{1} << 22, period = 1024;
@@ -277,7 +335,21 @@ int main() {
                 packed_vs_blocked);
   }
 
-  WriteJson(out_path, rows, packed_vs_blocked);
+  // Headline number for the fused batched eval path: batched-attention
+  // throughput vs the per-sample loop, both at 8 threads.
+  double batched_attention_8t = 0.0;
+  {
+    double loop8 = 0.0, fused8 = 0.0;
+    for (const BenchRow& r : rows) {
+      if (r.op == "attn_eval_persample") loop8 = r.ThreadMs(8);
+      if (r.op == "attn_eval_batched") fused8 = r.ThreadMs(8);
+    }
+    if (loop8 > 0.0 && fused8 > 0.0) batched_attention_8t = loop8 / fused8;
+    std::printf("batched vs per-sample attention eval (8 threads): %.2fx\n",
+                batched_attention_8t);
+  }
+
+  WriteJson(out_path, rows, packed_vs_blocked, batched_attention_8t);
   std::printf("report written to %s\n", out_path.c_str());
   return 0;
 }

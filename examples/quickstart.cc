@@ -4,10 +4,12 @@
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart
+//   ./build/quickstart
 //
 // Environment knobs: CDCL_EPOCHS, CDCL_WARMUP, CDCL_TRAIN_PER_CLASS, ...
-// (see core/driver.h).
+// (see core/driver.h and the knob table in the top-level README.md).
+// Evaluation rides the fused batched inference path; CDCL_EVAL_BATCH widens
+// its GEMMs and CDCL_FUSED_EVAL=0 falls back to the op-by-op forward.
 
 #include <cstdio>
 

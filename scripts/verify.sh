@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # One-command tier-1 gate: configure + build + ctest, Debug and Release, with
 # -Wall -Wextra (always on via CMakeLists), plus an ASan/UBSan pass over the
-# kernel suites (packing buffers and per-thread grad scratch are where
-# lifetime bugs hide). Usage: scripts/verify.sh [jobs]
+# kernel + fused-eval suites (packing buffers, per-thread grad scratch and
+# per-sample score scratch are where lifetime bugs hide), an examples build
+# check, and a docs knob-consistency grep (README.md must not document env
+# knobs that no longer exist in the source). Usage: scripts/verify.sh [jobs]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,13 +20,39 @@ for config in Debug Release; do
   ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"
 done
 
-echo "== ASan/UBSan: kernel suites =="
+echo "== examples: built under the default targets =="
+for example in examples/*.cc; do
+  bin="build-verify-release/$(basename "${example}" .cc)"
+  if [[ ! -x "${bin}" ]]; then
+    echo "verify: FAIL — example binary ${bin} was not built" >&2
+    exit 1
+  fi
+done
+
+echo "== ASan/UBSan: kernel + batched-eval suites =="
 asan_dir="build-verify-asan"
 cmake -B "${asan_dir}" -S . -DCMAKE_BUILD_TYPE=Debug -DCDCL_SANITIZE=ON \
   -DCDCL_BUILD_BENCH=OFF -DCDCL_BUILD_EXAMPLES=OFF
 cmake --build "${asan_dir}" -j "${JOBS}" \
-  --target kernels_test gemm_packed_test
+  --target kernels_test gemm_packed_test batched_eval_test
 ctest --test-dir "${asan_dir}" --output-on-failure -j "${JOBS}" \
-  -R '^(kernels_test|gemm_packed_test)$'
+  -R '^(kernels_test|gemm_packed_test|batched_eval_test)$'
 
-echo "verify: OK (Debug + Release + ASan/UBSan kernels)"
+echo "== docs: README knob consistency =="
+# Every CDCL_* knob README.md documents must still be *read* somewhere — an
+# Env*()/getenv() call in the source or a CMake option — so the docs cannot
+# rot. Matching doc-comments is not enough: a knob whose read was deleted
+# but that is still name-dropped in comments must fail here.
+stale=0
+for knob in $(grep -oE 'CDCL_[A-Z0-9_]+' README.md | sort -u); do
+  if ! grep -rqE "(Env[A-Za-z]+|getenv)\(\"${knob}\"" src bench tests examples \
+      && ! grep -qE "\b${knob}\b" CMakeLists.txt; then
+    echo "verify: FAIL — README.md documents ${knob}, but nothing reads it" >&2
+    stale=1
+  fi
+done
+if [[ "${stale}" -ne 0 ]]; then
+  exit 1
+fi
+
+echo "verify: OK (Debug + Release + examples + ASan/UBSan + docs knobs)"

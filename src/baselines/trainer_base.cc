@@ -47,11 +47,11 @@ double TrainerBase::EvaluateTil(const data::TensorDataset& test,
   model_->SetTraining(false);
   int64_t correct = 0, total = 0;
   Rng eval_rng(1);
-  data::DataLoader loader(&test, options_.batch_size, &eval_rng,
+  data::DataLoader loader(&test, EvalBatchSize(), &eval_rng,
                           /*shuffle=*/false);
   data::Batch batch;
   while (loader.Next(&batch)) {
-    Tensor z = model_->EncodeSelf(batch.images, task_id);
+    Tensor z = model_->EncodeSelfBatched(batch.images, task_id);
     Tensor logits = model_->TilLogits(z, task_id);
     std::vector<int64_t> pred = ops::Argmax(logits);
     for (size_t i = 0; i < pred.size(); ++i) {
@@ -70,11 +70,11 @@ double TrainerBase::EvaluateCil(const data::TensorDataset& test) {
   const int64_t latest = model_->num_tasks() - 1;
   int64_t correct = 0, total = 0;
   Rng eval_rng(1);
-  data::DataLoader loader(&test, options_.batch_size, &eval_rng,
+  data::DataLoader loader(&test, EvalBatchSize(), &eval_rng,
                           /*shuffle=*/false);
   data::Batch batch;
   while (loader.Next(&batch)) {
-    Tensor z = model_->EncodeSelf(batch.images, latest);
+    Tensor z = model_->EncodeSelfBatched(batch.images, latest);
     Tensor logits = model_->CilLogits(z);
     std::vector<int64_t> pred = ops::Argmax(logits);
     for (size_t i = 0; i < pred.size(); ++i) {
@@ -92,13 +92,13 @@ TrainerBase::EncodedDataset TrainerBase::EncodeDataset(
   EncodedDataset out;
   out.features = Tensor(Shape{dataset.size(), model_->feature_dim()});
   Rng enc_rng(1);
-  data::DataLoader loader(&dataset, options_.batch_size, &enc_rng,
+  data::DataLoader loader(&dataset, EvalBatchSize(), &enc_rng,
                           /*shuffle=*/false);
   data::Batch batch;
   int64_t row = 0;
   const int64_t d = model_->feature_dim();
   while (loader.Next(&batch)) {
-    Tensor z = model_->EncodeSelf(batch.images, task_keys);
+    Tensor z = model_->EncodeSelfBatched(batch.images, task_keys);
     std::memcpy(out.features.data() + row * d, z.data(),
                 static_cast<size_t>(z.NumElements()) * sizeof(float));
     for (size_t i = 0; i < batch.labels.size(); ++i) {

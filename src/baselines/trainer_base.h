@@ -35,6 +35,13 @@ struct TrainerOptions {
   float weight_decay = 0.01f;
   int64_t memory_size = 200;
   int64_t replay_batch = 8;
+  /// Batch size for the inference-only passes (evaluation protocols and
+  /// dataset encoding). 0 keeps the training batch_size — the seed behavior,
+  /// bitwise reproducible. Larger values feed the fused batched eval path
+  /// wider GEMMs (a throughput knob: CDCL_EVAL_BATCH); results may then
+  /// differ from the seed only by the float-rounding of a different kernel
+  /// tier kicking in, never in expectation.
+  int64_t eval_batch = 0;
   uint64_t seed = 0;
   uda::DistanceMetric pseudo_metric = uda::DistanceMetric::kCosine;
   /// Fraction of aligned pairs kept after distance filtering (eq. 19 noise
@@ -52,10 +59,14 @@ class TrainerBase : public cl::ContinualTrainer {
   const std::string& name() const override { return name_; }
 
   /// TIL (eq. 7): task id given -> task-specific attention keys + task head.
+  /// Batches run through the fused batched inference path
+  /// (CompactTransformer::EncodeSelfBatched), bitwise identical to the
+  /// op-by-op forward.
   double EvaluateTil(const data::TensorDataset& test, int64_t task_id) override;
 
   /// CIL (eq. 8): latest keys + growing head, global labels (the paper's
-  /// f_CIL "with the latest K_T and b_T instantiated").
+  /// f_CIL "with the latest K_T and b_T instantiated"). Same fused batched
+  /// eval path as EvaluateTil.
   double EvaluateCil(const data::TensorDataset& test) override;
 
   const models::CompactTransformer& model() const { return *model_; }
@@ -78,6 +89,12 @@ class TrainerBase : public cl::ContinualTrainer {
   };
 
  protected:
+  /// Resolved batch size for inference-only passes (eval_batch, falling back
+  /// to the training batch_size).
+  int64_t EvalBatchSize() const {
+    return options_.eval_batch > 0 ? options_.eval_batch : options_.batch_size;
+  }
+
   /// Grows the model for a new task and rebinds optimizer parameters; sets
   /// up the per-task warm-up+cosine schedule given steps per epoch.
   void StartTask(int64_t num_classes, int64_t steps_per_epoch);

@@ -13,6 +13,9 @@ Result<ContinualResult> RunContinualExperiment(
   for (int64_t t = 0; t < num_tasks; ++t) {
     Status st = trainer->ObserveTask(stream.task(t));
     if (!st.ok()) return st;
+    // Lower-triangle evaluation: every pass below is inference-only, so the
+    // trainers run it through the fused batched eval path (bitwise identical
+    // to the training-time forward; CDCL_FUSED_EVAL=0 restores the op path).
     for (int64_t j = 0; j <= t; ++j) {
       const data::TensorDataset& test = stream.task(j).target_test;
       result.til.Set(t, j, trainer->EvaluateTil(test, j));

@@ -300,8 +300,9 @@ void CdclTrainer::StoreTaskMemory(const data::CrossDomainTask& task,
   data::Batch target_all = FullBatch(task.target_train);
   Tensor xs = ops::IndexRows(source_all.images, si);
   Tensor xt = ops::IndexRows(target_all.images, ti);
-  Tensor zs = model_->EncodeSelf(xs, task_id);
-  Tensor zt = model_->EncodeSelf(xt, task_id);
+  // Memory snapshots are inference: take the fused batched path.
+  Tensor zs = model_->EncodeSelfBatched(xs, task_id);
+  Tensor zt = model_->EncodeSelfBatched(xt, task_id);
   Tensor til_probs_s = ops::Softmax(model_->TilLogits(zs, task_id));
   Tensor til_probs_t = ops::Softmax(model_->TilLogits(zt, task_id));
   Tensor cil_s = model_->CilLogits(zs);

@@ -100,6 +100,7 @@ void ApplyEnvOverrides(ExperimentSpec* spec,
   options->epochs = EnvInt("CDCL_EPOCHS", options->epochs);
   options->warmup_epochs = EnvInt("CDCL_WARMUP", options->warmup_epochs);
   options->batch_size = EnvInt("CDCL_BATCH", options->batch_size);
+  options->eval_batch = EnvInt("CDCL_EVAL_BATCH", options->eval_batch);
   options->memory_size = EnvInt("CDCL_MEMORY", options->memory_size);
   options->model.embed_dim = EnvInt("CDCL_EMBED_DIM", options->model.embed_dim);
   options->model.num_layers = EnvInt("CDCL_LAYERS", options->model.num_layers);

@@ -65,14 +65,24 @@ int64_t CompactTransformer::KeyTask(int64_t task) const {
 
 Tensor CompactTransformer::EncodeTokensSelf(const Tensor& tokens,
                                             int64_t task) const {
-  Tensor h = tokens;
   const int64_t key = KeyTask(task);
+  Tensor h = tokens;
+  if (!GradModeEnabled() && nn::FusedEvalEnabled()) {
+    for (const auto& layer : layers_) h = layer->SelfForwardFused(h, key);
+    return pool_->ForwardFused(h);
+  }
   for (const auto& layer : layers_) h = layer->SelfForward(h, key);
   return pool_->Forward(h);
 }
 
 Tensor CompactTransformer::EncodeSelf(const Tensor& images, int64_t task) const {
   return EncodeTokensSelf(tokenizer_->Forward(images), task);
+}
+
+Tensor CompactTransformer::EncodeSelfBatched(const Tensor& images,
+                                             int64_t task) const {
+  NoGradGuard no_grad;
+  return EncodeSelf(images, task);
 }
 
 CompactTransformer::CrossEncoding CompactTransformer::EncodeCross(

@@ -54,7 +54,18 @@ class CompactTransformer : public nn::Module {
   int64_t feature_dim() const { return config_.embed_dim; }
 
   /// Single-stream encoding a(x) (self-attention path): (b,c,h,w) -> (b,d).
+  /// When grad recording is off (and fused eval is not disabled via
+  /// nn::SetFusedEval / CDCL_FUSED_EVAL=0), the transformer stack runs
+  /// through the fused batched inference path: flattened (b*n, d) projection
+  /// GEMMs, fused score/bias/softmax epilogues and fused MLP epilogues —
+  /// bitwise identical to the op-by-op path (tests/batched_eval_test.cc).
   Tensor EncodeSelf(const Tensor& images, int64_t task) const;
+
+  /// Explicit batched-eval entry point: EncodeSelf under a NoGradGuard, so
+  /// callers holding no guard of their own still hit the fused batched path.
+  /// Evaluation loops (EvaluateTil/EvaluateCil, dataset encoding, memory
+  /// snapshotting) use this.
+  Tensor EncodeSelfBatched(const Tensor& images, int64_t task) const;
 
   /// Two-stream encoding: source/target evolve through self-attention while
   /// the mixed stream accumulates per-layer cross-attention (eq. 3).

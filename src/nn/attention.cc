@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "tensor/kernels/fused_eval.h"
+#include "tensor/kernels/matmul_kernel.h"
+#include "tensor/kernels/parallel.h"
 #include "tensor/tensor_ops.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -79,6 +82,37 @@ Tensor TaskConditionedAttention::CrossAttention(const Tensor& x_source,
   return Attend(x_source, x_target, task);
 }
 
+Tensor TaskConditionedAttention::SelfAttentionFused(const Tensor& x,
+                                                    int64_t task) const {
+  CDCL_CHECK(!GradModeEnabled());
+  CDCL_CHECK_GE(task, 0);
+  CDCL_CHECK_LT(task, num_tasks());
+  CDCL_CHECK_EQ(x.ndim(), 3);
+  CDCL_CHECK_EQ(x.dim(1), seq_len_);
+  CDCL_CHECK_EQ(x.dim(2), dim_);
+  const int64_t b = x.dim(0), n = x.dim(1);
+  const int64_t rows = b * n;
+
+  // The three projections as single (b*n, d) GEMMs — the same flattened call
+  // Linear::Forward issues, minus the reshape/tape plumbing.
+  Tensor q(x.shape()), k(x.shape()), v(x.shape());
+  const float* px = x.data();
+  kernels::GemmNN(rows, dim_, dim_, px, wq_->weight().data(), q.data(),
+                  /*accumulate=*/false);
+  kernels::GemmNN(rows, dim_, dim_, px,
+                  wk_tasks_[static_cast<size_t>(task)]->weight().data(),
+                  k.data(), /*accumulate=*/false);
+  kernels::GemmNN(rows, dim_, dim_, px, wv_->weight().data(), v.data(),
+                  /*accumulate=*/false);
+
+  Tensor out(x.shape());
+  kernels::FusedAttentionEval(
+      b, n, dim_, q.data(), k.data(), v.data(),
+      bias_tasks_[static_cast<size_t>(task)].data(),
+      1.0f / std::sqrt(static_cast<float>(dim_)), softmax_scores_, out.data());
+  return out;
+}
+
 FeedForward::FeedForward(int64_t dim, int64_t hidden_dim, Rng* rng) {
   fc1_ = std::make_unique<Linear>(dim, hidden_dim, rng);
   fc2_ = std::make_unique<Linear>(hidden_dim, dim, rng);
@@ -88,6 +122,23 @@ FeedForward::FeedForward(int64_t dim, int64_t hidden_dim, Rng* rng) {
 
 Tensor FeedForward::Forward(const Tensor& x) const {
   return fc2_->Forward(ops::Gelu(fc1_->Forward(x)));
+}
+
+Tensor FeedForward::ForwardFused(const Tensor& x) const {
+  CDCL_CHECK(!GradModeEnabled());
+  const int64_t d = fc1_->in_features();
+  const int64_t hidden = fc1_->out_features();
+  CDCL_CHECK_EQ(x.dim(-1), d);
+  const int64_t rows = x.NumElements() / d;
+  Tensor h(Shape{rows, hidden});
+  kernels::GemmNN(rows, hidden, d, x.data(), fc1_->weight().data(), h.data(),
+                  /*accumulate=*/false);
+  kernels::BiasGeluMap(rows * hidden, hidden, h.data(), fc1_->bias().data());
+  Tensor y(x.shape());
+  kernels::GemmNN(rows, d, hidden, h.data(), fc2_->weight().data(), y.data(),
+                  /*accumulate=*/false);
+  kernels::BiasAddMap(rows * d, d, y.data(), fc2_->bias().data());
+  return y;
 }
 
 TransformerEncoderLayer::TransformerEncoderLayer(int64_t dim, int64_t seq_len,
@@ -109,6 +160,13 @@ Tensor TransformerEncoderLayer::SelfForward(const Tensor& x,
                                             int64_t task) const {
   Tensor h = ops::Add(x, attention_->SelfAttention(norm1_->Forward(x), task));
   return ops::Add(h, mlp_->Forward(norm2_->Forward(h)));
+}
+
+Tensor TransformerEncoderLayer::SelfForwardFused(const Tensor& x,
+                                                 int64_t task) const {
+  Tensor h =
+      ops::Add(x, attention_->SelfAttentionFused(norm1_->Forward(x), task));
+  return ops::Add(h, mlp_->ForwardFused(norm2_->Forward(h)));
 }
 
 Tensor TransformerEncoderLayer::CrossForward(const Tensor& source_hidden,
@@ -135,6 +193,26 @@ Tensor SequencePool::Forward(const Tensor& x) const {
   Tensor wrow = ops::Reshape(weights, Shape{b, 1, n});
   Tensor z = ops::BatchMatMul(wrow, x);  // eq. 5: (b,1,d)
   return ops::Reshape(z, Shape{b, d});   // eq. 6 flatten
+}
+
+Tensor SequencePool::ForwardFused(const Tensor& x) const {
+  CDCL_CHECK(!GradModeEnabled());
+  CDCL_CHECK_EQ(x.ndim(), 3);
+  const int64_t b = x.dim(0), n = x.dim(1), d = x.dim(2);
+  Tensor weights(Shape{b, n});
+  kernels::GemmNN(b * n, 1, d, x.data(), g_->weight().data(), weights.data(),
+                  /*accumulate=*/false);
+  kernels::BiasAddMap(b * n, 1, weights.data(), g_->bias().data());
+  kernels::SoftmaxRows(b, n, weights.data());  // eq. 4
+  Tensor z(Shape{b, d});
+  const float* pw = weights.data();
+  const float* px = x.data();
+  float* pz = z.data();
+  kernels::ForEachBatch(b, [=](int64_t bi) {  // eq. 5-6
+    kernels::GemmNN(1, d, n, pw + bi * n, px + bi * n * d, pz + bi * d,
+                    /*accumulate=*/false);
+  });
+  return z;
 }
 
 MultiHeadOutput::MultiHeadOutput(int64_t feature_dim)

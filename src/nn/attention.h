@@ -45,6 +45,13 @@ class TaskConditionedAttention : public Module {
   Tensor CrossAttention(const Tensor& x_source, const Tensor& x_target,
                         int64_t task) const;
 
+  /// Fused batched self-attention for inference: the Q/K_i/V projections run
+  /// as single (b*n, d) GEMMs and the score epilogue (bias + scale + softmax)
+  /// plus the scores·V product execute as one fused kernel sweep, with no
+  /// intermediate tensors. Bitwise identical to SelfAttention (see
+  /// kernels/fused_eval.h); requires grad recording to be off.
+  Tensor SelfAttentionFused(const Tensor& x, int64_t task) const;
+
  private:
   Tensor Attend(const Tensor& q_input, const Tensor& kv_input,
                 int64_t task) const;
@@ -66,6 +73,11 @@ class FeedForward : public Module {
   FeedForward(int64_t dim, int64_t hidden_dim, Rng* rng);
 
   Tensor Forward(const Tensor& x) const;
+
+  /// Inference-path forward: both GEMMs run over the flattened (b*n, d) rows
+  /// with the bias+GELU / bias epilogues fused into single parallel passes.
+  /// Bitwise identical to Forward; requires grad recording to be off.
+  Tensor ForwardFused(const Tensor& x) const;
 
  private:
   std::unique_ptr<Linear> fc1_;
@@ -90,6 +102,11 @@ class TransformerEncoderLayer : public Module {
   /// Standard pre-norm block: x + attn(LN(x)); then + mlp(LN(.)).
   Tensor SelfForward(const Tensor& x, int64_t task) const;
 
+  /// SelfForward through the fused batched inference path (fused attention +
+  /// fused MLP epilogues). Bitwise identical to SelfForward; requires grad
+  /// recording to be off.
+  Tensor SelfForwardFused(const Tensor& x, int64_t task) const;
+
   /// Mixed-stream update for cross mode; `mixed` may be undefined for the
   /// first layer (treated as zero).
   Tensor CrossForward(const Tensor& source_hidden, const Tensor& target_hidden,
@@ -109,6 +126,11 @@ class SequencePool : public Module {
   SequencePool(int64_t dim, Rng* rng);
 
   Tensor Forward(const Tensor& x) const;
+
+  /// Inference-path pooling: importance logits as one (b*n, 1) GEMM with a
+  /// fused bias pass, then the per-sample weighted average. Bitwise identical
+  /// to Forward; requires grad recording to be off.
+  Tensor ForwardFused(const Tensor& x) const;
 
  private:
   std::unique_ptr<Linear> g_;  // token-importance projection d -> 1

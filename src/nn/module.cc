@@ -1,9 +1,30 @@
 #include "nn/module.h"
 
+#include <atomic>
+
+#include "util/env.h"
 #include "util/logging.h"
 
 namespace cdcl {
 namespace nn {
+namespace {
+
+std::atomic<int> g_fused_eval{-1};  // -1 = unresolved (consult env once)
+
+}  // namespace
+
+bool FusedEvalEnabled() {
+  int state = g_fused_eval.load(std::memory_order_relaxed);
+  if (state < 0) {
+    state = EnvBool("CDCL_FUSED_EVAL", true) ? 1 : 0;
+    g_fused_eval.store(state, std::memory_order_relaxed);
+  }
+  return state == 1;
+}
+
+void SetFusedEval(bool enabled) {
+  g_fused_eval.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
 
 Tensor Module::RegisterParameter(std::string name, Tensor tensor) {
   CDCL_CHECK(tensor.defined());

@@ -10,6 +10,15 @@
 namespace cdcl {
 namespace nn {
 
+/// Whether no-grad forwards should take the fused batched-eval path (fused
+/// attention / bias+activation epilogues over raw kernel buffers) instead of
+/// the op-by-op tensor path. The two paths are bitwise identical (see
+/// tests/batched_eval_test.cc); the toggle exists as an escape hatch and so
+/// tests/benches can time both sides. Resolution: SetFusedEval() if called,
+/// else the CDCL_FUSED_EVAL env var, else enabled.
+bool FusedEvalEnabled();
+void SetFusedEval(bool enabled);
+
 /// A named trainable tensor, as returned by Module::NamedParameters().
 struct NamedParameter {
   std::string name;

@@ -1,5 +1,6 @@
 #include "optim/optimizer.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "tensor/kernels/parallel.h"
@@ -7,6 +8,50 @@
 
 namespace cdcl {
 namespace optim {
+namespace {
+
+/// One active (trainable, gradient-bearing) parameter laid out in the fused
+/// update's flat index space at [offset, offset + n). The per-block fields
+/// carry whatever per-parameter state/constants the update rule needs.
+struct ParamBlock {
+  float* w = nullptr;
+  const float* g = nullptr;
+  float* m = nullptr;  // SGD velocity / Adam first moment
+  float* v = nullptr;  // Adam second moment
+  float bc1 = 1.0f;    // Adam bias corrections (per-parameter step count)
+  float bc2 = 1.0f;
+  int64_t n = 0;
+  int64_t offset = 0;
+};
+
+/// Runs update(block, local_begin, local_end) over the concatenation of all
+/// blocks as ONE deterministic parallel pass — a single kernel dispatch per
+/// optimizer step instead of one per tensor, so the many small parameter
+/// tensors (biases, layernorm affines, per-task b_i) stop paying per-tensor
+/// scheduling overhead. Updates are elementwise, so results are bitwise
+/// identical to the per-tensor loops at any thread count.
+template <typename Update>
+void FusedBlockUpdate(const std::vector<ParamBlock>& blocks, int64_t total,
+                      Update&& update) {
+  if (blocks.empty()) return;
+  kernels::ParallelChunks(
+      total, kernels::kEltwiseGrain, [&](int64_t begin, int64_t end) {
+        auto it = std::upper_bound(
+            blocks.begin(), blocks.end(), begin,
+            [](int64_t pos, const ParamBlock& b) { return pos < b.offset; });
+        size_t bi = static_cast<size_t>(it - blocks.begin()) - 1;
+        while (begin < end) {
+          const ParamBlock& b = blocks[bi];
+          const int64_t lo = begin - b.offset;
+          const int64_t hi = std::min(end - b.offset, b.n);
+          update(b, lo, hi);
+          begin = b.offset + hi;
+          ++bi;
+        }
+      });
+}
+
+}  // namespace
 
 Optimizer::Optimizer(std::vector<Tensor> params, float lr)
     : params_(std::move(params)), lr_(lr) {}
@@ -23,25 +68,39 @@ Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum)
     : Optimizer(std::move(params), lr), momentum_(momentum) {}
 
 void Sgd::Step() {
+  std::vector<ParamBlock> blocks;
+  blocks.reserve(params_.size());
+  int64_t total = 0;
   for (Tensor& p : params_) {
     if (!p.requires_grad() || !p.has_grad()) continue;
-    float* w = p.data();
-    const float* g = p.grad_data();
-    const int64_t n = p.NumElements();
+    ParamBlock b;
+    b.w = p.data();
+    b.g = p.grad_data();
+    b.n = p.NumElements();
+    b.offset = total;
     if (momentum_ > 0.0f) {
       auto& vel = velocity_[p.impl().get()];
-      if (vel.size() != static_cast<size_t>(n)) vel.assign(n, 0.0f);
-      float* v = vel.data();
-      const float momentum = momentum_;
-      const float lr = lr_;
-      kernels::EltwiseMap(n, [w, g, v, momentum, lr](int64_t i) {
-        v[i] = momentum * v[i] + g[i];
-        w[i] -= lr * v[i];
-      });
-    } else {
-      const float lr = lr_;
-      kernels::EltwiseMap(n, [w, g, lr](int64_t i) { w[i] -= lr * g[i]; });
+      if (vel.size() != static_cast<size_t>(b.n)) vel.assign(b.n, 0.0f);
+      b.m = vel.data();
     }
+    total += b.n;
+    blocks.push_back(b);
+  }
+  const float lr = lr_;
+  const float momentum = momentum_;
+  if (momentum > 0.0f) {
+    FusedBlockUpdate(blocks, total,
+                     [lr, momentum](const ParamBlock& b, int64_t lo, int64_t hi) {
+                       for (int64_t i = lo; i < hi; ++i) {
+                         b.m[i] = momentum * b.m[i] + b.g[i];
+                         b.w[i] -= lr * b.m[i];
+                       }
+                     });
+  } else {
+    FusedBlockUpdate(blocks, total,
+                     [lr](const ParamBlock& b, int64_t lo, int64_t hi) {
+                       for (int64_t i = lo; i < hi; ++i) b.w[i] -= lr * b.g[i];
+                     });
   }
 }
 
@@ -54,39 +113,49 @@ Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2,
       weight_decay_(weight_decay) {}
 
 void Adam::Step() {
+  std::vector<ParamBlock> blocks;
+  blocks.reserve(params_.size());
+  int64_t total = 0;
   for (Tensor& p : params_) {
     if (!p.requires_grad() || !p.has_grad()) continue;
-    float* w = p.data();
-    const float* g = p.grad_data();
-    const int64_t n = p.NumElements();
+    ParamBlock b;
+    b.w = p.data();
+    b.g = p.grad_data();
+    b.n = p.NumElements();
+    b.offset = total;
     State& st = state_[p.impl().get()];
-    if (st.m.size() != static_cast<size_t>(n)) {
-      st.m.assign(n, 0.0f);
-      st.v.assign(n, 0.0f);
+    if (st.m.size() != static_cast<size_t>(b.n)) {
+      st.m.assign(b.n, 0.0f);
+      st.v.assign(b.n, 0.0f);
       st.step = 0;
     }
     ++st.step;
-    const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(st.step));
-    const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(st.step));
-    float* pm = st.m.data();
-    float* pv = st.v.data();
-    const float beta1 = beta1_, beta2 = beta2_, eps = eps_, lr = lr_;
-    const float wd = weight_decay_;
-    const bool coupled_wd = wd > 0.0f && !decoupled_decay();
-    const bool decoupled_wd = wd > 0.0f && decoupled_decay();
-    kernels::EltwiseMap(n, [=](int64_t i) {
-      float grad = g[i];
-      if (coupled_wd) grad += wd * w[i];
-      const float m = beta1 * pm[i] + (1.0f - beta1) * grad;
-      const float v = beta2 * pv[i] + (1.0f - beta2) * grad * grad;
-      pm[i] = m;
-      pv[i] = v;
-      const float mhat = m / bc1;
-      const float vhat = v / bc2;
-      w[i] -= lr * mhat / (std::sqrt(vhat) + eps);
-      if (decoupled_wd) w[i] -= lr * wd * w[i];
-    });
+    b.bc1 = 1.0f - std::pow(beta1_, static_cast<float>(st.step));
+    b.bc2 = 1.0f - std::pow(beta2_, static_cast<float>(st.step));
+    b.m = st.m.data();
+    b.v = st.v.data();
+    total += b.n;
+    blocks.push_back(b);
   }
+  const float beta1 = beta1_, beta2 = beta2_, eps = eps_, lr = lr_;
+  const float wd = weight_decay_;
+  const bool coupled_wd = wd > 0.0f && !decoupled_decay();
+  const bool decoupled_wd = wd > 0.0f && decoupled_decay();
+  FusedBlockUpdate(blocks, total, [=](const ParamBlock& b, int64_t lo,
+                                      int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      float grad = b.g[i];
+      if (coupled_wd) grad += wd * b.w[i];
+      const float m = beta1 * b.m[i] + (1.0f - beta1) * grad;
+      const float v = beta2 * b.v[i] + (1.0f - beta2) * grad * grad;
+      b.m[i] = m;
+      b.v[i] = v;
+      const float mhat = m / b.bc1;
+      const float vhat = v / b.bc2;
+      b.w[i] -= lr * mhat / (std::sqrt(vhat) + eps);
+      if (decoupled_wd) b.w[i] -= lr * wd * b.w[i];
+    }
+  });
 }
 
 AdamW::AdamW(std::vector<Tensor> params, float lr, float beta1, float beta2,

@@ -13,6 +13,12 @@ namespace optim {
 /// list. Parameters are shared-storage tensors; Step() updates them in place
 /// using their accumulated gradients and skips parameters that are frozen
 /// (requires_grad == false) or have no gradient yet.
+///
+/// The SGD and Adam/AdamW steps are *fused*: all active parameter blocks are
+/// concatenated into one flat index space and updated in a single
+/// deterministic KernelContext pass (one dispatch per step instead of one
+/// per tensor). Updates are elementwise, so results are bitwise identical to
+/// a per-tensor loop at any thread count (tests/optim_test.cc pins this).
 class Optimizer {
  public:
   explicit Optimizer(std::vector<Tensor> params, float lr);

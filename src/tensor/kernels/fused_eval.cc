@@ -1,0 +1,65 @@
+#include "tensor/kernels/fused_eval.h"
+
+#include <vector>
+
+#include "tensor/kernels/matmul_kernel.h"
+#include "tensor/kernels/parallel.h"
+#include "tensor/kernels/scalar_math.h"
+
+namespace cdcl {
+namespace kernels {
+namespace {
+
+/// Row score epilogue body shared by the standalone entry point and the fused
+/// attention sweep. Bias add and scale are separate float ops (not fused into
+/// one fma) to match ops::Add followed by ops::MulScalar exactly.
+inline void ScoreEpilogueRow(float* s, int64_t n, const float* bias,
+                             float scale, bool softmax) {
+  if (bias != nullptr) {
+    for (int64_t j = 0; j < n; ++j) s[j] = (s[j] + bias[j]) * scale;
+  } else {
+    for (int64_t j = 0; j < n; ++j) s[j] = s[j] * scale;
+  }
+  if (softmax) SoftmaxRow(s, s, n);
+}
+
+}  // namespace
+
+void BiasAddMap(int64_t n, int64_t period, float* x, const float* bias) {
+  BroadcastMap(n, period,
+               [x, bias](int64_t i, int64_t j) { x[i] = x[i] + bias[j]; });
+}
+
+void BiasGeluMap(int64_t n, int64_t period, float* x, const float* bias) {
+  BroadcastMap(n, period, [x, bias](int64_t i, int64_t j) {
+    x[i] = GeluApprox(x[i] + bias[j]);
+  });
+}
+
+void SoftmaxRows(int64_t rows, int64_t n, float* x) {
+  RowMap(rows, n, [x, n](int64_t r) { SoftmaxRow(x + r * n, x + r * n, n); });
+}
+
+void FusedAttentionEval(int64_t b, int64_t n, int64_t d, const float* q,
+                        const float* k, const float* v, const float* bias,
+                        float scale, bool softmax, float* out) {
+  // Flat score scratch; each sample's slice is touched only by the chunk
+  // that owns the sample (exactly one, per the ParallelChunks contract), so
+  // the sweep is race-free without any tensor/tape machinery.
+  std::vector<float> scratch(static_cast<size_t>(b * n * n));
+  float* ws = scratch.data();
+  ForEachBatch(b, [=](int64_t bi) {
+    const float* qb = q + bi * n * d;
+    const float* kb = k + bi * n * d;
+    const float* vb = v + bi * n * d;
+    float* sb = ws + bi * n * n;
+    GemmNT(n, n, d, qb, kb, sb, /*accumulate=*/false);
+    for (int64_t r = 0; r < n; ++r) {
+      ScoreEpilogueRow(sb + r * n, n, bias, scale, softmax);
+    }
+    GemmNN(n, d, n, sb, vb, out + bi * n * d, /*accumulate=*/false);
+  });
+}
+
+}  // namespace kernels
+}  // namespace cdcl

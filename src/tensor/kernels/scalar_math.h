@@ -1,0 +1,44 @@
+#ifndef CDCL_TENSOR_KERNELS_SCALAR_MATH_H_
+#define CDCL_TENSOR_KERNELS_SCALAR_MATH_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace cdcl {
+namespace kernels {
+
+// ---------------------------------------------------------------------------
+// Scalar math shared by the op-by-op tensor path (tensor_ops.cc) and the
+// fused inference path (fused_eval.cc). Both sides MUST call these same
+// functions: the fused path's bitwise-equivalence contract holds only while
+// the per-element arithmetic cannot drift between the two copies
+// (tests/batched_eval_test.cc enforces the result).
+// ---------------------------------------------------------------------------
+
+/// tanh-approximation GELU, the forward arithmetic of ops::Gelu.
+inline float GeluApprox(float x) {
+  constexpr float kC = 0.7978845608f;  // sqrt(2/pi)
+  const float t = std::tanh(kC * (x + 0.044715f * x * x * x));
+  return 0.5f * x * (1.0f + t);
+}
+
+/// One softmax row y = softmax(x) (max-shifted exp, float accumulation,
+/// single reciprocal), the row arithmetic of ops::Softmax. In-place use
+/// (y == x) is fine.
+inline void SoftmaxRow(const float* x, float* y, int64_t n) {
+  float mx = x[0];
+  for (int64_t j = 1; j < n; ++j) mx = std::max(mx, x[j]);
+  float z = 0.0f;
+  for (int64_t j = 0; j < n; ++j) {
+    y[j] = std::exp(x[j] - mx);
+    z += y[j];
+  }
+  const float inv = 1.0f / z;
+  for (int64_t j = 0; j < n; ++j) y[j] *= inv;
+}
+
+}  // namespace kernels
+}  // namespace cdcl
+
+#endif  // CDCL_TENSOR_KERNELS_SCALAR_MATH_H_

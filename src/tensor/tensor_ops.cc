@@ -9,6 +9,7 @@
 #include "tensor/kernels/kernel_context.h"
 #include "tensor/kernels/matmul_kernel.h"
 #include "tensor/kernels/parallel.h"
+#include "tensor/kernels/scalar_math.h"
 #include "util/logging.h"
 
 namespace cdcl {
@@ -201,14 +202,11 @@ Tensor Relu(const Tensor& a) {
 }
 
 Tensor Gelu(const Tensor& a) {
-  // tanh approximation of GELU.
+  // tanh approximation of GELU; forward shared with the fused eval epilogue
+  // (kernels/scalar_math.h) so the two paths cannot drift.
   constexpr float kC = 0.7978845608f;  // sqrt(2/pi)
   return UnaryOp(
-      a, "gelu",
-      [](float x) {
-        const float t = std::tanh(kC * (x + 0.044715f * x * x * x));
-        return 0.5f * x * (1.0f + t);
-      },
+      a, "gelu", [](float x) { return kernels::GeluApprox(x); },
       [](float x, float) {
         const float u = kC * (x + 0.044715f * x * x * x);
         const float t = std::tanh(u);
@@ -630,18 +628,9 @@ Tensor Softmax(const Tensor& a) {
   Tensor out(a.shape());
   const float* pa = a.data();
   float* po = out.data();
+  // Row arithmetic shared with the fused eval epilogue (scalar_math.h).
   kernels::RowMap(rows, d, [pa, po, d](int64_t r) {
-    const float* xr = pa + r * d;
-    float* yr = po + r * d;
-    float mx = xr[0];
-    for (int64_t j = 1; j < d; ++j) mx = std::max(mx, xr[j]);
-    float z = 0.0f;
-    for (int64_t j = 0; j < d; ++j) {
-      yr[j] = std::exp(xr[j] - mx);
-      z += yr[j];
-    }
-    const float inv = 1.0f / z;
-    for (int64_t j = 0; j < d; ++j) yr[j] *= inv;
+    kernels::SoftmaxRow(pa + r * d, po + r * d, d);
   });
   auto a_impl = a.impl();
   AttachNode(&out, {a}, "softmax", [a_impl, rows, d](TensorImpl& o) {

@@ -1,10 +1,13 @@
 #include <cmath>
+#include <vector>
 
 #include "gtest/gtest.h"
 #include "nn/layers.h"
 #include "optim/lr_schedule.h"
 #include "optim/optimizer.h"
+#include "tensor/kernels/kernel_context.h"
 #include "tensor/tensor_ops.h"
+#include "util/rng.h"
 
 namespace cdcl {
 namespace optim {
@@ -121,6 +124,122 @@ TEST(OptimizerTest, TrainsLinearRegression) {
   }
   Tensor probe = Tensor::FromVector(Shape{1, 1}, {0.5f});
   EXPECT_NEAR(lin.Forward(probe).at(0, 0), 2.0f, 0.1f);
+}
+
+// ---------------------------------------------------------------------------
+// Fused single-pass step: the optimizers update all parameter blocks in one
+// deterministic kernel dispatch. These tests pin the fused pass to a naive
+// per-tensor reference loop, bit for bit, across thread counts — block sizes
+// straddle the kEltwiseGrain chunk boundary and include a frozen and a
+// grad-less parameter so the block gathering is exercised too.
+// ---------------------------------------------------------------------------
+
+struct FusedStepFixture {
+  FusedStepFixture() {
+    Rng rng(3);
+    // 9000 crosses the 8192-element chunk grain; the rest are odd tails.
+    const std::vector<int64_t> sizes = {17, 9000, 33, 5};
+    for (size_t i = 0; i < sizes.size(); ++i) {
+      Tensor w = Tensor::Randn(Shape{sizes[i]}, &rng, 1.0f, true);
+      Tensor c = Tensor::Randn(Shape{sizes[i]}, &rng);
+      if (i == 2) {
+        w.set_requires_grad(false);  // frozen: must be skipped
+      } else if (i == 3) {
+        // no backward pass: has_grad() stays false, must be skipped
+      } else {
+        ops::Sum(ops::Mul(w, c)).Backward();  // grad = c
+      }
+      initial.push_back(w.Clone());
+      params.push_back(w);
+    }
+  }
+
+  void ResetWeights() {
+    for (size_t i = 0; i < params.size(); ++i) {
+      params[i].CopyDataFrom(initial[i]);
+    }
+  }
+
+  std::vector<Tensor> params;
+  std::vector<Tensor> initial;
+};
+
+TEST(FusedStepTest, SgdMomentumBitwiseMatchesPerTensorReference) {
+  FusedStepFixture fx;
+  const float lr = 0.05f, momentum = 0.9f;
+  // Reference: naive per-tensor loops, two steps (second has velocity != 0).
+  std::vector<std::vector<float>> ref_w;
+  for (size_t p = 0; p < fx.params.size(); ++p) {
+    std::vector<float> w = fx.initial[p].ToVector();
+    if (fx.params[p].requires_grad() && fx.params[p].has_grad()) {
+      const float* g = fx.params[p].grad_data();
+      std::vector<float> v(w.size(), 0.0f);
+      for (int step = 0; step < 2; ++step) {
+        for (size_t i = 0; i < w.size(); ++i) {
+          v[i] = momentum * v[i] + g[i];
+          w[i] -= lr * v[i];
+        }
+      }
+    }
+    ref_w.push_back(std::move(w));
+  }
+  for (int64_t threads : {int64_t{1}, int64_t{2}, int64_t{8}}) {
+    kernels::SetNumThreads(threads);
+    fx.ResetWeights();
+    Sgd opt(fx.params, lr, momentum);  // fresh optimizer: zero velocity
+    opt.Step();
+    opt.Step();
+    for (size_t p = 0; p < fx.params.size(); ++p) {
+      const float* w = fx.params[p].data();
+      for (size_t i = 0; i < ref_w[p].size(); ++i) {
+        ASSERT_EQ(w[i], ref_w[p][i])
+            << "param " << p << " elem " << i << " threads " << threads;
+      }
+    }
+  }
+  kernels::SetNumThreads(0);
+}
+
+TEST(FusedStepTest, AdamWBitwiseMatchesPerTensorReference) {
+  FusedStepFixture fx;
+  const float lr = 0.01f, beta1 = 0.9f, beta2 = 0.999f, eps = 1e-8f;
+  const float wd = 0.01f;
+  std::vector<std::vector<float>> ref_w;
+  for (size_t p = 0; p < fx.params.size(); ++p) {
+    std::vector<float> w = fx.initial[p].ToVector();
+    if (fx.params[p].requires_grad() && fx.params[p].has_grad()) {
+      const float* g = fx.params[p].grad_data();
+      std::vector<float> m(w.size(), 0.0f), v(w.size(), 0.0f);
+      for (int step = 1; step <= 2; ++step) {
+        const float bc1 = 1.0f - std::pow(beta1, static_cast<float>(step));
+        const float bc2 = 1.0f - std::pow(beta2, static_cast<float>(step));
+        for (size_t i = 0; i < w.size(); ++i) {
+          m[i] = beta1 * m[i] + (1.0f - beta1) * g[i];
+          v[i] = beta2 * v[i] + (1.0f - beta2) * g[i] * g[i];
+          const float mhat = m[i] / bc1;
+          const float vhat = v[i] / bc2;
+          w[i] -= lr * mhat / (std::sqrt(vhat) + eps);
+          w[i] -= lr * wd * w[i];  // decoupled decay
+        }
+      }
+    }
+    ref_w.push_back(std::move(w));
+  }
+  for (int64_t threads : {int64_t{1}, int64_t{2}, int64_t{8}}) {
+    kernels::SetNumThreads(threads);
+    fx.ResetWeights();
+    AdamW opt(fx.params, lr, beta1, beta2, eps, wd);
+    opt.Step();
+    opt.Step();
+    for (size_t p = 0; p < fx.params.size(); ++p) {
+      const float* w = fx.params[p].data();
+      for (size_t i = 0; i < ref_w[p].size(); ++i) {
+        ASSERT_EQ(w[i], ref_w[p][i])
+            << "param " << p << " elem " << i << " threads " << threads;
+      }
+    }
+  }
+  kernels::SetNumThreads(0);
 }
 
 TEST(LrScheduleTest, ConstantIsConstant) {
