@@ -19,7 +19,11 @@
 #include <string>
 #include <vector>
 
+#include "models/compact_transformer.h"
 #include "nn/attention.h"
+#include "nn/module.h"
+#include "optim/optimizer.h"
+#include "tensor/arena.h"
 #include "tensor/kernels/kernel_context.h"
 #include "tensor/kernels/matmul_kernel.h"
 #include "tensor/kernels/parallel.h"
@@ -85,7 +89,9 @@ struct BenchRow {
 };
 
 void WriteJson(const std::string& path, const std::vector<BenchRow>& rows,
-               double packed_vs_blocked_1t, double batched_attention_8t) {
+               double packed_vs_blocked_1t, double batched_attention_8t,
+               double train_step_fused_arena_1t,
+               double train_step_fused_arena_8t) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "WARNING: cannot write %s\n", path.c_str());
@@ -94,8 +100,11 @@ void WriteJson(const std::string& path, const std::vector<BenchRow>& rows,
   std::fprintf(f,
                "{\n  \"bench\": \"tensor_kernels\",\n"
                "  \"packed_vs_blocked_1t\": %.3f,\n"
-               "  \"batched_attention_8t\": %.3f,\n  \"results\": [\n",
-               packed_vs_blocked_1t, batched_attention_8t);
+               "  \"batched_attention_8t\": %.3f,\n"
+               "  \"train_step_fused_arena_1t\": %.3f,\n"
+               "  \"train_step_fused_arena_8t\": %.3f,\n  \"results\": [\n",
+               packed_vs_blocked_1t, batched_attention_8t,
+               train_step_fused_arena_1t, train_step_fused_arena_8t);
   for (size_t i = 0; i < rows.size(); ++i) {
     const BenchRow& r = rows[i];
     std::fprintf(f, "    {\"op\": \"%s\", \"size\": \"%s\", \"serial_ms\": %.3f, ",
@@ -251,6 +260,96 @@ int main() {
     rows.push_back(fused_row);
   }
 
+  // --- Training step: EncodeCross fwd + bwd + AdamW at the paper shape ------
+  // The CDCL training hot path (ModelConfig::Small: 16x16x3 images through
+  // the 2-layer tokenizer -> 16 tokens at d=24, 2 encoder layers, two-stream
+  // cross-encoding): one full step of cross-encoding, three CE losses,
+  // backward and a fused AdamW update. The op row runs the seed training
+  // runtime exactly as PR 3 left it: op-by-op tape, heap storage, and the
+  // PR-2 work-floor-only GEMM auto dispatch (narrow-pack off). The fused row
+  // runs this PR's training runtime: fused attention/FFN training nodes,
+  // step arena, and the narrow-output packed-GEMM dispatch — the defaults.
+  // Fusion and arena are bitwise-invisible (tests/arena_test.cc); the
+  // narrow-pack dispatch runs the same per-element math on a different
+  // kernel tier (float-rounding-level difference, CDCL_GEMM_NARROW_PACK=0
+  // restores the seed rule).
+  {
+    const int64_t tb = EnvInt("CDCL_BENCH_STEP_BATCH", 16);
+    const int64_t classes = 4;
+    Rng rng(9);
+    models::ModelConfig config = models::ModelConfig::Small(16, 3);
+    models::CompactTransformer model(config, &rng);
+    model.AddTask(classes);
+    optim::AdamW opt(model.TrainableParameters(), 1e-4f, 0.9f, 0.999f, 1e-8f,
+                     0.01f);
+    Tensor xs = Tensor::Randn(Shape{tb, 3, 16, 16}, &rng);
+    Tensor xt = Tensor::Randn(Shape{tb, 3, 16, 16}, &rng);
+    std::vector<int64_t> labels(static_cast<size_t>(tb));
+    for (int64_t i = 0; i < tb; ++i) {
+      labels[static_cast<size_t>(i)] = i % classes;
+    }
+    Arena arena;
+    auto step = [&] {
+      ArenaScope scope(&arena);  // no-op while the arena toggle is off
+      auto enc = model.EncodeCross(xs, xt, 0);
+      Tensor loss = ops::CrossEntropy(model.CilLogits(enc.z_source), labels);
+      loss = ops::Add(loss, ops::CrossEntropy(model.CilLogits(enc.z_target),
+                                              labels));
+      loss = ops::Add(loss, ops::CrossEntropy(model.TilLogits(enc.z_mixed, 0),
+                                              labels));
+      loss.Backward();
+      opt.Step();
+      opt.ZeroGrad();
+    };
+    const std::string size = StrFormat("b%lld n16 d24 l2 x2streams",
+                                       static_cast<long long>(tb));
+    std::vector<int64_t> step_threads = thread_counts;
+    if (std::find(step_threads.begin(), step_threads.end(), int64_t{8}) ==
+        step_threads.end()) {
+      step_threads.push_back(8);
+    }
+    BenchRow op_row, fused_row;
+    op_row.op = "train_step_op";
+    fused_row.op = "train_step_fused_arena";
+    op_row.size = fused_row.size = size;
+    auto seed_config = [] {
+      SetArenaEnabled(false);
+      nn::SetFusedTrain(false);
+      kernels::SetGemmNarrowPack(false);
+    };
+    auto fused_config = [] {
+      SetArenaEnabled(true);
+      nn::SetFusedTrain(true);
+      kernels::SetGemmNarrowPack(true);
+    };
+    // The two configurations are timed in alternation (best-of per side) so
+    // slow machine-level drift over the bench run cancels out of the ratio.
+    constexpr int64_t kStepsPerRep = 4;
+    for (int64_t t : step_threads) {
+      kernels::SetNumThreads(t);
+      double best_op = 0.0, best_fused = 0.0;
+      for (int64_t r = 0; r < 2 * reps; ++r) {
+        seed_config();
+        step();  // transition warm-up
+        Stopwatch op_timer;
+        for (int64_t i = 0; i < kStepsPerRep; ++i) step();
+        const double op_ms = op_timer.ElapsedMillis() / kStepsPerRep;
+        if (r == 0 || op_ms < best_op) best_op = op_ms;
+        fused_config();
+        step();
+        Stopwatch fused_timer;
+        for (int64_t i = 0; i < kStepsPerRep; ++i) step();
+        const double fused_ms = fused_timer.ElapsedMillis() / kStepsPerRep;
+        if (r == 0 || fused_ms < best_fused) best_fused = fused_ms;
+      }
+      op_row.per_thread_ms.emplace_back(t, best_op);
+      fused_row.per_thread_ms.emplace_back(t, best_fused);
+      if (t == 1) op_row.serial_ms = fused_row.serial_ms = best_op;
+    }
+    rows.push_back(op_row);
+    rows.push_back(fused_row);
+  }
+
   // --- Elementwise: suffix-broadcast add ------------------------------------
   {
     const int64_t n = int64_t{1} << 22, period = 1024;
@@ -349,7 +448,32 @@ int main() {
                 batched_attention_8t);
   }
 
-  WriteJson(out_path, rows, packed_vs_blocked, batched_attention_8t);
+  // Headline numbers for the arena + fused training path: step throughput
+  // vs the seed's op-by-op heap training step at 1 and 8 threads (same
+  // shape, same per-element math).
+  double train_step_1t = 0.0, train_step_8t = 0.0;
+  {
+    double op1 = 0.0, fused1 = 0.0, op8 = 0.0, fused8 = 0.0;
+    for (const BenchRow& r : rows) {
+      if (r.op == "train_step_op") {
+        op1 = r.ThreadMs(1);
+        op8 = r.ThreadMs(8);
+      }
+      if (r.op == "train_step_fused_arena") {
+        fused1 = r.ThreadMs(1);
+        fused8 = r.ThreadMs(8);
+      }
+    }
+    if (op1 > 0.0 && fused1 > 0.0) train_step_1t = op1 / fused1;
+    if (op8 > 0.0 && fused8 > 0.0) train_step_8t = op8 / fused8;
+    std::printf(
+        "arena + fused training step vs seed op-by-op heap step: %.2fx "
+        "(1 thread), %.2fx (8 threads)\n",
+        train_step_1t, train_step_8t);
+  }
+
+  WriteJson(out_path, rows, packed_vs_blocked, batched_attention_8t,
+            train_step_1t, train_step_8t);
   std::printf("report written to %s\n", out_path.c_str());
   return 0;
 }

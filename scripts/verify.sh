@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # One-command tier-1 gate: configure + build + ctest, Debug and Release, with
 # -Wall -Wextra (always on via CMakeLists), plus an ASan/UBSan pass over the
-# kernel + fused-eval suites (packing buffers, per-thread grad scratch and
-# per-sample score scratch are where lifetime bugs hide), an examples build
+# kernel + fused-eval + arena suites (packing buffers, per-thread grad
+# scratch, per-sample score scratch, and step-arena lifetimes are where
+# bugs hide — under ASan the arena allocates per-request so a tensor
+# escaping its step scope is a real heap-use-after-free), an examples build
 # check, and a docs knob-consistency grep (README.md must not document env
 # knobs that no longer exist in the source). Usage: scripts/verify.sh [jobs]
 set -euo pipefail
@@ -29,14 +31,14 @@ for example in examples/*.cc; do
   fi
 done
 
-echo "== ASan/UBSan: kernel + batched-eval suites =="
+echo "== ASan/UBSan: kernel + batched-eval + arena suites =="
 asan_dir="build-verify-asan"
 cmake -B "${asan_dir}" -S . -DCMAKE_BUILD_TYPE=Debug -DCDCL_SANITIZE=ON \
   -DCDCL_BUILD_BENCH=OFF -DCDCL_BUILD_EXAMPLES=OFF
 cmake --build "${asan_dir}" -j "${JOBS}" \
-  --target kernels_test gemm_packed_test batched_eval_test
+  --target kernels_test gemm_packed_test batched_eval_test arena_test
 ctest --test-dir "${asan_dir}" --output-on-failure -j "${JOBS}" \
-  -R '^(kernels_test|gemm_packed_test|batched_eval_test)$'
+  -R '^(kernels_test|gemm_packed_test|batched_eval_test|arena_test)$'
 
 echo "== docs: README knob consistency =="
 # Every CDCL_* knob README.md documents must still be *read* somewhere — an

@@ -48,6 +48,7 @@ Status CdTransTrainer::ObserveTask(const data::CrossDomainTask& task) {
       data::DataLoader loader(&task.source_train, options_.batch_size, &rng_);
       data::Batch batch;
       while (loader.Next(&batch)) {
+        ArenaScope step_arena(&arena_);
         Tensor z = model_->EncodeSelf(batch.images, head);
         Tensor loss = ops::Add(
             ops::CrossEntropy(model_->TilLogits(z, head), batch.task_labels),
@@ -68,6 +69,7 @@ Status CdTransTrainer::ObserveTask(const data::CrossDomainTask& task) {
     const int64_t global_offset = task.classes[0];
     for (size_t start = 0; start < plan.pairs.size();
          start += static_cast<size_t>(options_.batch_size)) {
+      ArenaScope step_arena(&arena_);
       const size_t end = std::min(plan.pairs.size(),
                                   start + static_cast<size_t>(options_.batch_size));
       std::vector<int64_t> si, ti;

@@ -132,6 +132,7 @@ Status RehearsalTrainer::ObserveTask(const data::CrossDomainTask& task) {
     data::DataLoader loader(&task.source_train, options_.batch_size, &rng_);
     data::Batch batch;
     while (loader.Next(&batch)) {
+      ArenaScope step_arena(&arena_);
       Tensor z = model_->EncodeSelf(batch.images, current);
       Tensor loss =
           ops::Add(ops::CrossEntropy(model_->TilLogits(z, current),
@@ -149,6 +150,9 @@ Status RehearsalTrainer::ObserveTask(const data::CrossDomainTask& task) {
 
 void RehearsalTrainer::StoreTaskMemory(const data::CrossDomainTask& task) {
   NoGradGuard no_grad;
+  // Snapshot tensors are step-scoped; records keep only plain vectors plus
+  // handles to the (heap, dataset-owned) images.
+  ArenaScope step_arena(&arena_);
   model_->SetTraining(false);
   const int64_t current = tasks_seen_ - 1;
   std::vector<cl::MemoryRecord> candidates;

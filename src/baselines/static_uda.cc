@@ -18,6 +18,7 @@ void StaticUdaTrainer::TrainEpochOnTask(const data::CrossDomainTask& task,
     data::DataLoader loader(&task.source_train, options_.batch_size, &rng_);
     data::Batch batch;
     while (loader.Next(&batch)) {
+      ArenaScope step_arena(&arena_);
       Tensor z = model_->EncodeSelf(batch.images, task_id);
       Tensor loss = ops::Add(
           ops::CrossEntropy(model_->TilLogits(z, task_id), batch.task_labels),
@@ -38,6 +39,7 @@ void StaticUdaTrainer::TrainEpochOnTask(const data::CrossDomainTask& task,
                                  &rng_);
   for (size_t start = 0; start < plan.pairs.size();
        start += static_cast<size_t>(options_.batch_size)) {
+    ArenaScope step_arena(&arena_);
     const size_t end = std::min(plan.pairs.size(),
                                 start + static_cast<size_t>(options_.batch_size));
     std::vector<int64_t> si, ti, task_labels, labels;

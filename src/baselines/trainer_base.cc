@@ -51,6 +51,7 @@ double TrainerBase::EvaluateTil(const data::TensorDataset& test,
                           /*shuffle=*/false);
   data::Batch batch;
   while (loader.Next(&batch)) {
+    ArenaScope step_arena(&arena_);
     Tensor z = model_->EncodeSelfBatched(batch.images, task_id);
     Tensor logits = model_->TilLogits(z, task_id);
     std::vector<int64_t> pred = ops::Argmax(logits);
@@ -74,6 +75,7 @@ double TrainerBase::EvaluateCil(const data::TensorDataset& test) {
                           /*shuffle=*/false);
   data::Batch batch;
   while (loader.Next(&batch)) {
+    ArenaScope step_arena(&arena_);
     Tensor z = model_->EncodeSelfBatched(batch.images, latest);
     Tensor logits = model_->CilLogits(z);
     std::vector<int64_t> pred = ops::Argmax(logits);
@@ -98,6 +100,9 @@ TrainerBase::EncodedDataset TrainerBase::EncodeDataset(
   int64_t row = 0;
   const int64_t d = model_->feature_dim();
   while (loader.Next(&batch)) {
+    // Per-batch step scope: z and the encoder intermediates are arena-backed
+    // and copied into the (heap, outside-scope) feature matrix before reset.
+    ArenaScope step_arena(&arena_);
     Tensor z = model_->EncodeSelfBatched(batch.images, task_keys);
     std::memcpy(out.features.data() + row * d, z.data(),
                 static_cast<size_t>(z.NumElements()) * sizeof(float));

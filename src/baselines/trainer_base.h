@@ -11,6 +11,7 @@
 #include "models/compact_transformer.h"
 #include "optim/lr_schedule.h"
 #include "optim/optimizer.h"
+#include "tensor/arena.h"
 #include "uda/distance.h"
 #include "util/rng.h"
 
@@ -137,6 +138,14 @@ class TrainerBase : public cl::ContinualTrainer {
   std::unique_ptr<optim::WarmupCosineLr> schedule_;
   cl::RehearsalMemory memory_;
   int64_t tasks_seen_ = 0;
+  /// Step workspace shared by every trainer loop: each training step (and
+  /// each inference batch of the eval/encode loops) runs under an
+  /// `ArenaScope(&arena_)`, so step-scoped tensors are bump allocations that
+  /// vanish at the scope's reset instead of heap round-trips. Parameters,
+  /// optimizer state and datasets live outside the scopes and stay
+  /// heap-owned. CDCL_ARENA=0 disables the scopes (bitwise-identical
+  /// results either way; tests/arena_test.cc).
+  Arena arena_;
 };
 
 }  // namespace baselines

@@ -129,6 +129,24 @@ Tensor CdclTrainer::RehearsalLoss(int64_t current_task) {
   return loss;
 }
 
+void CdclTrainer::RunSourceOnlyEpoch(const data::CrossDomainTask& task,
+                                     int64_t task_id, bool with_rehearsal,
+                                     int64_t* step) {
+  data::DataLoader loader(&task.source_train, options_.batch_size, &rng_);
+  data::Batch batch;
+  while (loader.Next(&batch)) {
+    ArenaScope step_arena(&arena_);
+    Tensor loss = WarmupLoss(batch, task_id);
+    if (with_rehearsal && cdcl_options_.use_rehearsal && task_id > 0) {
+      Tensor replay = RehearsalLoss(task_id);
+      if (replay.defined()) loss = ops::Add(loss, replay);
+    }
+    loss_trace_.push_back(loss.item());
+    loss.Backward();
+    OptimizerStep((*step)++);
+  }
+}
+
 Status CdclTrainer::ObserveTask(const data::CrossDomainTask& task) {
   const int64_t num_classes = static_cast<int64_t>(task.classes.size());
   const int64_t steps_per_epoch = std::max<int64_t>(
@@ -147,18 +165,9 @@ Status CdclTrainer::ObserveTask(const data::CrossDomainTask& task) {
   for (int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
     const bool warm = epoch < options_.warmup_epochs;
     if (warm) {
-      // Algorithm 1 lines 7-9: source-only warm-up.
-      data::DataLoader loader(&task.source_train, options_.batch_size, &rng_);
-      data::Batch batch;
-      while (loader.Next(&batch)) {
-        Tensor loss = WarmupLoss(batch, current);
-        if (cdcl_options_.use_rehearsal && current > 0) {
-          Tensor replay = RehearsalLoss(current);
-          if (replay.defined()) loss = ops::Add(loss, replay);
-        }
-        loss.Backward();
-        OptimizerStep(step++);
-      }
+      // Algorithm 1 lines 7-9: source-only warm-up (with rehearsal from the
+      // second task on).
+      RunSourceOnlyEpoch(task, current, /*with_rehearsal=*/true, &step);
       continue;
     }
 
@@ -181,13 +190,7 @@ Status CdclTrainer::ObserveTask(const data::CrossDomainTask& task) {
     if (plan.pairs.empty()) {
       // Alignment failed this epoch (all pseudo-labels unsupported); fall
       // back to source-only training rather than skipping the epoch.
-      data::DataLoader loader(&task.source_train, options_.batch_size, &rng_);
-      data::Batch batch;
-      while (loader.Next(&batch)) {
-        Tensor loss = WarmupLoss(batch, current);
-        loss.Backward();
-        OptimizerStep(step++);
-      }
+      RunSourceOnlyEpoch(task, current, /*with_rehearsal=*/false, &step);
       continue;
     }
 
@@ -199,6 +202,10 @@ Status CdclTrainer::ObserveTask(const data::CrossDomainTask& task) {
                                    &rng_);
     for (size_t start = 0; start < plan.pairs.size();
          start += static_cast<size_t>(options_.batch_size)) {
+      // One arena-scoped training step: every tensor from here to the
+      // optimizer update (gather batches, the cross-encoding, losses, tape
+      // scratch) is a bump allocation released at the scope reset.
+      ArenaScope step_arena(&arena_);
       const size_t end = std::min(plan.pairs.size(),
                                   start + static_cast<size_t>(options_.batch_size));
       std::vector<int64_t> si, ti, task_labels, labels;
@@ -264,6 +271,7 @@ Status CdclTrainer::ObserveTask(const data::CrossDomainTask& task) {
         Tensor replay = RehearsalLoss(current);
         if (replay.defined()) loss = ops::Add(loss, replay);
       }
+      loss_trace_.push_back(loss.item());
       loss.Backward();
       OptimizerStep(step++);
     }
@@ -282,6 +290,9 @@ Status CdclTrainer::ObserveTask(const data::CrossDomainTask& task) {
 void CdclTrainer::StoreTaskMemory(const data::CrossDomainTask& task,
                                   int64_t task_id, const AlignmentPlan& plan) {
   NoGradGuard no_grad;
+  // Snapshot tensors are step-scoped; the records keep only plain vectors
+  // plus handles to the (heap, dataset-owned) images.
+  ArenaScope step_arena(&arena_);
   model_->SetTraining(false);
   // Records are the aligned pairs; when alignment is empty fall back to
   // index-aligned source/target samples so the memory never starves.

@@ -2,6 +2,7 @@
 #define CDCL_CORE_CDCL_TRAINER_H_
 
 #include <memory>
+#include <vector>
 
 #include "baselines/trainer_base.h"
 
@@ -43,17 +44,30 @@ class CdclTrainer : public baselines::TrainerBase {
   /// Pair-set size of the last alignment round.
   int64_t last_pair_count() const { return last_pair_count_; }
 
+  /// Per-step training losses in observation order, across every epoch and
+  /// task this trainer has seen. Diagnostic: tests/arena_test.cc pins this
+  /// trajectory bitwise across CDCL_ARENA / CDCL_FUSED_TRAIN settings and
+  /// thread counts.
+  const std::vector<float>& loss_trace() const { return loss_trace_; }
+
  private:
   /// Source-only warm-up objective: L^CIL_S + L^TIL_S (Algorithm 1 lines 8-9).
   Tensor WarmupLoss(const data::Batch& batch, int64_t task_id);
   /// Rehearsal loss on one sampled past task (eqs. 20-23).
   Tensor RehearsalLoss(int64_t current_task);
+  /// One source-only epoch (shared by the warm-up phase, which adds
+  /// rehearsal from the second task on, and the empty-pair-set fallback,
+  /// which does not): full pass of source batches, each an arena-scoped
+  /// step of WarmupLoss -> Backward -> OptimizerStep.
+  void RunSourceOnlyEpoch(const data::CrossDomainTask& task, int64_t task_id,
+                          bool with_rehearsal, int64_t* step);
   void StoreTaskMemory(const data::CrossDomainTask& task, int64_t task_id,
                        const AlignmentPlan& plan);
 
   CdclOptions cdcl_options_;
   double last_pseudo_label_accuracy_ = 0.0;
   int64_t last_pair_count_ = 0;
+  std::vector<float> loss_trace_;
 };
 
 std::unique_ptr<CdclTrainer> MakeCdclTrainer(const CdclOptions& options);

@@ -69,6 +69,16 @@ class CompactTransformer : public nn::Module {
 
   /// Two-stream encoding: source/target evolve through self-attention while
   /// the mixed stream accumulates per-layer cross-attention (eq. 3).
+  ///
+  /// This is the training hot path of a CDCL run. Under grad recording (and
+  /// unless disabled via nn::SetFusedTrain / CDCL_FUSED_TRAIN=0), every
+  /// attention call — the cross-stream eq. 3 attention and both self
+  /// streams — and every encoder MLP records ONE tape node through the
+  /// fused training forwards (tensor/fused_train.h): flattened (b*n, d)
+  /// projection GEMMs, the fused score/bias/softmax and bias/GELU epilogues
+  /// of the inference path, and hand-written backward closures that replay
+  /// the op chain's kernels. Losses, gradients and post-step parameters are
+  /// bitwise identical to the op-by-op tape (tests/arena_test.cc).
   struct CrossEncoding {
     Tensor z_source;
     Tensor z_target;

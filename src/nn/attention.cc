@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "tensor/fused_train.h"
 #include "tensor/kernels/fused_eval.h"
 #include "tensor/kernels/matmul_kernel.h"
 #include "tensor/kernels/parallel.h"
@@ -56,6 +57,15 @@ Tensor TaskConditionedAttention::Attend(const Tensor& q_input,
   CDCL_CHECK_EQ(q_input.dim(2), dim_);
   CDCL_CHECK_EQ(kv_input.dim(1), seq_len_);
 
+  if (GradModeEnabled() && FusedTrainEnabled()) {
+    // Fused training path: the projection/score/epilogue chain records one
+    // tape node with a hand-written backward, bitwise identical to the op
+    // chain below (tensor/fused_train.h). This is the path EncodeCross and
+    // the training EncodeSelf take by default.
+    return AttendBlockTrain(q_input, kv_input, task, /*residual=*/Tensor());
+  }
+
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dim_));
   Tensor q = wq_->Forward(q_input);                         // (b,n,d)
   Tensor v = wv_->Forward(kv_input);                        // (b,n,d)
   Tensor k = wk_tasks_[static_cast<size_t>(task)]->Forward(kv_input);
@@ -66,7 +76,7 @@ Tensor TaskConditionedAttention::Attend(const Tensor& q_input,
   // (b,n,d) transpose on every forward.
   Tensor scores = ops::BatchMatMulTransB(q, k);  // (b,n,n)
   scores = ops::Add(scores, bias);
-  scores = ops::MulScalar(scores, 1.0f / std::sqrt(static_cast<float>(dim_)));
+  scores = ops::MulScalar(scores, scale);
   if (softmax_scores_) scores = ops::Softmax(scores);
   return ops::BatchMatMul(scores, v);  // (b,n,d)
 }
@@ -80,6 +90,20 @@ Tensor TaskConditionedAttention::CrossAttention(const Tensor& x_source,
                                                 const Tensor& x_target,
                                                 int64_t task) const {
   return Attend(x_source, x_target, task);
+}
+
+Tensor TaskConditionedAttention::AttendBlockTrain(const Tensor& q_input,
+                                                  const Tensor& kv_input,
+                                                  int64_t task,
+                                                  const Tensor& residual) const {
+  CDCL_CHECK(GradModeEnabled());
+  CDCL_CHECK_GE(task, 0);
+  CDCL_CHECK_LT(task, num_tasks());
+  return ops::FusedAttentionTrain(
+      q_input, kv_input, wq_->weight(),
+      wk_tasks_[static_cast<size_t>(task)]->weight(), wv_->weight(),
+      bias_tasks_[static_cast<size_t>(task)],
+      1.0f / std::sqrt(static_cast<float>(dim_)), softmax_scores_, residual);
 }
 
 Tensor TaskConditionedAttention::SelfAttentionFused(const Tensor& x,
@@ -121,7 +145,21 @@ FeedForward::FeedForward(int64_t dim, int64_t hidden_dim, Rng* rng) {
 }
 
 Tensor FeedForward::Forward(const Tensor& x) const {
+  if (GradModeEnabled() && FusedTrainEnabled() && x.ndim() >= 3) {
+    // Fused training path: one tape node for fc1 + bias/GELU + fc2 + bias,
+    // bitwise identical to the chain below (tensor/fused_train.h). Gated on
+    // ndim >= 3 because the closure replays the Linear reshape structure.
+    return ops::FusedFeedForwardTrain(x, fc1_->weight(), fc1_->bias(),
+                                      fc2_->weight(), fc2_->bias());
+  }
   return fc2_->Forward(ops::Gelu(fc1_->Forward(x)));
+}
+
+Tensor FeedForward::ForwardBlockTrain(const Tensor& x,
+                                      const Tensor& residual) const {
+  CDCL_CHECK(GradModeEnabled());
+  return ops::FusedFeedForwardTrain(x, fc1_->weight(), fc1_->bias(),
+                                    fc2_->weight(), fc2_->bias(), residual);
 }
 
 Tensor FeedForward::ForwardFused(const Tensor& x) const {
@@ -158,6 +196,14 @@ TransformerEncoderLayer::TransformerEncoderLayer(int64_t dim, int64_t seq_len,
 
 Tensor TransformerEncoderLayer::SelfForward(const Tensor& x,
                                             int64_t task) const {
+  if (GradModeEnabled() && FusedTrainEnabled()) {
+    // Fused training blocks: each pre-norm sublayer (attention + residual,
+    // MLP + residual) records one tape node, bitwise identical to the op
+    // chain below.
+    Tensor normed = norm1_->Forward(x);
+    Tensor h = attention_->AttendBlockTrain(normed, normed, task, x);
+    return mlp_->ForwardBlockTrain(norm2_->Forward(h), h);
+  }
   Tensor h = ops::Add(x, attention_->SelfAttention(norm1_->Forward(x), task));
   return ops::Add(h, mlp_->Forward(norm2_->Forward(h)));
 }
@@ -173,6 +219,15 @@ Tensor TransformerEncoderLayer::CrossForward(const Tensor& source_hidden,
                                              const Tensor& target_hidden,
                                              const Tensor& mixed,
                                              int64_t task) const {
+  if (GradModeEnabled() && FusedTrainEnabled()) {
+    // Fused training blocks, the EncodeCross hot path: the cross-attention
+    // sublayer folds the mixed-stream residual in (undefined on the first
+    // layer -> pure cross-attention), then the fused MLP sublayer.
+    Tensor m = attention_->AttendBlockTrain(norm1_->Forward(source_hidden),
+                                            norm1_->Forward(target_hidden),
+                                            task, mixed);
+    return mlp_->ForwardBlockTrain(norm2_->Forward(m), m);
+  }
   Tensor cross = attention_->CrossAttention(norm1_->Forward(source_hidden),
                                             norm1_->Forward(target_hidden),
                                             task);
@@ -187,6 +242,11 @@ SequencePool::SequencePool(int64_t dim, Rng* rng) {
 
 Tensor SequencePool::Forward(const Tensor& x) const {
   CDCL_CHECK_EQ(x.ndim(), 3);
+  if (GradModeEnabled() && FusedTrainEnabled()) {
+    // Fused training path: one tape node for projection + bias + softmax +
+    // weighted average, bitwise identical to the chain below.
+    return ops::FusedSequencePoolTrain(x, g_->weight(), g_->bias());
+  }
   const int64_t b = x.dim(0), n = x.dim(1), d = x.dim(2);
   Tensor logits = ops::Reshape(g_->Forward(x), Shape{b, n});  // (b,n)
   Tensor weights = ops::Softmax(logits);                      // eq. 4

@@ -38,12 +38,28 @@ class TaskConditionedAttention : public Module {
 
   /// Self-attention (eq. 2): single stream provides Q, K_i, b_i and V.
   /// x: (b, n, d) -> (b, n, d).
+  ///
+  /// Under grad recording both attention entry points take the fused
+  /// training path by default (ops::FusedAttentionTrain: one tape node,
+  /// flattened projection GEMMs + fused score epilogue, hand-written
+  /// backward) — bitwise identical to the op-by-op chain;
+  /// nn::SetFusedTrain / CDCL_FUSED_TRAIN=0 restores the op chain.
   Tensor SelfAttention(const Tensor& x, int64_t task) const;
 
   /// Cross-attention (eq. 3): Q from the source stream; K_i, b_i and V from
-  /// the target stream. Both (b, n, d) -> (b, n, d).
+  /// the target stream. Both (b, n, d) -> (b, n, d). Same fused training
+  /// path as SelfAttention.
   Tensor CrossAttention(const Tensor& x_source, const Tensor& x_target,
                         int64_t task) const;
+
+  /// Fused training sublayer: residual + Attend(q_input, kv_input) recorded
+  /// as ONE tape node (the encoder block's pre-norm attention sublayer with
+  /// its residual add folded in). `residual` may be undefined (the cross
+  /// stream's first layer contributes pure cross-attention). Only valid
+  /// under grad recording with the fused training path enabled;
+  /// TransformerEncoderLayer routes through this.
+  Tensor AttendBlockTrain(const Tensor& q_input, const Tensor& kv_input,
+                          int64_t task, const Tensor& residual) const;
 
   /// Fused batched self-attention for inference: the Q/K_i/V projections run
   /// as single (b*n, d) GEMMs and the score epilogue (bias + scale + softmax)
@@ -72,7 +88,16 @@ class FeedForward : public Module {
  public:
   FeedForward(int64_t dim, int64_t hidden_dim, Rng* rng);
 
+  /// Under grad recording (ndim >= 3 inputs) this takes the fused training
+  /// path (ops::FusedFeedForwardTrain: one node, fused bias/GELU epilogue,
+  /// hand-written backward), bitwise identical to fc2(gelu(fc1(x)));
+  /// nn::SetFusedTrain / CDCL_FUSED_TRAIN=0 restores the op chain.
   Tensor Forward(const Tensor& x) const;
+
+  /// Fused training sublayer: residual + Forward(x) as one tape node (the
+  /// encoder block's pre-norm MLP sublayer with its residual add folded in).
+  /// Only valid under grad recording with the fused training path enabled.
+  Tensor ForwardBlockTrain(const Tensor& x, const Tensor& residual) const;
 
   /// Inference-path forward: both GEMMs run over the flattened (b*n, d) rows
   /// with the bias+GELU / bias epilogues fused into single parallel passes.
@@ -125,6 +150,10 @@ class SequencePool : public Module {
  public:
   SequencePool(int64_t dim, Rng* rng);
 
+  /// Under grad recording this takes the fused training path
+  /// (ops::FusedSequencePoolTrain: one node, hand-written backward),
+  /// bitwise identical to the op chain; nn::SetFusedTrain /
+  /// CDCL_FUSED_TRAIN=0 restores the op chain.
   Tensor Forward(const Tensor& x) const;
 
   /// Inference-path pooling: importance logits as one (b*n, 1) GEMM with a

@@ -58,6 +58,10 @@ Tensor Conv2d::Forward(const Tensor& x) const {
   return ops::Conv2d(x, weight_, bias_, stride_, padding_);
 }
 
+Tensor Conv2d::ForwardRelu(const Tensor& x) const {
+  return ops::Conv2dRelu(x, weight_, bias_, stride_, padding_);
+}
+
 LayerNorm::LayerNorm(int64_t dim, float eps) : eps_(eps) {
   gamma_ = RegisterParameter("gamma", Tensor::Ones(Shape{dim}));
   beta_ = RegisterParameter("beta", Tensor::Zeros(Shape{dim}));

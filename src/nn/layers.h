@@ -39,6 +39,12 @@ class Conv2d : public Module {
 
   Tensor Forward(const Tensor& x) const;
 
+  /// Forward with the ReLU activation fused into the conv node
+  /// (ops::Conv2dRelu): bitwise identical to Relu(Forward(x)) with one
+  /// fewer tape node and activation tensor. The tokenizer's fused training
+  /// path uses this.
+  Tensor ForwardRelu(const Tensor& x) const;
+
   int64_t out_channels() const { return out_channels_; }
 
  private:

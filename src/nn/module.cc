@@ -9,7 +9,8 @@ namespace cdcl {
 namespace nn {
 namespace {
 
-std::atomic<int> g_fused_eval{-1};  // -1 = unresolved (consult env once)
+std::atomic<int> g_fused_eval{-1};   // -1 = unresolved (consult env once)
+std::atomic<int> g_fused_train{-1};  // -1 = unresolved (consult env once)
 
 }  // namespace
 
@@ -24,6 +25,19 @@ bool FusedEvalEnabled() {
 
 void SetFusedEval(bool enabled) {
   g_fused_eval.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+bool FusedTrainEnabled() {
+  int state = g_fused_train.load(std::memory_order_relaxed);
+  if (state < 0) {
+    state = EnvBool("CDCL_FUSED_TRAIN", true) ? 1 : 0;
+    g_fused_train.store(state, std::memory_order_relaxed);
+  }
+  return state == 1;
+}
+
+void SetFusedTrain(bool enabled) {
+  g_fused_train.store(enabled ? 1 : 0, std::memory_order_relaxed);
 }
 
 Tensor Module::RegisterParameter(std::string name, Tensor tensor) {

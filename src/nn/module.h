@@ -19,6 +19,17 @@ namespace nn {
 bool FusedEvalEnabled();
 void SetFusedEval(bool enabled);
 
+/// Whether *recorded* (training) forwards should take the fused training
+/// path: attention and the encoder MLP each record one tape node whose
+/// forward runs flattened GEMMs + fused epilogues and whose hand-written
+/// backward replays the op chain's kernels (tensor/fused_train.h). Bitwise
+/// identical to the op-by-op tape — losses, gradients and post-step
+/// parameters match at every thread count and GEMM kernel selection
+/// (tests/arena_test.cc). Resolution: SetFusedTrain() if called, else the
+/// CDCL_FUSED_TRAIN env var, else enabled.
+bool FusedTrainEnabled();
+void SetFusedTrain(bool enabled);
+
 /// A named trainable tensor, as returned by Module::NamedParameters().
 struct NamedParameter {
   std::string name;

@@ -35,8 +35,16 @@ ConvTokenizer::ConvTokenizer(int64_t input_hw, int64_t input_channels,
 Tensor ConvTokenizer::Forward(const Tensor& x) const {
   CDCL_CHECK_EQ(x.ndim(), 4);
   Tensor h = x;
-  for (const auto& conv : convs_) {
-    h = ops::MaxPool2d(ops::Relu(conv->Forward(h)), 2, 2);
+  if (GradModeEnabled() && FusedTrainEnabled()) {
+    // Fused training path: ReLU rides the conv node (one tape entry, no
+    // separate activation tensor), bitwise identical to the chain below.
+    for (const auto& conv : convs_) {
+      h = ops::MaxPool2d(conv->ForwardRelu(h), 2, 2);
+    }
+  } else {
+    for (const auto& conv : convs_) {
+      h = ops::MaxPool2d(ops::Relu(conv->Forward(h)), 2, 2);
+    }
   }
   // (b, d, h', w') -> (b, n, d): tokens are spatial positions.
   const int64_t b = h.dim(0), d = h.dim(1), hw = h.dim(2) * h.dim(3);

@@ -1,0 +1,27 @@
+#include "tensor/autograd.h"
+
+#include <utility>
+
+namespace cdcl {
+namespace ops {
+namespace internal {
+
+void AttachNode(Tensor* out, const std::vector<Tensor>& inputs,
+                const char* name,
+                std::function<void(cdcl::internal::TensorImpl&)> backward) {
+  if (!GradModeEnabled()) return;
+  bool any = false;
+  for (const Tensor& t : inputs) any = any || t.requires_grad();
+  if (!any) return;
+  auto node = std::make_shared<cdcl::internal::GradNode>();
+  node->inputs.reserve(inputs.size());
+  for (const Tensor& t : inputs) node->inputs.push_back(t.impl());
+  node->backward = std::move(backward);
+  node->op_name = name;
+  out->impl()->node = std::move(node);
+  out->impl()->requires_grad = true;
+}
+
+}  // namespace internal
+}  // namespace ops
+}  // namespace cdcl

@@ -1,0 +1,30 @@
+#ifndef CDCL_TENSOR_AUTOGRAD_H_
+#define CDCL_TENSOR_AUTOGRAD_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace cdcl {
+namespace ops {
+namespace internal {
+
+/// Attaches a tape node to `out` when grad recording is active and at least
+/// one input participates in differentiation. Shared by tensor_ops, conv_ops
+/// and the fused training forwards (fused_train.cc) so every op records
+/// nodes with identical semantics.
+void AttachNode(Tensor* out, const std::vector<Tensor>& inputs,
+                const char* name,
+                std::function<void(cdcl::internal::TensorImpl&)> backward);
+
+inline bool NeedsGrad(const std::shared_ptr<cdcl::internal::TensorImpl>& impl) {
+  return impl->requires_grad;
+}
+
+}  // namespace internal
+}  // namespace ops
+}  // namespace cdcl
+
+#endif  // CDCL_TENSOR_AUTOGRAD_H_

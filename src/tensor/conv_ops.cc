@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "tensor/autograd.h"
 #include "tensor/kernels/kernel_context.h"
 #include "tensor/kernels/matmul_kernel.h"
 #include "tensor/kernels/parallel.h"
@@ -14,25 +15,8 @@ namespace cdcl {
 namespace ops {
 namespace {
 
-using internal::GradNode;
-using internal::TensorImpl;
-
-// Local copy of the attach helper (kept file-private intentionally; the ops
-// library does not expose tape plumbing).
-void AttachNode(Tensor* out, std::vector<Tensor> inputs, const char* name,
-                std::function<void(TensorImpl&)> backward) {
-  if (!GradModeEnabled()) return;
-  bool any = false;
-  for (const Tensor& t : inputs) any = any || t.requires_grad();
-  if (!any) return;
-  auto node = std::make_shared<GradNode>();
-  node->inputs.reserve(inputs.size());
-  for (const Tensor& t : inputs) node->inputs.push_back(t.impl());
-  node->backward = std::move(backward);
-  node->op_name = name;
-  out->impl()->node = std::move(node);
-  out->impl()->requires_grad = true;
-}
+using cdcl::internal::TensorImpl;
+using internal::AttachNode;
 
 /// Unfolds one padded sample into a (C*kh*kw, oh*ow) column matrix.
 void Im2Col(const float* x, int64_t c, int64_t h, int64_t w, int64_t kh,
@@ -94,10 +78,28 @@ int64_t ConvGradChunk(int64_t batch, int64_t grad_elems) {
   return (batch + max_chunks - 1) / max_chunks;
 }
 
+/// Shared Conv2d body; `fuse_relu` applies ReLU as a forward epilogue and a
+/// mask pass on the output gradient before the conv backward — the same
+/// float ops, in the same order, as the separate ops::Relu node it replaces.
+Tensor Conv2dImpl(const Tensor& x, const Tensor& w, const Tensor& bias,
+                  int64_t stride, int64_t padding, bool fuse_relu);
+
 }  // namespace
 
 Tensor Conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
               int64_t stride, int64_t padding) {
+  return Conv2dImpl(x, w, bias, stride, padding, /*fuse_relu=*/false);
+}
+
+Tensor Conv2dRelu(const Tensor& x, const Tensor& w, const Tensor& bias,
+                  int64_t stride, int64_t padding) {
+  return Conv2dImpl(x, w, bias, stride, padding, /*fuse_relu=*/true);
+}
+
+namespace {
+
+Tensor Conv2dImpl(const Tensor& x, const Tensor& w, const Tensor& bias,
+                  int64_t stride, int64_t padding, bool fuse_relu) {
   CDCL_CHECK_EQ(x.ndim(), 4);
   CDCL_CHECK_EQ(w.ndim(), 4);
   CDCL_CHECK_GE(stride, 1);
@@ -114,9 +116,11 @@ Tensor Conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
   const int64_t ckk = c * kh * kw;
   const int64_t spatial = oh * ow;
   // Columns are saved for the backward pass; inputs here are small images so
-  // the memory cost (b * ckk * spatial floats) is acceptable.
-  auto cols = std::make_shared<std::vector<float>>(
-      static_cast<size_t>(b * ckk * spatial));
+  // the memory cost (b * ckk * spatial floats) is acceptable. As a tensor the
+  // buffer is step-scoped under an ArenaScope — the big per-call column
+  // allocation (usually past the malloc mmap threshold) becomes a bump
+  // pointer. Im2Col writes every element, so it starts uninitialized.
+  Tensor cols = Tensor::Uninitialized(Shape{b * ckk * spatial});
 
   Tensor out(Shape{b, o, oh, ow});
   {
@@ -124,7 +128,7 @@ Tensor Conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
     const float* pw = w.data();
     const float* pbias = bias.defined() ? bias.data() : nullptr;
     float* po = out.data();
-    float* pcols = cols->data();
+    float* pcols = cols.data();
     // Samples write disjoint column/output slices, so the batch loop fans out
     // across the kernel pool; with few samples the blocked GEMM parallelizes
     // internally instead (nested regions collapse to serial).
@@ -139,6 +143,13 @@ Tensor Conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
         for (int64_t s = 0; s < spatial; ++s) orow[s] = base;
       }
       kernels::GemmNN(o, spatial, ckk, pw, col, out_b, /*accumulate=*/true);
+      if (fuse_relu) {
+        // The separate ops::Relu forward, in place (same per-element
+        // expression; elementwise, so the pass decomposition is free).
+        for (int64_t i = 0; i < o * spatial; ++i) {
+          out_b[i] = out_b[i] > 0.0f ? out_b[i] : 0.0f;
+        }
+      }
     });
   }
 
@@ -147,9 +158,19 @@ Tensor Conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
   auto b_impl = bias.defined() ? bias.impl() : nullptr;
   std::vector<Tensor> inputs = {x, w};
   if (bias.defined()) inputs.push_back(bias);
-  AttachNode(&out, inputs, "conv2d",
+  AttachNode(&out, inputs, fuse_relu ? "conv2d_relu" : "conv2d",
              [x_impl, w_impl, b_impl, cols, b, c, h, ww, o, kh, kw, stride,
-              padding, oh, ow, ckk, spatial](TensorImpl& node_out) {
+              padding, oh, ow, ckk, spatial, fuse_relu](TensorImpl& node_out) {
+               if (fuse_relu) {
+                 // The separate ops::Relu backward: dconv = 0 + g * 1[y>0],
+                 // in place on the output gradient (the saved output y has
+                 // the pre-activation's sign: y > 0 iff x > 0).
+                 float* gm = node_out.grad.data();
+                 const float* y = node_out.data.data();
+                 kernels::EltwiseMap(b * o * spatial, [gm, y](int64_t i) {
+                   gm[i] = 0.0f + gm[i] * (y[i] > 0.0f ? 1.0f : 0.0f);
+                 });
+               }
                const float* g = node_out.grad.data();
                const bool need_x = x_impl->requires_grad;
                const bool need_w = w_impl->requires_grad;
@@ -164,18 +185,17 @@ Tensor Conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
                // every element => bitwise identical at any thread count).
                const int64_t chunk = ConvGradChunk(b, o * ckk);
                const int64_t nchunks = (b + chunk - 1) / chunk;
-               std::vector<float> wpart, bpart;
-               if (need_w) {
-                 wpart.assign(static_cast<size_t>(nchunks * o * ckk), 0.0f);
-               }
-               if (need_b) {
-                 bpart.assign(static_cast<size_t>(nchunks * o), 0.0f);
-               }
+               // Zeroed per-chunk partials; tensors so they ride the step
+               // arena. (The per-chunk gcol below stays a vector: it is
+               // allocated on pool worker threads, which have no arena.)
+               Tensor wpart, bpart;
+               if (need_w) wpart = Tensor(Shape{nchunks * o * ckk});
+               if (need_b) bpart = Tensor(Shape{nchunks * o});
                const float* pw = w_impl->data.data();
-               const float* pcols = cols->data();
+               const float* pcols = cols.data();
                float* gx = need_x ? x_impl->grad.data() : nullptr;
-               float* pwpart = wpart.data();
-               float* pbpart = bpart.data();
+               float* pwpart = need_w ? wpart.data() : nullptr;
+               float* pbpart = need_b ? bpart.data() : nullptr;
                kernels::ParallelChunks(b, chunk, [&](int64_t b0, int64_t b1) {
                  const int64_t ci = b0 / chunk;
                  // Per-chunk column-grad scratch; the inner GEMMs run serial
@@ -238,6 +258,8 @@ Tensor Conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
              });
   return out;
 }
+
+}  // namespace
 
 Tensor MaxPool2d(const Tensor& x, int64_t kernel, int64_t stride) {
   CDCL_CHECK_EQ(x.ndim(), 4);

@@ -1,0 +1,66 @@
+#ifndef CDCL_TENSOR_FUSED_TRAIN_H_
+#define CDCL_TENSOR_FUSED_TRAIN_H_
+
+#include "tensor/tensor.h"
+
+namespace cdcl {
+namespace ops {
+
+// ---------------------------------------------------------------------------
+// Fused training forwards. Each entry point replaces a chain of tape ops
+// (projection reshapes/matmuls, broadcast bias adds, activation/softmax
+// epilogues, batched score products) with ONE recorded node: the forward
+// runs the flattened GEMMs plus fused epilogues of the inference path
+// (kernels/fused_eval.h) while saving exactly the activations the chain's
+// backward needs, and the node's hand-written closure replays the chain's
+// backward kernels in the chain's reverse-topological order.
+//
+// Bitwise contract: both directions execute the same float operations in the
+// same order as the op-by-op tape (same GEMM dispatches, same broadcast /
+// reduce chunk decompositions, same scalar_math.h arithmetic), so losses,
+// gradients and post-step parameters are bitwise identical to the unfused
+// path at every thread count and for every GEMM kernel selection, with the
+// arena on or off. tests/arena_test.cc pins trajectories end to end;
+// gradcheck_test.cc finite-difference-checks the closures.
+// ---------------------------------------------------------------------------
+
+/// Task-conditioned attention training forward (paper eqs. 2-3), one node:
+///   out = [residual +] epilogue(Q K^T) V, with Q = q_input Wq,
+///   K = kv_input Wk, V = kv_input Wv and
+///   epilogue(s) = softmax?((s + bias) * scale).
+/// q_input/kv_input are (b, n, d); wq/wk/wv are (d, d); bias is (n) and may
+/// be undefined (no additive task bias). Self-attention passes the same
+/// tensor for both inputs; gradient accumulation into the shared input then
+/// follows the op chain's V-, K-, Q-projection order. `residual` (same shape
+/// as the output, may be undefined) folds the encoder block's residual add
+/// into the node — the op chain's trailing ops::Add, one pass instead of a
+/// separate tensor + tape node.
+Tensor FusedAttentionTrain(const Tensor& q_input, const Tensor& kv_input,
+                           const Tensor& wq, const Tensor& wk, const Tensor& wv,
+                           const Tensor& bias, float scale, bool softmax,
+                           const Tensor& residual = Tensor());
+
+/// Two-layer GELU MLP training forward (the encoder FeedForward), one node:
+///   out = [residual +] (gelu(x W1 + b1) W2 + b2)
+/// x is (..., d_in) with ndim >= 3 (the Linear reshape structure the closure
+/// replays); w1 (d_in, hidden), b1 (hidden), w2 (hidden, d_out), b2 (d_out).
+/// The bias+GELU epilogue runs as one fused pass; the saved pre-activation
+/// feeds the hand-written GELU backward. `residual` folds the block's
+/// residual add like FusedAttentionTrain's.
+Tensor FusedFeedForwardTrain(const Tensor& x, const Tensor& w1,
+                             const Tensor& b1, const Tensor& w2,
+                             const Tensor& b2,
+                             const Tensor& residual = Tensor());
+
+/// CCT sequence-pool training forward (paper eqs. 4-6), one node:
+///   weights = softmax(x w + b) over tokens,  out[s] = weights[s] · x[s]
+/// x is (b, n, d); w is (d, 1); bias is (1). Output (b, d). The token-
+/// importance projection runs as one (b*n, 1) GEMM with a fused bias pass;
+/// the saved softmax weights feed the hand-written backward.
+Tensor FusedSequencePoolTrain(const Tensor& x, const Tensor& w,
+                              const Tensor& bias);
+
+}  // namespace ops
+}  // namespace cdcl
+
+#endif  // CDCL_TENSOR_FUSED_TRAIN_H_

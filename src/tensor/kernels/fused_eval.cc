@@ -8,22 +8,9 @@
 
 namespace cdcl {
 namespace kernels {
-namespace {
 
-/// Row score epilogue body shared by the standalone entry point and the fused
-/// attention sweep. Bias add and scale are separate float ops (not fused into
-/// one fma) to match ops::Add followed by ops::MulScalar exactly.
-inline void ScoreEpilogueRow(float* s, int64_t n, const float* bias,
-                             float scale, bool softmax) {
-  if (bias != nullptr) {
-    for (int64_t j = 0; j < n; ++j) s[j] = (s[j] + bias[j]) * scale;
-  } else {
-    for (int64_t j = 0; j < n; ++j) s[j] = s[j] * scale;
-  }
-  if (softmax) SoftmaxRow(s, s, n);
-}
-
-}  // namespace
+// The row score epilogue lives in scalar_math.h (ScoreEpilogueRow) so the
+// fused training forward shares the exact arithmetic.
 
 void BiasAddMap(int64_t n, int64_t period, float* x, const float* bias) {
   BroadcastMap(n, period,

@@ -36,6 +36,11 @@ static_assert(kGemmRowGrain % 6 == 0, "row grain must align AVX2 6-row block");
 
 // Packed NN pays an O(k*n) pack of B, so it needs enough arithmetic to
 // amortize: every dimension past the register tile and ~64^3 total work.
+// Exception: outputs narrower than the scalar tile's kNr-wide micro strip
+// (n < 32) never reach that tile's vectorizable inner loop — every column
+// takes the per-column tail — so there the packed path wins even at tiny
+// work (measured 5-8x at the paper model's d=24 projection/score shapes; see
+// docs/kernels.md). The narrow rule is gated by GemmNarrowPackEnabled().
 constexpr int64_t kPackedMinM = 8;
 constexpr int64_t kPackedMinN = 16;
 constexpr int64_t kPackedMinK = 16;
@@ -45,6 +50,7 @@ constexpr int64_t kSimdMinKNT = 16;   // dot length worth 8-lane FMA
 constexpr int64_t kSimdMinNTN = 16;   // one full output tile of columns
 
 std::atomic<int> g_kernel_override{-1};  // -1 = unset (env var / auto)
+std::atomic<int> g_narrow_pack{-1};      // -1 = unresolved (consult env once)
 
 GemmKernel KernelFromEnv() {
   const std::string v = EnvString("CDCL_GEMM_KERNEL", "auto");
@@ -170,6 +176,19 @@ GemmKernel GetGemmKernel() {
 
 bool CpuHasAvx2Fma() { return internal::Avx2Available(); }
 
+void SetGemmNarrowPack(bool enabled) {
+  g_narrow_pack.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+bool GemmNarrowPackEnabled() {
+  int state = g_narrow_pack.load(std::memory_order_relaxed);
+  if (state < 0) {
+    state = EnvBool("CDCL_GEMM_NARROW_PACK", true) ? 1 : 0;
+    g_narrow_pack.store(state, std::memory_order_relaxed);
+  }
+  return state == 1;
+}
+
 void GemmNN(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
             float* c, bool accumulate) {
   if (m <= 0 || n <= 0) return;
@@ -178,7 +197,8 @@ void GemmNN(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
     return;
   }
   if (UseSimd(m >= kPackedMinM && n >= kPackedMinN && k >= kPackedMinK &&
-              m * n * k >= kPackedMinWork)) {
+              (m * n * k >= kPackedMinWork ||
+               (n < kNr && GemmNarrowPackEnabled())))) {
     GemmNNPacked(m, n, k, a, b, c, accumulate);
     return;
   }

@@ -35,6 +35,17 @@ enum class GemmKernel {
 void SetGemmKernel(GemmKernel kernel);
 GemmKernel GetGemmKernel();
 
+/// Narrow-output auto-dispatch rule: outputs narrower than the scalar tile's
+/// 32-wide micro strip never reach its vectorizable inner loop (every column
+/// runs the per-column tail), so for n in [16, 32) the packed path wins even
+/// far below the usual work floor (measured 5-8x on the d=24 attention
+/// projections and per-sample score products). On by default; settable via
+/// CDCL_GEMM_NARROW_PACK (SetGemmNarrowPack wins over the env var). Off
+/// restores the PR-2 work-floor-only rule, which benches use as the seed
+/// dispatch baseline. Only affects GemmKernel::kAuto.
+void SetGemmNarrowPack(bool enabled);
+bool GemmNarrowPackEnabled();
+
 /// True when the CPU (and build) support the AVX2/FMA micro-kernels.
 bool CpuHasAvx2Fma();
 

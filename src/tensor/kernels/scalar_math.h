@@ -23,6 +23,17 @@ inline float GeluApprox(float x) {
   return 0.5f * x * (1.0f + t);
 }
 
+/// d/dx of GeluApprox, the backward arithmetic of ops::Gelu (also used by the
+/// fused training FFN epilogue backward in fused_train.cc).
+inline float GeluApproxGrad(float x) {
+  constexpr float kC = 0.7978845608f;  // sqrt(2/pi)
+  const float u = kC * (x + 0.044715f * x * x * x);
+  const float t = std::tanh(u);
+  const float sech2 = 1.0f - t * t;
+  const float du = kC * (1.0f + 3.0f * 0.044715f * x * x);
+  return 0.5f * (1.0f + t) + 0.5f * x * sech2 * du;
+}
+
 /// One softmax row y = softmax(x) (max-shifted exp, float accumulation,
 /// single reciprocal), the row arithmetic of ops::Softmax. In-place use
 /// (y == x) is fine.
@@ -36,6 +47,21 @@ inline void SoftmaxRow(const float* x, float* y, int64_t n) {
   }
   const float inv = 1.0f / z;
   for (int64_t j = 0; j < n; ++j) y[j] *= inv;
+}
+
+/// One attention score row epilogue: s = (s + bias) * scale, then optionally
+/// softmax, in place. Bias add and scale stay separate float ops (not one
+/// fma) to match ops::Add followed by ops::MulScalar exactly; shared by the
+/// fused eval sweep (fused_eval.cc) and the fused training forward
+/// (fused_train.cc).
+inline void ScoreEpilogueRow(float* s, int64_t n, const float* bias,
+                             float scale, bool softmax) {
+  if (bias != nullptr) {
+    for (int64_t j = 0; j < n; ++j) s[j] = (s[j] + bias[j]) * scale;
+  } else {
+    for (int64_t j = 0; j < n; ++j) s[j] = s[j] * scale;
+  }
+  if (softmax) SoftmaxRow(s, s, n);
 }
 
 }  // namespace kernels

@@ -11,13 +11,16 @@ namespace cdcl {
 namespace internal {
 
 void TensorImpl::EnsureGrad() {
-  if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+  if (grad.size() != data.size()) {
+    grad.assign_like(data, static_cast<int64_t>(data.size()), 0.0f);
+  }
 }
 
 void TensorImpl::AccumulateGrad(const float* src, int64_t n) {
   EnsureGrad();
   CDCL_DCHECK(static_cast<size_t>(n) == grad.size());
-  for (int64_t i = 0; i < n; ++i) grad[static_cast<size_t>(i)] += src[i];
+  float* g = grad.data();
+  for (int64_t i = 0; i < n; ++i) g[i] += src[i];
 }
 
 }  // namespace internal
@@ -30,7 +33,7 @@ std::shared_ptr<internal::TensorImpl> NewImpl(const Shape& shape,
                                               bool requires_grad) {
   auto impl = std::make_shared<internal::TensorImpl>();
   impl->shape = shape;
-  impl->data.assign(static_cast<size_t>(shape.NumElements()), 0.0f);
+  impl->data.assign(shape.NumElements(), 0.0f);
   impl->requires_grad = requires_grad;
   return impl;
 }
@@ -47,6 +50,14 @@ NoGradGuard::~NoGradGuard() { g_grad_mode_enabled = previous_; }
 
 Tensor::Tensor(const Shape& shape, bool requires_grad)
     : impl_(NewImpl(shape, requires_grad)) {}
+
+Tensor Tensor::Uninitialized(const Shape& shape) {
+  Tensor t;
+  t.impl_ = std::make_shared<internal::TensorImpl>();
+  t.impl_->shape = shape;
+  t.impl_->data.acquire(shape.NumElements());
+  return t;
+}
 
 Tensor Tensor::Zeros(const Shape& shape, bool requires_grad) {
   return Tensor(shape, requires_grad);
@@ -72,7 +83,7 @@ Tensor Tensor::FromVector(const Shape& shape, std::vector<float> values,
   Tensor t;
   t.impl_ = std::make_shared<internal::TensorImpl>();
   t.impl_->shape = shape;
-  t.impl_->data = std::move(values);
+  t.impl_->data.adopt(std::move(values));
   t.impl_->requires_grad = requires_grad;
   return t;
 }
@@ -156,7 +167,8 @@ float Tensor::item() const {
 
 std::vector<float> Tensor::ToVector() const {
   CDCL_CHECK(defined());
-  return impl_->data;
+  const float* p = impl_->data.data();
+  return std::vector<float>(p, p + impl_->data.size());
 }
 
 bool Tensor::requires_grad() const { return defined() && impl_->requires_grad; }
@@ -195,47 +207,64 @@ void Tensor::Backward() {
   CDCL_CHECK(defined());
   CDCL_CHECK_EQ(NumElements(), 1);
 
-  // Topological order via iterative post-order DFS over grad nodes.
-  std::vector<internal::TensorImpl*> order;
-  std::unordered_set<internal::TensorImpl*> visited;
-  std::vector<std::pair<internal::TensorImpl*, size_t>> stack;
-  stack.emplace_back(impl_.get(), 0);
+  using internal::GradNode;
+  using internal::TensorImpl;
+
+  // Phase 1: topological order via iterative post-order DFS over grad nodes.
+  // Entries own their impls so the execution phase below can drop each node
+  // (and with it the closure's references to upstream activations) the
+  // moment it has run, without dangling the not-yet-executed tail.
+  std::vector<std::shared_ptr<TensorImpl>> order;
+  std::unordered_set<TensorImpl*> visited;
+  std::vector<std::pair<std::shared_ptr<TensorImpl>, size_t>> stack;
+  stack.emplace_back(impl_, 0);
   visited.insert(impl_.get());
   while (!stack.empty()) {
     auto& [impl, next_child] = stack.back();
     if (impl->node == nullptr || next_child >= impl->node->inputs.size()) {
-      order.push_back(impl);
+      order.push_back(std::move(impl));
       stack.pop_back();
       continue;
     }
-    internal::TensorImpl* child = impl->node->inputs[next_child].get();
+    const std::shared_ptr<TensorImpl>& child = impl->node->inputs[next_child];
     ++next_child;
-    if (child->node != nullptr && visited.insert(child).second) {
+    if (child->node != nullptr && visited.insert(child.get()).second) {
       stack.emplace_back(child, 0);
     }
   }
 
+  // Phase 2: flatten into a schedule that owns every GradNode. The tape is
+  // consumed here — impls no longer point at their nodes, so even a retained
+  // loss tensor stops pinning the step's intermediate activations.
+  std::vector<std::shared_ptr<GradNode>> schedule;
+  schedule.reserve(order.size());
+  for (const auto& impl : order) schedule.push_back(std::move(impl->node));
+
   impl_->EnsureGrad();
-  impl_->grad[0] = 1.0f;
+  impl_->grad.data()[0] = 1.0f;
 
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    internal::TensorImpl* impl = *it;
-    if (impl->node == nullptr) continue;
-    if (impl->grad.size() != impl->data.size()) {
-      // This intermediate never received a gradient; skip its subtree work
-      // (its inputs may still get gradients through other paths).
-      impl->EnsureGrad();
+  // Phase 3: execute in reverse topological order, releasing each node
+  // (closure + input references) and impl handle as it is consumed so the
+  // graph's memory drains progressively instead of at the end of the walk.
+  for (size_t i = order.size(); i-- > 0;) {
+    std::shared_ptr<GradNode> node = std::move(schedule[i]);
+    if (node == nullptr) {
+      order[i].reset();
+      continue;
     }
-    impl->node->backward(*impl);
+    if (order[i]->grad.size() != order[i]->data.size()) {
+      // This intermediate never received a gradient; its backward still runs
+      // on zeros (its inputs may get gradients through other paths).
+      order[i]->EnsureGrad();
+    }
+    node->backward(*order[i]);
+    order[i].reset();
   }
-
-  // Single-use tape: free nodes so intermediates can be reclaimed.
-  for (internal::TensorImpl* impl : order) impl->node = nullptr;
 }
 
 void Tensor::ZeroGrad() {
   CDCL_CHECK(defined());
-  std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
+  impl_->grad.fill(0.0f);
 }
 
 Tensor Tensor::Detach() const {
@@ -243,7 +272,11 @@ Tensor Tensor::Detach() const {
   Tensor t;
   t.impl_ = std::make_shared<internal::TensorImpl>();
   t.impl_->shape = impl_->shape;
-  t.impl_->data = impl_->data;  // value copy keeps detach semantics simple
+  // Value copy keeps detach semantics simple; storage routes to the active
+  // arena like any other step-scoped value.
+  t.impl_->data.acquire(static_cast<int64_t>(impl_->data.size()));
+  std::memcpy(t.impl_->data.data(), impl_->data.data(),
+              impl_->data.size() * sizeof(float));
   t.impl_->requires_grad = false;
   return t;
 }
@@ -252,7 +285,7 @@ Tensor Tensor::Clone() const { return Detach(); }
 
 void Tensor::Fill(float value) {
   CDCL_CHECK(defined());
-  std::fill(impl_->data.begin(), impl_->data.end(), value);
+  impl_->data.fill(value);
 }
 
 void Tensor::CopyDataFrom(const Tensor& other) {

@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "tensor/arena.h"
 #include "tensor/shape.h"
 #include "util/rng.h"
 
@@ -22,10 +23,15 @@ struct GradNode {
   const char* op_name = "?";
 };
 
+/// Data and grad live in Buffers: heap-owned for leaves created outside an
+/// ArenaScope (parameters, datasets), arena-backed for everything allocated
+/// inside a step (activations, tape scratch). A grad always matches its
+/// data's storage class (see Buffer::assign_like), so a heap parameter never
+/// receives a step-scoped gradient that would dangle on the next step.
 struct TensorImpl {
   Shape shape;
-  std::vector<float> data;
-  std::vector<float> grad;  // lazily allocated, same size as data
+  Buffer data;
+  Buffer grad;  // lazily allocated, same size as data
   bool requires_grad = false;
   std::shared_ptr<GradNode> node;  // null for leaves / detached values
 
@@ -50,6 +56,13 @@ class Tensor {
   explicit Tensor(const Shape& shape, bool requires_grad = false);
 
   // -- Factories ------------------------------------------------------------
+  /// Tensor whose storage contents are unspecified: the caller must
+  /// overwrite every element before reading. Used by kernel paths whose
+  /// first touch is a full-tensor write (GEMM outputs, im2col columns,
+  /// saved activations). Arena-backed storage skips the zero-fill pass;
+  /// heap mode still value-initializes (vector-owned), matching the seed's
+  /// allocation cost.
+  static Tensor Uninitialized(const Shape& shape);
   static Tensor Zeros(const Shape& shape, bool requires_grad = false);
   static Tensor Ones(const Shape& shape, bool requires_grad = false);
   static Tensor Full(const Shape& shape, float value, bool requires_grad = false);
@@ -101,16 +114,24 @@ class Tensor {
   /// Gradient as a (detached) tensor copy; zeros if none accumulated.
   Tensor GradTensor() const;
 
-  /// Runs reverse-mode autodiff from this scalar tensor. Frees the recorded
-  /// tape afterwards (single-use graphs, like PyTorch's default).
+  /// Runs reverse-mode autodiff from this scalar tensor. The tape is
+  /// flattened into a topological schedule up front and each GradNode
+  /// (closure + input references) is released as soon as it has executed, so
+  /// intermediate activations free progressively during the walk and a
+  /// retained loss tensor pins nothing once Backward() returns (single-use
+  /// graphs, like PyTorch's default).
   void Backward();
 
   /// Clears accumulated gradient (keeps allocation).
   void ZeroGrad();
 
-  /// Same storage, but cut out of the autograd graph.
+  /// Value copy cut out of the autograd graph. Inside an ArenaScope the
+  /// copy is step-scoped like any other new tensor — it must not outlive
+  /// the step. To persist a value across steps, copy it while no scope is
+  /// active (or into an outside-scope tensor via CopyDataFrom/ToVector).
   Tensor Detach() const;
-  /// Deep copy of the values (no graph, no grad).
+  /// Deep copy of the values (no graph, no grad); same step-scoping rule
+  /// as Detach.
   Tensor Clone() const;
 
   /// In-place fill / copy helpers (do not record autograd).

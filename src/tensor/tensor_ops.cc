@@ -6,6 +6,7 @@
 #include <memory>
 #include <utility>
 
+#include "tensor/autograd.h"
 #include "tensor/kernels/kernel_context.h"
 #include "tensor/kernels/matmul_kernel.h"
 #include "tensor/kernels/parallel.h"
@@ -16,29 +17,9 @@ namespace cdcl {
 namespace ops {
 namespace {
 
-using internal::GradNode;
-using internal::TensorImpl;
-
-/// Attaches a tape node to `out` when grad recording is active and at least
-/// one input participates in differentiation.
-void AttachNode(Tensor* out, std::vector<Tensor> inputs, const char* name,
-                std::function<void(TensorImpl&)> backward) {
-  if (!GradModeEnabled()) return;
-  bool any = false;
-  for (const Tensor& t : inputs) any = any || t.requires_grad();
-  if (!any) return;
-  auto node = std::make_shared<GradNode>();
-  node->inputs.reserve(inputs.size());
-  for (const Tensor& t : inputs) node->inputs.push_back(t.impl());
-  node->backward = std::move(backward);
-  node->op_name = name;
-  out->impl()->node = std::move(node);
-  out->impl()->requires_grad = true;
-}
-
-bool NeedsGrad(const std::shared_ptr<TensorImpl>& impl) {
-  return impl->requires_grad;
-}
+using cdcl::internal::TensorImpl;
+using internal::AttachNode;
+using internal::NeedsGrad;
 
 enum class BinaryKind { kAdd, kSub, kMul, kDiv };
 
@@ -202,18 +183,11 @@ Tensor Relu(const Tensor& a) {
 }
 
 Tensor Gelu(const Tensor& a) {
-  // tanh approximation of GELU; forward shared with the fused eval epilogue
-  // (kernels/scalar_math.h) so the two paths cannot drift.
-  constexpr float kC = 0.7978845608f;  // sqrt(2/pi)
+  // tanh approximation of GELU; forward and derivative shared with the fused
+  // eval/train epilogues (kernels/scalar_math.h) so the paths cannot drift.
   return UnaryOp(
       a, "gelu", [](float x) { return kernels::GeluApprox(x); },
-      [](float x, float) {
-        const float u = kC * (x + 0.044715f * x * x * x);
-        const float t = std::tanh(u);
-        const float sech2 = 1.0f - t * t;
-        const float du = kC * (1.0f + 3.0f * 0.044715f * x * x);
-        return 0.5f * (1.0f + t) + 0.5f * x * sech2 * du;
-      });
+      [](float x, float) { return kernels::GeluApproxGrad(x); });
 }
 
 Tensor Tanh(const Tensor& a) {
@@ -415,7 +389,9 @@ Tensor TransposeLast2(const Tensor& a) {
 
 Tensor Reshape(const Tensor& a, const Shape& shape) {
   CDCL_CHECK_EQ(a.NumElements(), shape.NumElements());
-  Tensor out = Tensor::FromVector(shape, a.ToVector());
+  Tensor out = Tensor::Uninitialized(shape);
+  std::memcpy(out.data(), a.data(),
+              static_cast<size_t>(a.NumElements()) * sizeof(float));
   auto a_impl = a.impl();
   const int64_t n = a.NumElements();
   AttachNode(&out, {a}, "reshape", [a_impl, n](TensorImpl& o) {
@@ -577,7 +553,7 @@ Tensor Sum(const Tensor& a) {
   AttachNode(&out, {a}, "sum", [a_impl, n](TensorImpl& o) {
     if (!NeedsGrad(a_impl)) return;
     a_impl->EnsureGrad();
-    const float g = o.grad[0];
+    const float g = o.grad.data()[0];
     float* ga = a_impl->grad.data();
     kernels::EltwiseMap(n, [ga, g](int64_t i) { ga[i] += g; });
   });
@@ -697,8 +673,10 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   CDCL_CHECK_EQ(beta.NumElements(), d);
   const int64_t rows = x.NumElements() / d;
   Tensor out(x.shape());
-  std::vector<float> inv_std(static_cast<size_t>(rows));
-  std::vector<float> xhat(static_cast<size_t>(rows * d));
+  // Saved activations for the backward pass; tensors (fully overwritten
+  // below) so they ride the step arena instead of per-call heap churn.
+  Tensor inv_std = Tensor::Uninitialized(Shape{rows});
+  Tensor xhat = Tensor::Uninitialized(Shape{rows * d});
   const float* px = x.data();
   const float* pg = gamma.data();
   const float* pb = beta.data();
@@ -731,8 +709,7 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   auto g_impl = gamma.impl();
   auto b_impl = beta.impl();
   AttachNode(&out, {x, gamma, beta}, "layer_norm",
-             [x_impl, g_impl, b_impl, rows, d, inv_std = std::move(inv_std),
-              xhat = std::move(xhat)](TensorImpl& o) {
+             [x_impl, g_impl, b_impl, rows, d, inv_std, xhat](TensorImpl& o) {
                const float* g = o.grad.data();
                const float* pg = g_impl->data.data();
                if (NeedsGrad(g_impl)) g_impl->EnsureGrad();
@@ -759,7 +736,7 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
                    }
                    m1 /= static_cast<float>(d);
                    m2 /= static_cast<float>(d);
-                   const float istd = inv_std[static_cast<size_t>(r)];
+                   const float istd = inv_std.data()[r];
                    float* gx = x_impl->grad.data() + r * d;
                    for (int64_t j = 0; j < d; ++j) {
                      const float dyg = gr[j] * pg[j];
@@ -790,10 +767,11 @@ Tensor CrossEntropy(const Tensor& logits, const std::vector<int64_t>& labels) {
   const int64_t b = logits.dim(0), c = logits.dim(1);
   CDCL_CHECK_EQ(static_cast<int64_t>(labels.size()), b);
   CDCL_CHECK_GT(b, 0);
-  // Save the softmax probabilities for the backward pass. Rows are
-  // independent; per-row loss terms are summed in row order afterwards so the
-  // result matches the serial sweep bitwise.
-  std::vector<float> probs(static_cast<size_t>(b * c));
+  // Save the softmax probabilities for the backward pass (a step-arena
+  // tensor; fully overwritten below). Rows are independent; per-row loss
+  // terms are summed in row order afterwards so the result matches the
+  // serial sweep bitwise.
+  Tensor probs = Tensor::Uninitialized(Shape{b * c});
   std::vector<float> row_loss(static_cast<size_t>(b));
   const float* pl = logits.data();
   for (int64_t i = 0; i < b; ++i) {
@@ -826,7 +804,7 @@ Tensor CrossEntropy(const Tensor& logits, const std::vector<int64_t>& labels) {
              [l_impl, lbl, b, c, probs = std::move(probs)](TensorImpl& o) {
                if (!NeedsGrad(l_impl)) return;
                l_impl->EnsureGrad();
-               const float g = o.grad[0] / static_cast<float>(b);
+               const float g = o.grad.data()[0] / static_cast<float>(b);
                float* gl = l_impl->grad.data();
                const float* pp = probs.data();
                const int64_t* plb = lbl.data();

@@ -83,6 +83,14 @@ Tensor Dropout(const Tensor& x, float p, Rng* rng);
 /// x: (B,C,H,W), w: (O,C,kh,kw), bias: (O) or undefined. Zero padding.
 Tensor Conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
               int64_t stride, int64_t padding);
+/// Conv2d with the ReLU activation fused into the node (the tokenizer's
+/// conv+ReLU training epilogue): one output tensor and one tape entry
+/// instead of a separate full-tensor activation op. Bitwise identical to
+/// Relu(Conv2d(...)) — the backward recovers the ReLU mask from the saved
+/// output (y > 0 iff the pre-activation was > 0) and replays the op pair's
+/// kernels in reverse order.
+Tensor Conv2dRelu(const Tensor& x, const Tensor& w, const Tensor& bias,
+                  int64_t stride, int64_t padding);
 /// Max pooling with square kernel/stride.
 Tensor MaxPool2d(const Tensor& x, int64_t kernel, int64_t stride);
 

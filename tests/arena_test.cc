@@ -1,0 +1,339 @@
+// Equivalence + lifetime harness for the step-scoped tensor arena and the
+// fused training path. The contract under test: CDCL_ARENA and
+// CDCL_FUSED_TRAIN change *where* step memory lives and *how many* tape
+// nodes a training forward records — never a single bit of any loss,
+// gradient, or post-step parameter, at any thread count or GEMM kernel
+// selection. A short 2-task CdclTrainer run pins the end-to-end training
+// trajectory; component tests localize a regression to the attention / FFN
+// closures; the mechanics tests cover the arena itself (scopes, reset
+// generations, nesting, the escape hatch). scripts/verify.sh re-runs this
+// suite under ASan/UBSan, where every arena allocation becomes an
+// individually freed heap block, so a step-scoped tensor escaping its scope
+// trips the sanitizer as a heap-use-after-free.
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/cdcl_trainer.h"
+#include "data/task_stream.h"
+#include "gtest/gtest.h"
+#include "nn/attention.h"
+#include "nn/module.h"
+#include "tensor/arena.h"
+#include "tensor/kernels/kernel_context.h"
+#include "tensor/kernels/matmul_kernel.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+#include "util/rng.h"
+
+namespace cdcl {
+namespace {
+
+/// Restores threads, kernel override, arena and fused-train toggles when a
+/// scope ends, so no test leaks settings into the next.
+class SettingsScope {
+ public:
+  SettingsScope() = default;
+  ~SettingsScope() {
+    kernels::SetNumThreads(0);
+    kernels::SetGemmKernel(kernels::GemmKernel::kAuto);
+    SetArenaEnabled(true);
+    nn::SetFusedTrain(true);
+  }
+};
+
+void ExpectBitwiseEqual(const std::vector<float>& a,
+                        const std::vector<float>& b,
+                        const std::string& context) {
+  ASSERT_EQ(a.size(), b.size()) << context;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(std::memcmp(&a[i], &b[i], sizeof(float)), 0)
+        << context << " diverges at element " << i << ": " << a[i] << " vs "
+        << b[i];
+  }
+}
+
+// --- End-to-end: short 2-task CdclTrainer run -------------------------------
+
+data::CrossDomainTaskStream TinyStream() {
+  data::TaskStreamOptions opt;
+  opt.family = "digits";
+  opt.source_domain = "MN";
+  opt.target_domain = "US";
+  opt.num_tasks = 2;
+  opt.classes_per_task = 2;
+  opt.train_per_class = 8;
+  opt.test_per_class = 4;
+  opt.seed = 11;
+  return *data::CrossDomainTaskStream::Make(opt);
+}
+
+struct Trajectory {
+  std::vector<float> losses;                 // every training step, in order
+  std::vector<std::vector<float>> params;    // final model parameters
+};
+
+Trajectory RunCdcl(bool arena, bool fused_train, int64_t threads) {
+  SettingsScope restore;
+  kernels::SetNumThreads(threads);
+  SetArenaEnabled(arena);
+  nn::SetFusedTrain(fused_train);
+  auto stream = TinyStream();
+  core::CdclOptions opt;
+  opt.base.model.image_hw = 16;
+  opt.base.model.channels = 1;
+  opt.base.model.embed_dim = 16;
+  opt.base.model.num_layers = 1;
+  opt.base.epochs = 3;
+  opt.base.warmup_epochs = 1;
+  opt.base.batch_size = 8;
+  opt.base.memory_size = 24;
+  opt.base.seed = 5;
+  core::CdclTrainer trainer(opt);
+  for (int64_t t = 0; t < stream.num_tasks(); ++t) {
+    EXPECT_TRUE(trainer.ObserveTask(stream.task(t)).ok());
+  }
+  // The trajectory must include the cross-attention pair loop (EncodeCross),
+  // not just warm-up/fallback epochs, or the comparison is vacuous.
+  EXPECT_GT(trainer.last_pair_count(), 0);
+  Trajectory out;
+  out.losses = trainer.loss_trace();
+  for (const nn::NamedParameter& np : trainer.model().NamedParameters()) {
+    out.params.push_back(np.tensor.ToVector());
+  }
+  return out;
+}
+
+void ExpectSameTrajectory(const Trajectory& a, const Trajectory& b,
+                          const std::string& context) {
+  ASSERT_GT(a.losses.size(), 0u) << context;
+  ExpectBitwiseEqual(a.losses, b.losses, context + " (loss trajectory)");
+  ASSERT_EQ(a.params.size(), b.params.size()) << context;
+  for (size_t p = 0; p < a.params.size(); ++p) {
+    ExpectBitwiseEqual(a.params[p], b.params[p],
+                       context + " (param " + std::to_string(p) + ")");
+  }
+}
+
+// The arena must be invisible in the numbers: the same run with the heap
+// path, at every thread count, yields bit-identical losses and parameters.
+TEST(ArenaTest, CdclTrajectoryBitwiseArenaOnVsOff) {
+  Trajectory reference = RunCdcl(/*arena=*/false, /*fused_train=*/true, 1);
+  for (int64_t threads : {int64_t{1}, int64_t{2}, int64_t{8}}) {
+    Trajectory with_arena = RunCdcl(/*arena=*/true, /*fused_train=*/true,
+                                    threads);
+    ExpectSameTrajectory(reference, with_arena,
+                         "arena on, threads=" + std::to_string(threads));
+  }
+}
+
+// The fused training path must equal the op-by-op tape end to end: same
+// trainer run with CDCL_FUSED_TRAIN off (the seed's op-chain forwards and
+// node-per-op backward) against the fused single-node path.
+TEST(ArenaTest, CdclTrajectoryBitwiseFusedTrainOnVsOff) {
+  Trajectory op_path = RunCdcl(/*arena=*/true, /*fused_train=*/false, 1);
+  for (int64_t threads : {int64_t{1}, int64_t{2}}) {
+    Trajectory fused = RunCdcl(/*arena=*/true, /*fused_train=*/true, threads);
+    ExpectSameTrajectory(op_path, fused,
+                         "fused train, threads=" + std::to_string(threads));
+  }
+}
+
+// --- Component level: attention / FFN closures vs the op chain --------------
+
+struct GradCapture {
+  float loss = 0.0f;
+  std::vector<std::vector<float>> grads;
+};
+
+void ExpectSameGrads(const GradCapture& a, const GradCapture& b,
+                     const std::string& context) {
+  ASSERT_EQ(std::memcmp(&a.loss, &b.loss, sizeof(float)), 0) << context;
+  ASSERT_EQ(a.grads.size(), b.grads.size()) << context;
+  for (size_t i = 0; i < a.grads.size(); ++i) {
+    ExpectBitwiseEqual(a.grads[i], b.grads[i],
+                       context + " (grad " + std::to_string(i) + ")");
+  }
+}
+
+// Self- and cross-attention plus the MLP through both paths: losses and
+// every gradient (params and both inputs) must agree bit for bit, per GEMM
+// kernel, per thread count, with the second task's frozen predecessor keys
+// exercising the skip-frozen-grad branches.
+TEST(ArenaTest, AttentionAndFfnGradsBitwiseFusedVsOp) {
+  std::vector<kernels::GemmKernel> kernels_under_test = {
+      kernels::GemmKernel::kScalar, kernels::GemmKernel::kAuto};
+  if (kernels::CpuHasAvx2Fma()) {
+    kernels_under_test.push_back(kernels::GemmKernel::kPacked);
+  }
+  for (kernels::GemmKernel kernel : kernels_under_test) {
+    for (int64_t threads : {int64_t{1}, int64_t{2}, int64_t{8}}) {
+      for (const bool softmax : {true, false}) {
+        for (const bool cross : {false, true}) {
+          SettingsScope restore;
+          kernels::SetGemmKernel(kernel);
+          kernels::SetNumThreads(threads);
+          Rng rng(29);
+          nn::TaskConditionedAttention attn(24, 16, &rng, softmax);
+          attn.AddTask();
+          attn.AddTask();  // freezes task 0's K/b
+          nn::FeedForward ffn(24, 48, &rng);
+          Tensor xs = Tensor::Randn(Shape{4, 16, 24}, &rng, 1.0f, true);
+          Tensor xt = Tensor::Randn(Shape{4, 16, 24}, &rng, 1.0f, true);
+
+          auto run = [&](bool fused, int64_t task) {
+            nn::SetFusedTrain(fused);
+            for (Tensor& p : attn.Parameters()) p.ZeroGrad();
+            for (Tensor& p : ffn.Parameters()) p.ZeroGrad();
+            xs.ZeroGrad();
+            xt.ZeroGrad();
+            Tensor y = cross ? attn.CrossAttention(xs, xt, task)
+                             : attn.SelfAttention(xs, task);
+            Tensor loss = ops::Sum(ops::Square(ffn.Forward(y)));
+            loss.Backward();
+            GradCapture cap;
+            cap.loss = loss.item();
+            for (Tensor& p : attn.Parameters()) {
+              cap.grads.push_back(p.GradTensor().ToVector());
+            }
+            for (Tensor& p : ffn.Parameters()) {
+              cap.grads.push_back(p.GradTensor().ToVector());
+            }
+            cap.grads.push_back(xs.GradTensor().ToVector());
+            cap.grads.push_back(xt.GradTensor().ToVector());
+            return cap;
+          };
+          for (const int64_t task : {int64_t{1}, int64_t{0}}) {
+            GradCapture op_path = run(/*fused=*/false, task);
+            GradCapture fused = run(/*fused=*/true, task);
+            ExpectSameGrads(op_path, fused,
+                            "kernel=" + std::to_string(static_cast<int>(kernel)) +
+                                " threads=" + std::to_string(threads) +
+                                " softmax=" + std::to_string(softmax) +
+                                " cross=" + std::to_string(cross) +
+                                " task=" + std::to_string(task));
+          }
+        }
+      }
+    }
+  }
+}
+
+// The same component check with the tensors and tape living in an arena:
+// grads computed inside a step scope equal the heap-path grads bitwise
+// (parameter grads stay heap-owned by design, so they survive the reset).
+TEST(ArenaTest, FusedGradsBitwiseInsideArenaScope) {
+  SettingsScope restore;
+  Rng rng(31);
+  nn::TaskConditionedAttention attn(16, 9, &rng, /*softmax_scores=*/true);
+  attn.AddTask();
+  Tensor x = Tensor::Randn(Shape{3, 9, 16}, &rng, 1.0f, true);
+
+  auto run = [&](Arena* arena) {
+    for (Tensor& p : attn.Parameters()) p.ZeroGrad();
+    x.ZeroGrad();
+    ArenaScope scope(arena);
+    Tensor loss = ops::Sum(ops::Square(attn.SelfAttention(x, 0)));
+    loss.Backward();
+    GradCapture cap;
+    cap.loss = loss.item();
+    for (Tensor& p : attn.Parameters()) {
+      cap.grads.push_back(p.GradTensor().ToVector());
+    }
+    cap.grads.push_back(x.GradTensor().ToVector());
+    return cap;
+  };
+  GradCapture heap = run(nullptr);
+  Arena arena;
+  GradCapture scoped = run(&arena);
+  EXPECT_GT(arena.high_water_floats(), 0);  // the scope really was used
+  ExpectSameGrads(heap, scoped, "arena scope");
+}
+
+// --- Arena mechanics --------------------------------------------------------
+
+TEST(ArenaTest, ScopeActivatesAndResets) {
+  Arena arena;
+  EXPECT_EQ(internal::ActiveArena(), nullptr);
+  const uint64_t gen = arena.generation();
+  {
+    ArenaScope scope(&arena);
+    EXPECT_EQ(internal::ActiveArena(), &arena);
+    Tensor t = Tensor::Full(Shape{128}, 3.0f);
+    EXPECT_EQ(t.at(int64_t{7}), 3.0f);
+    EXPECT_GT(arena.high_water_floats(), 0);
+  }
+  EXPECT_EQ(internal::ActiveArena(), nullptr);
+  EXPECT_EQ(arena.generation(), gen + 1);  // scope exit reset the arena
+}
+
+TEST(ArenaTest, NestedSameArenaScopeIsANoOp) {
+  Arena arena;
+  ArenaScope outer(&arena);
+  Tensor t = Tensor::Full(Shape{16}, 2.0f);
+  const uint64_t gen = arena.generation();
+  {
+    ArenaScope inner(&arena);  // must not reset the outer scope's memory
+    Tensor u = Tensor::Full(Shape{16}, 4.0f);
+    EXPECT_EQ(u.at(int64_t{3}), 4.0f);
+  }
+  EXPECT_EQ(arena.generation(), gen);  // no reset happened
+  EXPECT_EQ(t.at(int64_t{3}), 2.0f);   // outer allocation untouched
+}
+
+TEST(ArenaTest, DisabledArenaLeavesTensorsOnHeap) {
+  SettingsScope restore;
+  SetArenaEnabled(false);
+  Arena arena;
+  ArenaScope scope(&arena);
+  EXPECT_EQ(internal::ActiveArena(), nullptr);
+  Tensor t = Tensor::Full(Shape{64}, 1.0f);
+  EXPECT_EQ(arena.high_water_floats(), 0);
+  EXPECT_EQ(t.at(int64_t{0}), 1.0f);
+}
+
+TEST(ArenaTest, GrowsAcrossBlocksAndCoalescesOnReset) {
+  Arena arena;
+  {
+    ArenaScope scope(&arena);
+    // Far beyond the initial block: forces the block chain to grow while
+    // every allocation stays writable and distinct.
+    std::vector<Tensor> keep;
+    for (int i = 0; i < 8; ++i) {
+      keep.push_back(Tensor::Full(Shape{1 << 16}, static_cast<float>(i)));
+    }
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_EQ(keep[static_cast<size_t>(i)].at(int64_t{100}),
+                static_cast<float>(i));
+    }
+  }
+  // After the spill-reset, a fresh scope must serve the same demand again.
+  {
+    ArenaScope scope(&arena);
+    Tensor big = Tensor::Full(Shape{1 << 18}, 9.0f);
+    EXPECT_EQ(big.at(int64_t{(1 << 18) - 1}), 9.0f);
+  }
+}
+
+// Parameters keep heap storage even when their gradients are first created
+// inside a step scope: the grad must survive the scope's reset (this is the
+// assign_like contract that keeps optimizer state valid across steps).
+TEST(ArenaTest, ParameterGradSurvivesScopeReset) {
+  SettingsScope restore;
+  Tensor w = Tensor::Full(Shape{8}, 1.0f, /*requires_grad=*/true);
+  Arena arena;
+  {
+    ArenaScope scope(&arena);
+    Tensor loss = ops::Sum(ops::Square(w));
+    loss.Backward();
+  }
+  // d/dw sum(w^2) = 2w = 2, readable after the arena reset.
+  ASSERT_TRUE(w.has_grad());
+  for (int64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(w.grad_data()[i], 2.0f) << i;
+  }
+}
+
+}  // namespace
+}  // namespace cdcl

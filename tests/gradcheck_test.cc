@@ -2,7 +2,12 @@
 // parameterized sweep over random shapes (property-style) and a re-run of
 // the GEMM-heavy ops forced through the packed/SIMD kernel path.
 
+#include <cstring>
+#include <vector>
+
 #include "gtest/gtest.h"
+#include "tensor/arena.h"
+#include "tensor/fused_train.h"
 #include "tensor/gradcheck.h"
 #include "tensor/kernels/kernel_context.h"
 #include "tensor/kernels/matmul_kernel.h"
@@ -210,6 +215,144 @@ TEST(GradCheckTest, SliceConcatIndex) {
         return ops::Sum(ops::Square(g));
       },
       {RandInput(Shape{2, 3}, 32), RandInput(Shape{2, 3}, 33)}));
+}
+
+// Hand-written backward closures of the fused training path (the single-node
+// attention and FFN forwards of tensor/fused_train.h): finite differences
+// against every participating input, with softmax scores on and off, the
+// self-attention aliasing case (one tensor feeding both streams), and a
+// re-run inside an ArenaScope so the closure's step-scoped scratch is
+// exercised too.
+
+TEST(GradCheckTest, FusedAttentionTrainCross) {
+  for (const bool softmax : {true, false}) {
+    EXPECT_GRADCHECK_OK(GradCheck(
+        [softmax](const std::vector<Tensor>& in) {
+          return ops::Mean(ops::Square(ops::FusedAttentionTrain(
+              in[0], in[1], in[2], in[3], in[4], in[5], 0.5f, softmax)));
+        },
+        {RandInput(Shape{2, 3, 4}, 201), RandInput(Shape{2, 3, 4}, 202),
+         RandInput(Shape{4, 4}, 203), RandInput(Shape{4, 4}, 204),
+         RandInput(Shape{4, 4}, 205), RandInput(Shape{3}, 206)}));
+  }
+}
+
+TEST(GradCheckTest, FusedAttentionTrainSelfAliased) {
+  // The same tensor feeds queries and keys/values: gradient accumulation
+  // into the shared input must cover the V-, K- and Q-projection chains.
+  EXPECT_GRADCHECK_OK(GradCheck(
+      [](const std::vector<Tensor>& in) {
+        return ops::Mean(ops::Square(ops::FusedAttentionTrain(
+            in[0], in[0], in[1], in[2], in[3], in[4], 0.5f,
+            /*softmax=*/true)));
+      },
+      {RandInput(Shape{2, 3, 4}, 211), RandInput(Shape{4, 4}, 212),
+       RandInput(Shape{4, 4}, 213), RandInput(Shape{4, 4}, 214),
+       RandInput(Shape{3}, 215)}));
+}
+
+TEST(GradCheckTest, FusedFeedForwardTrain) {
+  EXPECT_GRADCHECK_OK(GradCheck(
+      [](const std::vector<Tensor>& in) {
+        return ops::Mean(ops::Square(
+            ops::FusedFeedForwardTrain(in[0], in[1], in[2], in[3], in[4])));
+      },
+      {RandInput(Shape{2, 3, 4}, 221), RandInput(Shape{4, 6}, 222),
+       RandInput(Shape{6}, 223), RandInput(Shape{6, 4}, 224),
+       RandInput(Shape{4}, 225)}));
+}
+
+TEST(GradCheckTest, FusedSequencePoolTrain) {
+  EXPECT_GRADCHECK_OK(GradCheck(
+      [](const std::vector<Tensor>& in) {
+        return ops::Mean(ops::Square(
+            ops::FusedSequencePoolTrain(in[0], in[1], in[2])));
+      },
+      {RandInput(Shape{2, 5, 4}, 241), RandInput(Shape{4, 1}, 242),
+       RandInput(Shape{1}, 243)}));
+}
+
+TEST(GradCheckTest, FusedAttentionTrainWithResidual) {
+  // The encoder-block shape: the residual operand is folded into the node
+  // (d/dresidual must be exactly the output gradient plus the attention
+  // chain's contribution through the shared graph).
+  EXPECT_GRADCHECK_OK(GradCheck(
+      [](const std::vector<Tensor>& in) {
+        Tensor h = ops::FusedAttentionTrain(in[0], in[1], in[2], in[3], in[4],
+                                            in[5], 0.5f, /*softmax=*/true,
+                                            /*residual=*/in[6]);
+        return ops::Mean(ops::Square(h));
+      },
+      {RandInput(Shape{2, 3, 4}, 251), RandInput(Shape{2, 3, 4}, 252),
+       RandInput(Shape{4, 4}, 253), RandInput(Shape{4, 4}, 254),
+       RandInput(Shape{4, 4}, 255), RandInput(Shape{3}, 256),
+       RandInput(Shape{2, 3, 4}, 257)}));
+}
+
+TEST(GradCheckTest, FusedFeedForwardTrainWithResidual) {
+  EXPECT_GRADCHECK_OK(GradCheck(
+      [](const std::vector<Tensor>& in) {
+        return ops::Mean(ops::Square(ops::FusedFeedForwardTrain(
+            in[0], in[1], in[2], in[3], in[4], /*residual=*/in[5])));
+      },
+      {RandInput(Shape{2, 3, 4}, 261), RandInput(Shape{4, 6}, 262),
+       RandInput(Shape{6}, 263), RandInput(Shape{6, 4}, 264),
+       RandInput(Shape{4}, 265), RandInput(Shape{2, 3, 4}, 266)}));
+}
+
+TEST(GradCheckTest, Conv2dReluMatchesReluOfConvBitwise) {
+  // The fused conv+ReLU node's contract is exact equality with the op pair,
+  // values and gradients, which also pins the mask-from-output backward
+  // (finite differences would be flaky at the ReLU kink).
+  Tensor x = RandInput(Shape{2, 2, 5, 5}, 271, 0.5f);
+  Tensor w = RandInput(Shape{3, 2, 3, 3}, 272, 0.5f);
+  Tensor bias = RandInput(Shape{3}, 273, 0.5f);
+  auto run = [&](bool fused) {
+    x.ZeroGrad();
+    w.ZeroGrad();
+    bias.ZeroGrad();
+    Tensor y = fused ? ops::Conv2dRelu(x, w, bias, 1, 1)
+                     : ops::Relu(ops::Conv2d(x, w, bias, 1, 1));
+    Tensor loss = ops::Mean(ops::Square(y));
+    loss.Backward();
+    std::vector<std::vector<float>> out = {y.ToVector(),
+                                           x.GradTensor().ToVector(),
+                                           w.GradTensor().ToVector(),
+                                           bias.GradTensor().ToVector()};
+    return out;
+  };
+  auto reference = run(false);
+  auto fused = run(true);
+  ASSERT_EQ(reference.size(), fused.size());
+  for (size_t i = 0; i < reference.size(); ++i) {
+    ASSERT_EQ(reference[i].size(), fused[i].size()) << i;
+    for (size_t j = 0; j < reference[i].size(); ++j) {
+      ASSERT_EQ(std::memcmp(&reference[i][j], &fused[i][j], sizeof(float)), 0)
+          << "tensor " << i << " elem " << j;
+    }
+  }
+}
+
+TEST(GradCheckTest, FusedTrainInsideArenaScope) {
+  // The closures allocate their gradient scratch as ordinary tensors; under
+  // a step scope those come from the arena — as do the leaf inputs and
+  // (per assign_like, matching their data's storage class) their grads,
+  // since everything here is created inside the scope. One scope spans the
+  // whole check, so all of it stays valid until the end.
+  Arena arena;
+  ArenaScope scope(&arena);
+  EXPECT_GRADCHECK_OK(GradCheck(
+      [](const std::vector<Tensor>& in) {
+        Tensor attended = ops::FusedAttentionTrain(
+            in[0], in[0], in[1], in[2], in[3], Tensor(), 0.5f,
+            /*softmax=*/true);
+        return ops::Mean(ops::Square(
+            ops::FusedFeedForwardTrain(attended, in[4], in[5], in[6], in[7])));
+      },
+      {RandInput(Shape{2, 3, 4}, 231), RandInput(Shape{4, 4}, 232),
+       RandInput(Shape{4, 4}, 233), RandInput(Shape{4, 4}, 234),
+       RandInput(Shape{4, 6}, 235), RandInput(Shape{6}, 236),
+       RandInput(Shape{6, 4}, 237), RandInput(Shape{4}, 238)}));
 }
 
 // End-to-end backward correctness over the packed/SIMD GEMM kernels and the
