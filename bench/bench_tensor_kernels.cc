@@ -15,6 +15,7 @@
 //   CDCL_BENCH_ATTN   batched-attention batch size (default 128)
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -25,8 +26,10 @@
 #include "optim/optimizer.h"
 #include "tensor/arena.h"
 #include "tensor/kernels/kernel_context.h"
+#include "tensor/kernels/layernorm.h"
 #include "tensor/kernels/matmul_kernel.h"
 #include "tensor/kernels/parallel.h"
+#include "tensor/kernels/vec_math.h"
 #include "tensor/tensor.h"
 #include "tensor/tensor_ops.h"
 #include "util/env.h"
@@ -91,7 +94,8 @@ struct BenchRow {
 void WriteJson(const std::string& path, const std::vector<BenchRow>& rows,
                double packed_vs_blocked_1t, double batched_attention_8t,
                double train_step_fused_arena_1t,
-               double train_step_fused_arena_8t) {
+               double train_step_fused_arena_8t, double vec_exp_1t,
+               double vec_tanh_1t, double layernorm_fused_1t) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "WARNING: cannot write %s\n", path.c_str());
@@ -102,9 +106,13 @@ void WriteJson(const std::string& path, const std::vector<BenchRow>& rows,
                "  \"packed_vs_blocked_1t\": %.3f,\n"
                "  \"batched_attention_8t\": %.3f,\n"
                "  \"train_step_fused_arena_1t\": %.3f,\n"
-               "  \"train_step_fused_arena_8t\": %.3f,\n  \"results\": [\n",
+               "  \"train_step_fused_arena_8t\": %.3f,\n"
+               "  \"vec_exp_1t\": %.3f,\n"
+               "  \"vec_tanh_1t\": %.3f,\n"
+               "  \"layernorm_fused_1t\": %.3f,\n  \"results\": [\n",
                packed_vs_blocked_1t, batched_attention_8t,
-               train_step_fused_arena_1t, train_step_fused_arena_8t);
+               train_step_fused_arena_1t, train_step_fused_arena_8t,
+               vec_exp_1t, vec_tanh_1t, layernorm_fused_1t);
   for (size_t i = 0; i < rows.size(); ++i) {
     const BenchRow& r = rows[i];
     std::fprintf(f, "    {\"op\": \"%s\", \"size\": \"%s\", \"serial_ms\": %.3f, ",
@@ -132,6 +140,10 @@ int main() {
   const std::string out_path =
       EnvString("CDCL_BENCH_OUT", "BENCH_kernels.json");
   std::vector<int64_t> thread_counts = {1, 2, 4};
+  // Sections that pin a numerics mode (layernorm serial leg, the train-step
+  // seed/fused protocol) restore this ambient CDCL_VEC_MATH mode so the
+  // other rows honor the requested environment.
+  const bool ambient_vec_math = kernels::VecMathEnabled();
   kernels::SetNumThreads(0);
   const int64_t hw = kernels::GetNumThreads();
   if (hw > 4) thread_counts.push_back(hw);
@@ -208,6 +220,91 @@ int main() {
     rows.push_back(row);
   }
 
+  // --- Vectorized transcendentals vs the libm scalar loops ------------------
+  // The serial column is the pre-tier numerics (CDCL_VEC_MATH=0): a plain
+  // libm sweep at one thread. The per-thread columns run the polynomial
+  // SIMD tier through the parallel maps — the same kernels the GELU/softmax
+  // epilogues and the op-path activations dispatch to.
+  double vec_exp_1t = 0.0, vec_tanh_1t = 0.0, layernorm_fused_1t = 0.0;
+  {
+    const int64_t n = int64_t{1} << 20;
+    std::vector<float> x(static_cast<size_t>(n)), y(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      x[static_cast<size_t>(i)] =
+          -6.0f + 12.0f * static_cast<float>(i % 4096) / 4096.0f;
+    }
+    const float* px = x.data();
+    float* py = y.data();
+    struct VecSpec {
+      const char* op;
+      void (*libm)(int64_t, const float*, float*);
+      void (*vec)(int64_t, const float*, float*);
+      double* headline;
+    };
+    const VecSpec kVecRows[] = {
+        {"vec_exp",
+         [](int64_t count, const float* in, float* out) {
+           for (int64_t i = 0; i < count; ++i) out[i] = std::exp(in[i]);
+         },
+         &kernels::ExpMapVec, &vec_exp_1t},
+        {"vec_tanh",
+         [](int64_t count, const float* in, float* out) {
+           for (int64_t i = 0; i < count; ++i) out[i] = std::tanh(in[i]);
+         },
+         &kernels::TanhMapVec, &vec_tanh_1t},
+    };
+    for (const VecSpec& spec : kVecRows) {
+      BenchRow row;
+      row.op = spec.op;
+      row.size = StrFormat("%lld", static_cast<long long>(n));
+      kernels::SetNumThreads(1);
+      row.serial_ms = TimeMs(reps, [&] { spec.libm(n, px, py); });
+      for (int64_t t : thread_counts) {
+        kernels::SetNumThreads(t);
+        row.per_thread_ms.emplace_back(t, TimeMs(reps, [&] {
+          spec.vec(n, px, py);
+        }));
+      }
+      *spec.headline = row.ThreadMs(1) > 0.0 ? row.serial_ms / row.ThreadMs(1)
+                                             : 0.0;
+      rows.push_back(row);
+    }
+  }
+
+  // --- Fused LayerNorm forward: vectorized moments vs the legacy rows -------
+  // Paper-shape rows (d=24): serial = legacy serial moments (CDCL_VEC_MATH=0)
+  // at one thread; per-thread = the virtual-lane vectorized kernel the fused
+  // sublayer nodes and ops::LayerNorm share.
+  {
+    const int64_t lrows = int64_t{1} << 16, ld = 24;
+    const std::vector<float> x = RandVec(lrows * ld, 11);
+    std::vector<float> o(static_cast<size_t>(lrows * ld));
+    std::vector<float> inv(static_cast<size_t>(lrows));
+    std::vector<float> hat(static_cast<size_t>(lrows * ld));
+    const std::vector<float> gamma = RandVec(ld, 12), beta = RandVec(ld, 13);
+    auto fwd = [&] {
+      kernels::LayerNormForwardRows(lrows, ld, x.data(), gamma.data(),
+                                    beta.data(), 1e-5f, o.data(), inv.data(),
+                                    hat.data());
+    };
+    BenchRow row;
+    row.op = "layernorm_fused";
+    row.size = StrFormat("%lldx%lld", static_cast<long long>(lrows),
+                         static_cast<long long>(ld));
+    kernels::SetNumThreads(1);
+    kernels::SetVecMath(false);
+    row.serial_ms = TimeMs(reps, fwd);
+    kernels::SetVecMath(true);
+    for (int64_t t : thread_counts) {
+      kernels::SetNumThreads(t);
+      row.per_thread_ms.emplace_back(t, TimeMs(reps, fwd));
+    }
+    kernels::SetVecMath(ambient_vec_math);
+    layernorm_fused_1t =
+        row.ThreadMs(1) > 0.0 ? row.serial_ms / row.ThreadMs(1) : 0.0;
+    rows.push_back(row);
+  }
+
   // --- Batched fused attention vs the per-sample eval loop ------------------
   // Paper-model eval shape: seq 16 tokens (image_hw=16 through the 2-layer
   // tokenizer) at embed_dim 24 (ModelConfig::Small). Per-sample, every GEMM
@@ -265,14 +362,17 @@ int main() {
   // the 2-layer tokenizer -> 16 tokens at d=24, 2 encoder layers, two-stream
   // cross-encoding): one full step of cross-encoding, three CE losses,
   // backward and a fused AdamW update. The op row runs the seed training
-  // runtime exactly as PR 3 left it: op-by-op tape, heap storage, and the
-  // PR-2 work-floor-only GEMM auto dispatch (narrow-pack off). The fused row
-  // runs this PR's training runtime: fused attention/FFN training nodes,
-  // step arena, and the narrow-output packed-GEMM dispatch — the defaults.
-  // Fusion and arena are bitwise-invisible (tests/arena_test.cc); the
-  // narrow-pack dispatch runs the same per-element math on a different
-  // kernel tier (float-rounding-level difference, CDCL_GEMM_NARROW_PACK=0
-  // restores the seed rule).
+  // runtime exactly as PR 3 left it: op-by-op tape, heap storage, the PR-2
+  // work-floor-only GEMM auto dispatch (narrow-pack off), and libm
+  // transcendentals (vec-math off). The fused row runs the current training
+  // runtime: fused attention/FFN sublayer nodes with their pre-norm
+  // LayerNorms folded in, step arena, narrow-output packed-GEMM dispatch,
+  // and the vectorized transcendental tier — the defaults. Fusion and arena
+  // are bitwise-invisible (tests/arena_test.cc); narrow-pack runs the same
+  // per-element math on a different kernel tier (float-rounding-level
+  // difference); the vec-math tier is a numerics mode (polynomial
+  // exp/tanh/GELU, <= 2 ULP of libm; CDCL_VEC_MATH=0 restores the seed
+  // numerics exactly).
   {
     const int64_t tb = EnvInt("CDCL_BENCH_STEP_BATCH", 16);
     const int64_t classes = 4;
@@ -316,11 +416,13 @@ int main() {
       SetArenaEnabled(false);
       nn::SetFusedTrain(false);
       kernels::SetGemmNarrowPack(false);
+      kernels::SetVecMath(false);  // libm transcendentals: the seed numerics
     };
     auto fused_config = [] {
       SetArenaEnabled(true);
       nn::SetFusedTrain(true);
       kernels::SetGemmNarrowPack(true);
+      kernels::SetVecMath(true);  // vectorized polynomial tier (the default)
     };
     // The two configurations are timed in alternation (best-of per side) so
     // slow machine-level drift over the bench run cancels out of the ratio.
@@ -401,6 +503,7 @@ int main() {
     rows.push_back(row);
   }
   kernels::SetNumThreads(0);
+  kernels::SetVecMath(ambient_vec_math);
 
   std::vector<std::string> header = {"op", "size", "serial ms"};
   for (int64_t t : thread_counts) {
@@ -472,8 +575,14 @@ int main() {
         train_step_1t, train_step_8t);
   }
 
+  std::printf(
+      "vectorized transcendentals vs libm (1 thread): exp %.2fx, tanh %.2fx; "
+      "layernorm vectorized vs legacy rows: %.2fx\n",
+      vec_exp_1t, vec_tanh_1t, layernorm_fused_1t);
+
   WriteJson(out_path, rows, packed_vs_blocked, batched_attention_8t,
-            train_step_1t, train_step_8t);
+            train_step_1t, train_step_8t, vec_exp_1t, vec_tanh_1t,
+            layernorm_fused_1t);
   std::printf("report written to %s\n", out_path.c_str());
   return 0;
 }

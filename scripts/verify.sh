@@ -31,14 +31,22 @@ for example in examples/*.cc; do
   fi
 done
 
-echo "== ASan/UBSan: kernel + batched-eval + arena suites =="
+echo "== ASan/UBSan: kernel + batched-eval + arena + vec-math suites =="
 asan_dir="build-verify-asan"
 cmake -B "${asan_dir}" -S . -DCMAKE_BUILD_TYPE=Debug -DCDCL_SANITIZE=ON \
   -DCDCL_BUILD_BENCH=OFF -DCDCL_BUILD_EXAMPLES=OFF
 cmake --build "${asan_dir}" -j "${JOBS}" \
-  --target kernels_test gemm_packed_test batched_eval_test arena_test
+  --target kernels_test gemm_packed_test batched_eval_test arena_test \
+  vec_math_test
 ctest --test-dir "${asan_dir}" --output-on-failure -j "${JOBS}" \
-  -R '^(kernels_test|gemm_packed_test|batched_eval_test|arena_test)$'
+  -R '^(kernels_test|gemm_packed_test|batched_eval_test|arena_test|vec_math_test)$'
+
+echo "== legacy numerics mode: arena suite with CDCL_VEC_MATH=0 =="
+# The vectorized transcendental tier is a numerics mode; the libm mode must
+# stay a first-class citizen (bitwise trajectories, fused-vs-op equality,
+# arena lifetimes) or the CDCL_VEC_MATH=0 escape hatch rots.
+CDCL_VEC_MATH=0 ctest --test-dir "${asan_dir}" --output-on-failure \
+  -j "${JOBS}" -R '^arena_test$'
 
 echo "== docs: README knob consistency =="
 # Every CDCL_* knob README.md documents must still be *read* somewhere — an
@@ -57,4 +65,4 @@ if [[ "${stale}" -ne 0 ]]; then
   exit 1
 fi
 
-echo "verify: OK (Debug + Release + examples + ASan/UBSan + docs knobs)"
+echo "verify: OK (Debug + Release + examples + ASan/UBSan + legacy-numerics + docs knobs)"

@@ -106,6 +106,19 @@ Tensor TaskConditionedAttention::AttendBlockTrain(const Tensor& q_input,
       1.0f / std::sqrt(static_cast<float>(dim_)), softmax_scores_, residual);
 }
 
+Tensor TaskConditionedAttention::AttendBlockTrain(
+    const Tensor& q_raw, const Tensor& kv_raw, int64_t task,
+    const Tensor& residual, const LayerNorm& pre_norm) const {
+  CDCL_CHECK(GradModeEnabled());
+  CDCL_CHECK_GE(task, 0);
+  CDCL_CHECK_LT(task, num_tasks());
+  return ops::FusedAttentionLayerTrain(
+      q_raw, kv_raw, pre_norm.gamma(), pre_norm.beta(), pre_norm.eps(),
+      wq_->weight(), wk_tasks_[static_cast<size_t>(task)]->weight(),
+      wv_->weight(), bias_tasks_[static_cast<size_t>(task)],
+      1.0f / std::sqrt(static_cast<float>(dim_)), softmax_scores_, residual);
+}
+
 Tensor TaskConditionedAttention::SelfAttentionFused(const Tensor& x,
                                                     int64_t task) const {
   CDCL_CHECK(!GradModeEnabled());
@@ -118,8 +131,11 @@ Tensor TaskConditionedAttention::SelfAttentionFused(const Tensor& x,
   const int64_t rows = b * n;
 
   // The three projections as single (b*n, d) GEMMs — the same flattened call
-  // Linear::Forward issues, minus the reshape/tape plumbing.
-  Tensor q(x.shape()), k(x.shape()), v(x.shape());
+  // Linear::Forward issues, minus the reshape/tape plumbing. The GEMMs
+  // overwrite every element, so the outputs skip the zero-fill.
+  Tensor q = Tensor::Uninitialized(x.shape());
+  Tensor k = Tensor::Uninitialized(x.shape());
+  Tensor v = Tensor::Uninitialized(x.shape());
   const float* px = x.data();
   kernels::GemmNN(rows, dim_, dim_, px, wq_->weight().data(), q.data(),
                   /*accumulate=*/false);
@@ -129,7 +145,7 @@ Tensor TaskConditionedAttention::SelfAttentionFused(const Tensor& x,
   kernels::GemmNN(rows, dim_, dim_, px, wv_->weight().data(), v.data(),
                   /*accumulate=*/false);
 
-  Tensor out(x.shape());
+  Tensor out = Tensor::Uninitialized(x.shape());
   kernels::FusedAttentionEval(
       b, n, dim_, q.data(), k.data(), v.data(),
       bias_tasks_[static_cast<size_t>(task)].data(),
@@ -162,17 +178,26 @@ Tensor FeedForward::ForwardBlockTrain(const Tensor& x,
                                     fc2_->weight(), fc2_->bias(), residual);
 }
 
+Tensor FeedForward::ForwardBlockTrain(const Tensor& x_raw,
+                                      const Tensor& residual,
+                                      const LayerNorm& pre_norm) const {
+  CDCL_CHECK(GradModeEnabled());
+  return ops::FusedFeedForwardLayerTrain(
+      x_raw, pre_norm.gamma(), pre_norm.beta(), pre_norm.eps(), fc1_->weight(),
+      fc1_->bias(), fc2_->weight(), fc2_->bias(), residual);
+}
+
 Tensor FeedForward::ForwardFused(const Tensor& x) const {
   CDCL_CHECK(!GradModeEnabled());
   const int64_t d = fc1_->in_features();
   const int64_t hidden = fc1_->out_features();
   CDCL_CHECK_EQ(x.dim(-1), d);
   const int64_t rows = x.NumElements() / d;
-  Tensor h(Shape{rows, hidden});
+  Tensor h = Tensor::Uninitialized(Shape{rows, hidden});
   kernels::GemmNN(rows, hidden, d, x.data(), fc1_->weight().data(), h.data(),
                   /*accumulate=*/false);
   kernels::BiasGeluMap(rows * hidden, hidden, h.data(), fc1_->bias().data());
-  Tensor y(x.shape());
+  Tensor y = Tensor::Uninitialized(x.shape());
   kernels::GemmNN(rows, d, hidden, h.data(), fc2_->weight().data(), y.data(),
                   /*accumulate=*/false);
   kernels::BiasAddMap(rows * d, d, y.data(), fc2_->bias().data());
@@ -197,12 +222,11 @@ TransformerEncoderLayer::TransformerEncoderLayer(int64_t dim, int64_t seq_len,
 Tensor TransformerEncoderLayer::SelfForward(const Tensor& x,
                                             int64_t task) const {
   if (GradModeEnabled() && FusedTrainEnabled()) {
-    // Fused training blocks: each pre-norm sublayer (attention + residual,
-    // MLP + residual) records one tape node, bitwise identical to the op
-    // chain below.
-    Tensor normed = norm1_->Forward(x);
-    Tensor h = attention_->AttendBlockTrain(normed, normed, task, x);
-    return mlp_->ForwardBlockTrain(norm2_->Forward(h), h);
+    // Fused training blocks: each pre-norm sublayer (LayerNorm + attention +
+    // residual, LayerNorm + MLP + residual) records one tape node, bitwise
+    // identical to the op chain below.
+    Tensor h = attention_->AttendBlockTrain(x, x, task, x, *norm1_);
+    return mlp_->ForwardBlockTrain(h, h, *norm2_);
   }
   Tensor h = ops::Add(x, attention_->SelfAttention(norm1_->Forward(x), task));
   return ops::Add(h, mlp_->Forward(norm2_->Forward(h)));
@@ -221,12 +245,13 @@ Tensor TransformerEncoderLayer::CrossForward(const Tensor& source_hidden,
                                              int64_t task) const {
   if (GradModeEnabled() && FusedTrainEnabled()) {
     // Fused training blocks, the EncodeCross hot path: the cross-attention
-    // sublayer folds the mixed-stream residual in (undefined on the first
-    // layer -> pure cross-attention), then the fused MLP sublayer.
-    Tensor m = attention_->AttendBlockTrain(norm1_->Forward(source_hidden),
-                                            norm1_->Forward(target_hidden),
-                                            task, mixed);
-    return mlp_->ForwardBlockTrain(norm2_->Forward(m), m);
+    // sublayer folds the mixed-stream residual and the target-stream
+    // pre-norm in (one companion node carries the source-stream pre-norm;
+    // `mixed` undefined on the first layer -> pure cross-attention), then
+    // the fused MLP sublayer with its pre-norm folded.
+    Tensor m = attention_->AttendBlockTrain(source_hidden, target_hidden,
+                                            task, mixed, *norm1_);
+    return mlp_->ForwardBlockTrain(m, m, *norm2_);
   }
   Tensor cross = attention_->CrossAttention(norm1_->Forward(source_hidden),
                                             norm1_->Forward(target_hidden),
@@ -259,12 +284,12 @@ Tensor SequencePool::ForwardFused(const Tensor& x) const {
   CDCL_CHECK(!GradModeEnabled());
   CDCL_CHECK_EQ(x.ndim(), 3);
   const int64_t b = x.dim(0), n = x.dim(1), d = x.dim(2);
-  Tensor weights(Shape{b, n});
+  Tensor weights = Tensor::Uninitialized(Shape{b, n});
   kernels::GemmNN(b * n, 1, d, x.data(), g_->weight().data(), weights.data(),
                   /*accumulate=*/false);
   kernels::BiasAddMap(b * n, 1, weights.data(), g_->bias().data());
   kernels::SoftmaxRows(b, n, weights.data());  // eq. 4
-  Tensor z(Shape{b, d});
+  Tensor z = Tensor::Uninitialized(Shape{b, d});
   const float* pw = weights.data();
   const float* px = x.data();
   float* pz = z.data();

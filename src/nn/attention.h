@@ -61,6 +61,15 @@ class TaskConditionedAttention : public Module {
   Tensor AttendBlockTrain(const Tensor& q_input, const Tensor& kv_input,
                           int64_t task, const Tensor& residual) const;
 
+  /// Fused training sublayer with the block's pre-norm folded in:
+  /// residual + Attend(LN(q_raw), LN(kv_raw)) recorded as one tape node
+  /// (plus a companion LN node for the q stream in the cross case — see
+  /// tensor/fused_train.h). Raw (un-normed) hidden states go in;
+  /// TransformerEncoderLayer routes SelfForward/CrossForward through this.
+  Tensor AttendBlockTrain(const Tensor& q_raw, const Tensor& kv_raw,
+                          int64_t task, const Tensor& residual,
+                          const LayerNorm& pre_norm) const;
+
   /// Fused batched self-attention for inference: the Q/K_i/V projections run
   /// as single (b*n, d) GEMMs and the score epilogue (bias + scale + softmax)
   /// plus the scores·V product execute as one fused kernel sweep, with no
@@ -98,6 +107,11 @@ class FeedForward : public Module {
   /// encoder block's pre-norm MLP sublayer with its residual add folded in).
   /// Only valid under grad recording with the fused training path enabled.
   Tensor ForwardBlockTrain(const Tensor& x, const Tensor& residual) const;
+
+  /// Fused training sublayer with the block's pre-norm (norm2) folded into
+  /// the same node: residual + Forward(LN(x_raw)).
+  Tensor ForwardBlockTrain(const Tensor& x_raw, const Tensor& residual,
+                           const LayerNorm& pre_norm) const;
 
   /// Inference-path forward: both GEMMs run over the flattened (b*n, d) rows
   /// with the bias+GELU / bias epilogues fused into single parallel passes.

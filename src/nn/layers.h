@@ -62,6 +62,13 @@ class LayerNorm : public Module {
 
   Tensor Forward(const Tensor& x) const;
 
+  /// Parameter access for the fused pre-norm sublayer nodes, which fold this
+  /// norm's forward+backward into the attention/MLP tape node
+  /// (tensor/fused_train.h).
+  const Tensor& gamma() const { return gamma_; }
+  const Tensor& beta() const { return beta_; }
+  float eps() const { return eps_; }
+
  private:
   float eps_;
   Tensor gamma_;

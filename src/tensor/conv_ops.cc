@@ -122,7 +122,9 @@ Tensor Conv2dImpl(const Tensor& x, const Tensor& w, const Tensor& bias,
   // pointer. Im2Col writes every element, so it starts uninitialized.
   Tensor cols = Tensor::Uninitialized(Shape{b * ckk * spatial});
 
-  Tensor out(Shape{b, o, oh, ow});
+  // The bias broadcast below seeds every output element before the GEMM
+  // accumulates onto it, so the output starts uninitialized too.
+  Tensor out = Tensor::Uninitialized(Shape{b, o, oh, ow});
   {
     const float* px = x.data();
     const float* pw = w.data();
@@ -271,7 +273,7 @@ Tensor MaxPool2d(const Tensor& x, int64_t kernel, int64_t stride) {
   CDCL_CHECK_GT(oh, 0);
   CDCL_CHECK_GT(ow, 0);
 
-  Tensor out(Shape{b, c, oh, ow});
+  Tensor out = Tensor::Uninitialized(Shape{b, c, oh, ow});
   auto argmax = std::make_shared<std::vector<int64_t>>(
       static_cast<size_t>(b * c * oh * ow));
   const float* px = x.data();

@@ -52,6 +52,50 @@ Tensor FusedFeedForwardTrain(const Tensor& x, const Tensor& w1,
                              const Tensor& b2,
                              const Tensor& residual = Tensor());
 
+/// Pre-norm attention sublayer with the LayerNorm folded in, one node:
+///   out = [residual +] Attention(LN(q_raw), LN(kv_raw))
+/// where LN shares one gamma/beta (the encoder block's norm1) across both
+/// streams and Attention is FusedAttentionTrain's epilogue chain. The LN
+/// forward runs the vectorized row kernels (kernels/layernorm.h) saving
+/// xhat / inv_std; the backward folds the LayerNorm input/gamma/beta
+/// gradients into the reverse replay.
+///
+/// Self-attention (q_raw.impl() == kv_raw.impl(), the SelfForward path)
+/// records ONE tape node: the single LN is computed once and its backward
+/// runs at the end of the closure — exactly where the op tape's standalone
+/// LayerNorm node would run, since that node's output has this node as its
+/// only consumer.
+///
+/// Cross-attention (two distinct streams) records the node plus ONE
+/// companion LN node for the q (source) stream. The kv-stream LN folds into
+/// the main node — its closure position in the reverse schedule is always
+/// directly after the attention backward. The q-stream LN must keep its own
+/// schedule slot: between the two LN backwards the op tape may execute the
+/// whole kv-stream producer subtree, and gamma/beta are shared accumulation
+/// targets across every LayerNorm application in the model, so folding both
+/// would reorder the shared gamma/beta (and hidden-state) accumulations.
+/// See docs/kernels.md "Fused pre-norm sublayers" for the two-stream
+/// accumulation-order analysis. Bitwise identical to LN-op + attention-chain
+/// in all cases.
+Tensor FusedAttentionLayerTrain(const Tensor& q_raw, const Tensor& kv_raw,
+                                const Tensor& ln_gamma, const Tensor& ln_beta,
+                                float ln_eps, const Tensor& wq,
+                                const Tensor& wk, const Tensor& wv,
+                                const Tensor& bias, float scale, bool softmax,
+                                const Tensor& residual = Tensor());
+
+/// Pre-norm MLP sublayer with the LayerNorm (the block's norm2) folded in,
+/// one node:
+///   out = [residual +] (gelu(LN(x_raw) W1 + b1) W2 + b2)
+/// Like FusedAttentionLayerTrain's self case, the folded LN backward runs at
+/// the end of the closure — the op tape's standalone LayerNorm node is this
+/// node's immediate schedule successor, so the fold is order-exact.
+Tensor FusedFeedForwardLayerTrain(const Tensor& x_raw, const Tensor& ln_gamma,
+                                  const Tensor& ln_beta, float ln_eps,
+                                  const Tensor& w1, const Tensor& b1,
+                                  const Tensor& w2, const Tensor& b2,
+                                  const Tensor& residual = Tensor());
+
 /// CCT sequence-pool training forward (paper eqs. 4-6), one node:
 ///   weights = softmax(x w + b) over tokens,  out[s] = weights[s] · x[s]
 /// x is (b, n, d); w is (d, 1); bias is (1). Output (b, d). The token-

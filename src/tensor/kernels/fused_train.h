@@ -22,11 +22,14 @@ namespace kernels {
 // ---------------------------------------------------------------------------
 
 /// Forward GELU map: dst[i] = gelu(src[i]) (the ops::Gelu forward sweep).
+/// Runs the vectorized GELU tier (vec_math.h) in vec-math mode, the legacy
+/// per-element libm chain otherwise — bitwise equal to GeluApprox per
+/// element in both modes.
 void GeluMap(int64_t n, const float* src, float* dst);
 
 /// In-place GELU backward: g[i] = 0.0f + g[i] * gelu'(pre[i]), where `pre`
 /// holds the saved pre-activation values (the ops::Gelu backward sweep onto
-/// a zeroed grad).
+/// a zeroed grad). Same two-mode dispatch as GeluMap.
 void GeluBackwardMap(int64_t n, const float* pre, float* g);
 
 /// In-place softmax backward over `rows` rows of width `n`: with y the saved

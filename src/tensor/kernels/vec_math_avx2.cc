@@ -1,0 +1,148 @@
+// AVX2/FMA tier of the vectorized transcendental kernels. Compiled with
+// -mavx2 -mfma (see CMakeLists.txt) and entered only behind the runtime
+// Avx2Available() check shared with the GEMM tier. Every function evaluates,
+// per lane, the exact FMA chain of the scalar reference in vec_math.h — same
+// constants, same operation order — so results are bitwise identical to the
+// scalar tail and to the AVX-512 tier. If you change a chain here, change
+// vec_math.h and vec_math_avx512.cc in the same commit and re-run
+// vec_math_test first.
+
+#include "tensor/kernels/matmul_internal.h"
+#include "tensor/kernels/vec_math.h"
+#include "tensor/kernels/vec_math_internal.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+#define CDCL_HAVE_VEC_AVX2_TU 1
+#include <immintrin.h>
+#else
+#define CDCL_HAVE_VEC_AVX2_TU 0
+#endif
+
+namespace cdcl {
+namespace kernels {
+namespace internal {
+
+#if CDCL_HAVE_VEC_AVX2_TU
+
+namespace {
+
+/// exp chain on one lane group, NaN lanes blended back to the input.
+inline __m256 Exp8(__m256 x) {
+  const __m256 lo = _mm256_set1_ps(kExpClampLo);
+  const __m256 hi = _mm256_set1_ps(kExpClampHi);
+  const __m256 xc = _mm256_min_ps(_mm256_max_ps(x, lo), hi);
+  const __m256 magic = _mm256_set1_ps(kExpMagic);
+  const __m256 kf = _mm256_fmadd_ps(xc, _mm256_set1_ps(kExpLog2E), magic);
+  const __m256i ki = _mm256_sub_epi32(_mm256_castps_si256(kf),
+                                      _mm256_set1_epi32(kExpMagicBits));
+  const __m256 k = _mm256_sub_ps(kf, magic);
+  __m256 r = _mm256_fnmadd_ps(k, _mm256_set1_ps(kExpLn2Hi), xc);
+  r = _mm256_fnmadd_ps(k, _mm256_set1_ps(kExpLn2Lo), r);
+  __m256 z = _mm256_set1_ps(kExpC0);
+  z = _mm256_fmadd_ps(z, r, _mm256_set1_ps(kExpC1));
+  z = _mm256_fmadd_ps(z, r, _mm256_set1_ps(kExpC2));
+  z = _mm256_fmadd_ps(z, r, _mm256_set1_ps(kExpC3));
+  z = _mm256_fmadd_ps(z, r, _mm256_set1_ps(kExpC4));
+  z = _mm256_fmadd_ps(z, r, _mm256_set1_ps(kExpC5));
+  const __m256 p = _mm256_add_ps(
+      _mm256_fmadd_ps(z, _mm256_mul_ps(r, r), r), _mm256_set1_ps(1.0f));
+  const __m256i k1 = _mm256_srai_epi32(ki, 1);
+  const __m256i k2 = _mm256_sub_epi32(ki, k1);
+  const __m256i bias = _mm256_set1_epi32(127);
+  const __m256 s1 =
+      _mm256_castsi256_ps(_mm256_slli_epi32(_mm256_add_epi32(k1, bias), 23));
+  const __m256 s2 =
+      _mm256_castsi256_ps(_mm256_slli_epi32(_mm256_add_epi32(k2, bias), 23));
+  const __m256 y = _mm256_mul_ps(_mm256_mul_ps(p, s1), s2);
+  const __m256 nan = _mm256_cmp_ps(x, x, _CMP_UNORD_Q);
+  return _mm256_blendv_ps(y, x, nan);
+}
+
+/// tanh chain on one lane group (small/big branches computed and blended).
+inline __m256 Tanh8(__m256 x) {
+  const __m256 abs_mask =
+      _mm256_castsi256_ps(_mm256_set1_epi32(0x7FFFFFFF));
+  // Both branches on |x|, sign restored after the blend (see TanhPsScalar).
+  const __m256 z = _mm256_and_ps(x, abs_mask);
+  const __m256 w = _mm256_mul_ps(z, z);
+  __m256 q = _mm256_set1_ps(kTanhP0);
+  q = _mm256_fmadd_ps(q, w, _mm256_set1_ps(kTanhP1));
+  q = _mm256_fmadd_ps(q, w, _mm256_set1_ps(kTanhP2));
+  q = _mm256_fmadd_ps(q, w, _mm256_set1_ps(kTanhP3));
+  q = _mm256_fmadd_ps(q, w, _mm256_set1_ps(kTanhP4));
+  const __m256 small = _mm256_fmadd_ps(_mm256_mul_ps(z, w), q, z);
+  const __m256 e = Exp8(_mm256_add_ps(z, z));
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 big = _mm256_sub_ps(
+      one, _mm256_div_ps(_mm256_set1_ps(2.0f), _mm256_add_ps(e, one)));
+  const __m256 is_small =
+      _mm256_cmp_ps(z, _mm256_set1_ps(kTanhThresh), _CMP_LT_OQ);
+  const __m256 sign = _mm256_and_ps(x, _mm256_set1_ps(-0.0f));
+  const __m256 y = _mm256_or_ps(_mm256_blendv_ps(big, small, is_small), sign);
+  const __m256 nan = _mm256_cmp_ps(x, x, _CMP_UNORD_Q);
+  return _mm256_blendv_ps(y, x, nan);
+}
+
+inline __m256 Gelu8(__m256 x) {
+  const __m256 x3 = _mm256_mul_ps(_mm256_mul_ps(x, x), x);
+  const __m256 arg = _mm256_mul_ps(
+      _mm256_set1_ps(kGeluC),
+      _mm256_fmadd_ps(_mm256_set1_ps(kGeluB), x3, x));
+  const __m256 t = Tanh8(arg);
+  return _mm256_mul_ps(_mm256_mul_ps(_mm256_set1_ps(0.5f), x),
+                       _mm256_add_ps(_mm256_set1_ps(1.0f), t));
+}
+
+inline __m256 GeluGrad8(__m256 x) {
+  const __m256 x2 = _mm256_mul_ps(x, x);
+  const __m256 arg = _mm256_mul_ps(
+      _mm256_set1_ps(kGeluC),
+      _mm256_fmadd_ps(_mm256_set1_ps(kGeluB), _mm256_mul_ps(x2, x), x));
+  const __m256 t = Tanh8(arg);
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 sech2 = _mm256_fnmadd_ps(t, t, one);
+  const __m256 du = _mm256_mul_ps(
+      _mm256_set1_ps(kGeluC),
+      _mm256_fmadd_ps(_mm256_set1_ps(3.0f * kGeluB), x2, one));
+  const __m256 half = _mm256_set1_ps(0.5f);
+  const __m256 a = _mm256_mul_ps(half, _mm256_add_ps(one, t));
+  const __m256 b = _mm256_mul_ps(_mm256_mul_ps(half, x), sech2);
+  return _mm256_fmadd_ps(b, du, a);
+}
+
+template <__m256 (*Lane)(__m256)>
+int64_t Sweep8(int64_t n, const float* x, float* y) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(y + i, Lane(_mm256_loadu_ps(x + i)));
+  }
+  return i;
+}
+
+}  // namespace
+
+int64_t VecExpAvx2(int64_t n, const float* x, float* y) {
+  return Sweep8<Exp8>(n, x, y);
+}
+int64_t VecTanhAvx2(int64_t n, const float* x, float* y) {
+  return Sweep8<Tanh8>(n, x, y);
+}
+int64_t VecGeluAvx2(int64_t n, const float* x, float* y) {
+  return Sweep8<Gelu8>(n, x, y);
+}
+int64_t VecGeluGradAvx2(int64_t n, const float* x, float* y) {
+  return Sweep8<GeluGrad8>(n, x, y);
+}
+
+#else  // !CDCL_HAVE_VEC_AVX2_TU
+
+int64_t VecExpAvx2(int64_t, const float*, float*) { return 0; }
+int64_t VecTanhAvx2(int64_t, const float*, float*) { return 0; }
+int64_t VecGeluAvx2(int64_t, const float*, float*) { return 0; }
+int64_t VecGeluGradAvx2(int64_t, const float*, float*) { return 0; }
+
+#endif  // CDCL_HAVE_VEC_AVX2_TU
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace cdcl

@@ -1,0 +1,150 @@
+// AVX-512F tier of the vectorized transcendental kernels: the 16-lane mirror
+// of vec_math_avx2.cc, compiled with -mavx512f -mfma and entered only behind
+// the runtime Avx512Available() check. Same shared polynomial chain as the
+// scalar reference in vec_math.h — bit operations go through the integer
+// domain (AVX-512F has no float and/or), which is bit-identical to the
+// AVX2 float-typed logicals. Keep all three tiers in lockstep.
+
+#include "tensor/kernels/matmul_internal.h"
+#include "tensor/kernels/vec_math.h"
+#include "tensor/kernels/vec_math_internal.h"
+
+#if defined(__AVX512F__)
+#define CDCL_HAVE_VEC_AVX512_TU 1
+#include <immintrin.h>
+#else
+#define CDCL_HAVE_VEC_AVX512_TU 0
+#endif
+
+namespace cdcl {
+namespace kernels {
+namespace internal {
+
+#if CDCL_HAVE_VEC_AVX512_TU
+
+namespace {
+
+inline __m512 And512(__m512 a, __m512i mask) {
+  return _mm512_castsi512_ps(_mm512_and_si512(_mm512_castps_si512(a), mask));
+}
+
+inline __m512 Exp16(__m512 x) {
+  const __m512 lo = _mm512_set1_ps(kExpClampLo);
+  const __m512 hi = _mm512_set1_ps(kExpClampHi);
+  const __m512 xc = _mm512_min_ps(_mm512_max_ps(x, lo), hi);
+  const __m512 magic = _mm512_set1_ps(kExpMagic);
+  const __m512 kf = _mm512_fmadd_ps(xc, _mm512_set1_ps(kExpLog2E), magic);
+  const __m512i ki = _mm512_sub_epi32(_mm512_castps_si512(kf),
+                                      _mm512_set1_epi32(kExpMagicBits));
+  const __m512 k = _mm512_sub_ps(kf, magic);
+  __m512 r = _mm512_fnmadd_ps(k, _mm512_set1_ps(kExpLn2Hi), xc);
+  r = _mm512_fnmadd_ps(k, _mm512_set1_ps(kExpLn2Lo), r);
+  __m512 z = _mm512_set1_ps(kExpC0);
+  z = _mm512_fmadd_ps(z, r, _mm512_set1_ps(kExpC1));
+  z = _mm512_fmadd_ps(z, r, _mm512_set1_ps(kExpC2));
+  z = _mm512_fmadd_ps(z, r, _mm512_set1_ps(kExpC3));
+  z = _mm512_fmadd_ps(z, r, _mm512_set1_ps(kExpC4));
+  z = _mm512_fmadd_ps(z, r, _mm512_set1_ps(kExpC5));
+  const __m512 p = _mm512_add_ps(
+      _mm512_fmadd_ps(z, _mm512_mul_ps(r, r), r), _mm512_set1_ps(1.0f));
+  const __m512i k1 = _mm512_srai_epi32(ki, 1);
+  const __m512i k2 = _mm512_sub_epi32(ki, k1);
+  const __m512i bias = _mm512_set1_epi32(127);
+  const __m512 s1 =
+      _mm512_castsi512_ps(_mm512_slli_epi32(_mm512_add_epi32(k1, bias), 23));
+  const __m512 s2 =
+      _mm512_castsi512_ps(_mm512_slli_epi32(_mm512_add_epi32(k2, bias), 23));
+  const __m512 y = _mm512_mul_ps(_mm512_mul_ps(p, s1), s2);
+  const __mmask16 nan = _mm512_cmp_ps_mask(x, x, _CMP_UNORD_Q);
+  return _mm512_mask_blend_ps(nan, y, x);
+}
+
+inline __m512 Tanh16(__m512 x) {
+  const __m512i abs_mask = _mm512_set1_epi32(0x7FFFFFFF);
+  // Both branches on |x|, sign restored after the blend (see TanhPsScalar).
+  const __m512 z = And512(x, abs_mask);
+  const __m512 w = _mm512_mul_ps(z, z);
+  __m512 q = _mm512_set1_ps(kTanhP0);
+  q = _mm512_fmadd_ps(q, w, _mm512_set1_ps(kTanhP1));
+  q = _mm512_fmadd_ps(q, w, _mm512_set1_ps(kTanhP2));
+  q = _mm512_fmadd_ps(q, w, _mm512_set1_ps(kTanhP3));
+  q = _mm512_fmadd_ps(q, w, _mm512_set1_ps(kTanhP4));
+  const __m512 small = _mm512_fmadd_ps(_mm512_mul_ps(z, w), q, z);
+  const __m512 e = Exp16(_mm512_add_ps(z, z));
+  const __m512 one = _mm512_set1_ps(1.0f);
+  const __m512 big = _mm512_sub_ps(
+      one, _mm512_div_ps(_mm512_set1_ps(2.0f), _mm512_add_ps(e, one)));
+  const __mmask16 is_small =
+      _mm512_cmp_ps_mask(z, _mm512_set1_ps(kTanhThresh), _CMP_LT_OQ);
+  const __m512i sign_mask = _mm512_set1_epi32(static_cast<int>(0x80000000u));
+  const __m512i sign = _mm512_and_si512(_mm512_castps_si512(x), sign_mask);
+  const __m512 blended = _mm512_mask_blend_ps(is_small, big, small);
+  const __m512 y =
+      _mm512_castsi512_ps(_mm512_or_si512(_mm512_castps_si512(blended), sign));
+  const __mmask16 nan = _mm512_cmp_ps_mask(x, x, _CMP_UNORD_Q);
+  return _mm512_mask_blend_ps(nan, y, x);
+}
+
+inline __m512 Gelu16(__m512 x) {
+  const __m512 x3 = _mm512_mul_ps(_mm512_mul_ps(x, x), x);
+  const __m512 arg = _mm512_mul_ps(
+      _mm512_set1_ps(kGeluC),
+      _mm512_fmadd_ps(_mm512_set1_ps(kGeluB), x3, x));
+  const __m512 t = Tanh16(arg);
+  return _mm512_mul_ps(_mm512_mul_ps(_mm512_set1_ps(0.5f), x),
+                       _mm512_add_ps(_mm512_set1_ps(1.0f), t));
+}
+
+inline __m512 GeluGrad16(__m512 x) {
+  const __m512 x2 = _mm512_mul_ps(x, x);
+  const __m512 arg = _mm512_mul_ps(
+      _mm512_set1_ps(kGeluC),
+      _mm512_fmadd_ps(_mm512_set1_ps(kGeluB), _mm512_mul_ps(x2, x), x));
+  const __m512 t = Tanh16(arg);
+  const __m512 one = _mm512_set1_ps(1.0f);
+  const __m512 sech2 = _mm512_fnmadd_ps(t, t, one);
+  const __m512 du = _mm512_mul_ps(
+      _mm512_set1_ps(kGeluC),
+      _mm512_fmadd_ps(_mm512_set1_ps(3.0f * kGeluB), x2, one));
+  const __m512 half = _mm512_set1_ps(0.5f);
+  const __m512 a = _mm512_mul_ps(half, _mm512_add_ps(one, t));
+  const __m512 b = _mm512_mul_ps(_mm512_mul_ps(half, x), sech2);
+  return _mm512_fmadd_ps(b, du, a);
+}
+
+template <__m512 (*Lane)(__m512)>
+int64_t Sweep16(int64_t n, const float* x, float* y) {
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(y + i, Lane(_mm512_loadu_ps(x + i)));
+  }
+  return i;
+}
+
+}  // namespace
+
+int64_t VecExpAvx512(int64_t n, const float* x, float* y) {
+  return Sweep16<Exp16>(n, x, y);
+}
+int64_t VecTanhAvx512(int64_t n, const float* x, float* y) {
+  return Sweep16<Tanh16>(n, x, y);
+}
+int64_t VecGeluAvx512(int64_t n, const float* x, float* y) {
+  return Sweep16<Gelu16>(n, x, y);
+}
+int64_t VecGeluGradAvx512(int64_t n, const float* x, float* y) {
+  return Sweep16<GeluGrad16>(n, x, y);
+}
+
+#else  // !CDCL_HAVE_VEC_AVX512_TU
+
+int64_t VecExpAvx512(int64_t, const float*, float*) { return 0; }
+int64_t VecTanhAvx512(int64_t, const float*, float*) { return 0; }
+int64_t VecGeluAvx512(int64_t, const float*, float*) { return 0; }
+int64_t VecGeluGradAvx512(int64_t, const float*, float*) { return 0; }
+
+#endif  // CDCL_HAVE_VEC_AVX512_TU
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace cdcl

@@ -1,0 +1,34 @@
+#ifndef CDCL_TENSOR_KERNELS_VEC_MATH_INTERNAL_H_
+#define CDCL_TENSOR_KERNELS_VEC_MATH_INTERNAL_H_
+
+#include <cstdint>
+
+// Internal seam between the vec-math dispatcher (vec_math.cc) and the SIMD
+// translation units (vec_math_avx2.cc with -mavx2 -mfma, vec_math_avx512.cc
+// with -mavx512f -mfma). Each entry point processes the leading
+// floor(n / lanes) * lanes elements of the buffer with the shared polynomial
+// chain (see vec_math.h) and returns how many elements it handled (0 when the
+// TU was built without ISA support); the dispatcher finishes the tail with
+// the scalar chain — bitwise identical, so the seam is invisible in the
+// results. ISA availability predicates are shared with the GEMM tier
+// (matmul_internal.h).
+
+namespace cdcl {
+namespace kernels {
+namespace internal {
+
+int64_t VecExpAvx2(int64_t n, const float* x, float* y);
+int64_t VecTanhAvx2(int64_t n, const float* x, float* y);
+int64_t VecGeluAvx2(int64_t n, const float* x, float* y);
+int64_t VecGeluGradAvx2(int64_t n, const float* x, float* y);
+
+int64_t VecExpAvx512(int64_t n, const float* x, float* y);
+int64_t VecTanhAvx512(int64_t n, const float* x, float* y);
+int64_t VecGeluAvx512(int64_t n, const float* x, float* y);
+int64_t VecGeluGradAvx512(int64_t n, const float* x, float* y);
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace cdcl
+
+#endif  // CDCL_TENSOR_KERNELS_VEC_MATH_INTERNAL_H_

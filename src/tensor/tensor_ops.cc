@@ -7,10 +7,13 @@
 #include <utility>
 
 #include "tensor/autograd.h"
+#include "tensor/kernels/fused_train.h"
 #include "tensor/kernels/kernel_context.h"
+#include "tensor/kernels/layernorm.h"
 #include "tensor/kernels/matmul_kernel.h"
 #include "tensor/kernels/parallel.h"
 #include "tensor/kernels/scalar_math.h"
+#include "tensor/kernels/vec_math.h"
 #include "util/logging.h"
 
 namespace cdcl {
@@ -37,7 +40,8 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, BinaryKind kind,
                      << " vs " << b.shape().ToString();
   CDCL_CHECK(na % std::max<int64_t>(nb, 1) == 0);
 
-  Tensor out(a.shape());
+  // The broadcast map overwrites every element, so skip the zero-fill.
+  Tensor out = Tensor::Uninitialized(a.shape());
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
@@ -125,7 +129,7 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, BinaryKind kind,
 template <typename Fwd, typename Bwd>
 Tensor UnaryOp(const Tensor& a, const char* name, Fwd fwd, Bwd dydx) {
   CDCL_CHECK(a.defined());
-  Tensor out(a.shape());
+  Tensor out = Tensor::Uninitialized(a.shape());
   const int64_t n = a.NumElements();
   const float* pa = a.data();
   float* po = out.data();
@@ -184,28 +188,96 @@ Tensor Relu(const Tensor& a) {
 
 Tensor Gelu(const Tensor& a) {
   // tanh approximation of GELU; forward and derivative shared with the fused
-  // eval/train epilogues (kernels/scalar_math.h) so the paths cannot drift.
-  return UnaryOp(
-      a, "gelu", [](float x) { return kernels::GeluApprox(x); },
-      [](float x, float) { return kernels::GeluApproxGrad(x); });
+  // eval/train epilogues (kernels/scalar_math.h, vectorized tier in
+  // kernels/vec_math.h) so the paths cannot drift. The forward runs the
+  // buffer sweep (SIMD over the body in vec-math mode); the backward's
+  // per-element GeluApproxGrad evaluates the identical chain.
+  CDCL_CHECK(a.defined());
+  Tensor out = Tensor::Uninitialized(a.shape());
+  const int64_t n = a.NumElements();
+  kernels::GeluMap(n, a.data(), out.data());
+  auto a_impl = a.impl();
+  AttachNode(&out, {a}, "gelu", [a_impl, n](TensorImpl& o) {
+    if (!NeedsGrad(a_impl)) return;
+    a_impl->EnsureGrad();
+    const float* g = o.grad.data();
+    const float* px = a_impl->data.data();
+    float* ga = a_impl->grad.data();
+    // Mode branch hoisted out of the sweep (the flag is an atomic load).
+    if (kernels::VecMathEnabled()) {
+      kernels::EltwiseMap(n, [g, px, ga](int64_t i) {
+        ga[i] += g[i] * kernels::GeluGradPsScalar(px[i]);
+      });
+    } else {
+      kernels::EltwiseMap(n, [g, px, ga](int64_t i) {
+        ga[i] += g[i] * kernels::GeluApproxGradLegacy(px[i]);
+      });
+    }
+  });
+  return out;
 }
 
 Tensor Tanh(const Tensor& a) {
-  return UnaryOp(
-      a, "tanh", [](float x) { return std::tanh(x); },
-      [](float, float y) { return 1.0f - y * y; });
+  // Vectorized polynomial sweep in vec-math mode, std::tanh with
+  // CDCL_VEC_MATH=0 (same switch for Sigmoid/Exp and the softmax family).
+  // The backward needs only the saved output, so the generic closure stays.
+  CDCL_CHECK(a.defined());
+  Tensor out = Tensor::Uninitialized(a.shape());
+  const int64_t n = a.NumElements();
+  if (kernels::VecMathEnabled()) {
+    kernels::TanhMapVec(n, a.data(), out.data());
+  } else {
+    const float* pa = a.data();
+    float* po = out.data();
+    kernels::EltwiseMap(n, [pa, po](int64_t i) { po[i] = std::tanh(pa[i]); });
+  }
+  auto a_impl = a.impl();
+  AttachNode(&out, {a}, "tanh", [a_impl, n](TensorImpl& o) {
+    if (!NeedsGrad(a_impl)) return;
+    a_impl->EnsureGrad();
+    const float* g = o.grad.data();
+    const float* py = o.data.data();
+    float* ga = a_impl->grad.data();
+    kernels::EltwiseMap(n, [g, py, ga](int64_t i) {
+      ga[i] += g[i] * (1.0f - py[i] * py[i]);
+    });
+  });
+  return out;
 }
 
 Tensor Sigmoid(const Tensor& a) {
+  const bool vec = kernels::VecMathEnabled();  // hoisted: atomic load
   return UnaryOp(
-      a, "sigmoid", [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      a, "sigmoid",
+      [vec](float x) {
+        const float e = vec ? kernels::ExpPsScalar(-x) : std::exp(-x);
+        return 1.0f / (1.0f + e);
+      },
       [](float, float y) { return y * (1.0f - y); });
 }
 
 Tensor Exp(const Tensor& a) {
-  return UnaryOp(
-      a, "exp", [](float x) { return std::exp(x); },
-      [](float, float y) { return y; });
+  CDCL_CHECK(a.defined());
+  Tensor out = Tensor::Uninitialized(a.shape());
+  const int64_t n = a.NumElements();
+  if (kernels::VecMathEnabled()) {
+    kernels::ExpMapVec(n, a.data(), out.data());
+  } else {
+    const float* pa = a.data();
+    float* po = out.data();
+    kernels::EltwiseMap(n, [pa, po](int64_t i) { po[i] = std::exp(pa[i]); });
+  }
+  auto a_impl = a.impl();
+  AttachNode(&out, {a}, "exp", [a_impl, n](TensorImpl& o) {
+    if (!NeedsGrad(a_impl)) return;
+    a_impl->EnsureGrad();
+    const float* g = o.grad.data();
+    const float* py = o.data.data();
+    float* ga = a_impl->grad.data();
+    kernels::EltwiseMap(
+        n, [g, py, ga](int64_t i) { ga[i] += g[i] * py[i]; });
+  });
+  return out;
 }
 
 Tensor Log(const Tensor& a) {
@@ -231,7 +303,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   CDCL_CHECK_EQ(b.ndim(), 2);
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   CDCL_CHECK_EQ(b.dim(0), k);
-  Tensor out(Shape{m, n});
+  Tensor out = Tensor::Uninitialized(Shape{m, n});
   kernels::GemmNN(m, n, k, a.data(), b.data(), out.data(), /*accumulate=*/false);
 
   auto a_impl = a.impl();
@@ -260,7 +332,7 @@ Tensor BatchMatMul(const Tensor& a, const Tensor& b) {
   const int64_t bs = a.dim(0), m = a.dim(1), k = a.dim(2), n = b.dim(2);
   CDCL_CHECK_EQ(b.dim(0), bs);
   CDCL_CHECK_EQ(b.dim(1), k);
-  Tensor out(Shape{bs, m, n});
+  Tensor out = Tensor::Uninitialized(Shape{bs, m, n});
   {
     const float* pa = a.data();
     const float* pb = b.data();
@@ -300,7 +372,7 @@ Tensor BatchMatMulTransB(const Tensor& a, const Tensor& b) {
   const int64_t bs = a.dim(0), m = a.dim(1), k = a.dim(2), n = b.dim(1);
   CDCL_CHECK_EQ(b.dim(0), bs);
   CDCL_CHECK_EQ(b.dim(2), k);
-  Tensor out(Shape{bs, m, n});
+  Tensor out = Tensor::Uninitialized(Shape{bs, m, n});
   {
     const float* pa = a.data();
     const float* pb = b.data();
@@ -342,7 +414,7 @@ Tensor BatchMatMulTransB(const Tensor& a, const Tensor& b) {
 Tensor Transpose(const Tensor& a) {
   CDCL_CHECK_EQ(a.ndim(), 2);
   const int64_t m = a.dim(0), n = a.dim(1);
-  Tensor out(Shape{n, m});
+  Tensor out = Tensor::Uninitialized(Shape{n, m});
   const float* pa = a.data();
   float* po = out.data();
   for (int64_t i = 0; i < m; ++i) {
@@ -364,7 +436,7 @@ Tensor Transpose(const Tensor& a) {
 Tensor TransposeLast2(const Tensor& a) {
   CDCL_CHECK_EQ(a.ndim(), 3);
   const int64_t b = a.dim(0), m = a.dim(1), n = a.dim(2);
-  Tensor out(Shape{b, n, m});
+  Tensor out = Tensor::Uninitialized(Shape{b, n, m});
   for (int64_t bi = 0; bi < b; ++bi) {
     const float* pa = a.data() + bi * m * n;
     float* po = out.data() + bi * m * n;
@@ -415,7 +487,7 @@ Tensor Concat0(const std::vector<Tensor>& parts) {
     total_rows += p.dim(0);
   }
   dims[0] = total_rows;
-  Tensor out{Shape(dims)};
+  Tensor out = Tensor::Uninitialized(Shape(dims));
   int64_t offset = 0;
   for (const Tensor& p : parts) {
     const int64_t bytes_n = p.NumElements();
@@ -450,7 +522,7 @@ Tensor ConcatLast(const std::vector<Tensor>& parts) {
     CDCL_CHECK_EQ(p.dim(0), b);
     total += p.dim(1);
   }
-  Tensor out(Shape{b, total});
+  Tensor out = Tensor::Uninitialized(Shape{b, total});
   float* po = out.data();
   int64_t col = 0;
   for (const Tensor& p : parts) {
@@ -497,7 +569,7 @@ Tensor Slice0(const Tensor& a, int64_t start, int64_t length) {
   std::vector<int64_t> dims = a.shape().dims();
   const int64_t row = a.NumElements() / std::max<int64_t>(dims[0], 1);
   dims[0] = length;
-  Tensor out{Shape(dims)};
+  Tensor out = Tensor::Uninitialized(Shape(dims));
   std::memcpy(out.data(), a.data() + start * row,
               static_cast<size_t>(length * row) * sizeof(float));
   auto a_impl = a.impl();
@@ -517,7 +589,7 @@ Tensor IndexRows(const Tensor& a, const std::vector<int64_t>& indices) {
   const int64_t row = a.NumElements() / std::max<int64_t>(dims[0], 1);
   const int64_t rows_in = dims[0];
   dims[0] = static_cast<int64_t>(indices.size());
-  Tensor out{Shape(dims)};
+  Tensor out = Tensor::Uninitialized(Shape(dims));
   for (size_t i = 0; i < indices.size(); ++i) {
     CDCL_CHECK_GE(indices[i], 0);
     CDCL_CHECK_LT(indices[i], rows_in);
@@ -571,7 +643,7 @@ Tensor SumLastDim(const Tensor& a) {
   const int64_t rows = a.NumElements() / d;
   std::vector<int64_t> dims = a.shape().dims();
   dims.pop_back();
-  Tensor out{Shape(dims)};
+  Tensor out = Tensor::Uninitialized(Shape(dims));
   const float* pa = a.data();
   float* po = out.data();
   kernels::RowMap(rows, d, [pa, po, d](int64_t r) {
@@ -601,7 +673,7 @@ Tensor Softmax(const Tensor& a) {
   CDCL_CHECK_GE(a.ndim(), 1);
   const int64_t d = a.dim(-1);
   const int64_t rows = a.NumElements() / d;
-  Tensor out(a.shape());
+  Tensor out = Tensor::Uninitialized(a.shape());
   const float* pa = a.data();
   float* po = out.data();
   // Row arithmetic shared with the fused eval epilogue (scalar_math.h).
@@ -631,16 +703,20 @@ Tensor LogSoftmax(const Tensor& a) {
   CDCL_CHECK_GE(a.ndim(), 1);
   const int64_t d = a.dim(-1);
   const int64_t rows = a.NumElements() / d;
-  Tensor out(a.shape());
+  Tensor out = Tensor::Uninitialized(a.shape());
   const float* pa = a.data();
   float* po = out.data();
-  kernels::RowMap(rows, d, [pa, po, d](int64_t r) {
+  // Mode branch hoisted out of the row loops (the flag is an atomic load).
+  const bool vec = kernels::VecMathEnabled();
+  kernels::RowMap(rows, d, [pa, po, d, vec](int64_t r) {
     const float* xr = pa + r * d;
     float* yr = po + r * d;
     float mx = xr[0];
     for (int64_t j = 1; j < d; ++j) mx = std::max(mx, xr[j]);
     float z = 0.0f;
-    for (int64_t j = 0; j < d; ++j) z += std::exp(xr[j] - mx);
+    for (int64_t j = 0; j < d; ++j) {
+      z += vec ? kernels::ExpPsScalar(xr[j] - mx) : std::exp(xr[j] - mx);
+    }
     const float lse = mx + std::log(z);
     for (int64_t j = 0; j < d; ++j) yr[j] = xr[j] - lse;
   });
@@ -651,14 +727,16 @@ Tensor LogSoftmax(const Tensor& a) {
     const float* g = o.grad.data();
     const float* y = o.data.data();
     float* ga = a_impl->grad.data();
-    kernels::RowMap(rows, d, [g, y, ga, d](int64_t r) {
+    const bool vec = kernels::VecMathEnabled();
+    kernels::RowMap(rows, d, [g, y, ga, d, vec](int64_t r) {
       const float* gr = g + r * d;
       const float* yr = y + r * d;
       float gsum = 0.0f;
       for (int64_t j = 0; j < d; ++j) gsum += gr[j];
       float* gar = ga + r * d;
       for (int64_t j = 0; j < d; ++j) {
-        gar[j] += gr[j] - std::exp(yr[j]) * gsum;
+        const float e = vec ? kernels::ExpPsScalar(yr[j]) : std::exp(yr[j]);
+        gar[j] += gr[j] - e * gsum;
       }
     });
   });
@@ -672,78 +750,32 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   CDCL_CHECK_EQ(gamma.NumElements(), d);
   CDCL_CHECK_EQ(beta.NumElements(), d);
   const int64_t rows = x.NumElements() / d;
-  Tensor out(x.shape());
+  Tensor out = Tensor::Uninitialized(x.shape());
   // Saved activations for the backward pass; tensors (fully overwritten
-  // below) so they ride the step arena instead of per-call heap churn.
+  // below) so they ride the step arena instead of per-call heap churn. The
+  // row arithmetic lives in kernels/layernorm.h, shared with the fused
+  // training sublayer nodes so the two paths cannot drift.
   Tensor inv_std = Tensor::Uninitialized(Shape{rows});
   Tensor xhat = Tensor::Uninitialized(Shape{rows * d});
-  const float* px = x.data();
-  const float* pg = gamma.data();
-  const float* pb = beta.data();
-  float* po = out.data();
-  {
-    float* pinv = inv_std.data();
-    float* phat = xhat.data();
-    kernels::RowMap(rows, d, [px, pg, pb, po, pinv, phat, d, eps](int64_t r) {
-      const float* xr = px + r * d;
-      float mean = 0.0f;
-      for (int64_t j = 0; j < d; ++j) mean += xr[j];
-      mean /= static_cast<float>(d);
-      float var = 0.0f;
-      for (int64_t j = 0; j < d; ++j) {
-        const float c = xr[j] - mean;
-        var += c * c;
-      }
-      var /= static_cast<float>(d);
-      const float istd = 1.0f / std::sqrt(var + eps);
-      pinv[r] = istd;
-      for (int64_t j = 0; j < d; ++j) {
-        const float h = (xr[j] - mean) * istd;
-        phat[r * d + j] = h;
-        po[r * d + j] = h * pg[j] + pb[j];
-      }
-    });
-  }
+  kernels::LayerNormForwardRows(rows, d, x.data(), gamma.data(), beta.data(),
+                                eps, out.data(), inv_std.data(), xhat.data());
 
   auto x_impl = x.impl();
   auto g_impl = gamma.impl();
   auto b_impl = beta.impl();
   AttachNode(&out, {x, gamma, beta}, "layer_norm",
              [x_impl, g_impl, b_impl, rows, d, inv_std, xhat](TensorImpl& o) {
-               const float* g = o.grad.data();
-               const float* pg = g_impl->data.data();
-               if (NeedsGrad(g_impl)) g_impl->EnsureGrad();
-               if (NeedsGrad(b_impl)) b_impl->EnsureGrad();
-               if (NeedsGrad(x_impl)) x_impl->EnsureGrad();
-               for (int64_t r = 0; r < rows; ++r) {
-                 const float* gr = g + r * d;
-                 const float* hr = xhat.data() + r * d;
-                 if (NeedsGrad(g_impl)) {
-                   float* gg = g_impl->grad.data();
-                   for (int64_t j = 0; j < d; ++j) gg[j] += gr[j] * hr[j];
-                 }
-                 if (NeedsGrad(b_impl)) {
-                   float* gb = b_impl->grad.data();
-                   for (int64_t j = 0; j < d; ++j) gb[j] += gr[j];
-                 }
-                 if (NeedsGrad(x_impl)) {
-                   // dx = istd * (dyg - mean(dyg) - xhat * mean(dyg*xhat))
-                   float m1 = 0.0f, m2 = 0.0f;
-                   for (int64_t j = 0; j < d; ++j) {
-                     const float dyg = gr[j] * pg[j];
-                     m1 += dyg;
-                     m2 += dyg * hr[j];
-                   }
-                   m1 /= static_cast<float>(d);
-                   m2 /= static_cast<float>(d);
-                   const float istd = inv_std.data()[r];
-                   float* gx = x_impl->grad.data() + r * d;
-                   for (int64_t j = 0; j < d; ++j) {
-                     const float dyg = gr[j] * pg[j];
-                     gx[j] += istd * (dyg - m1 - hr[j] * m2);
-                   }
-                 }
-               }
+               const bool need_g = NeedsGrad(g_impl);
+               const bool need_b = NeedsGrad(b_impl);
+               const bool need_x = NeedsGrad(x_impl);
+               if (need_g) g_impl->EnsureGrad();
+               if (need_b) b_impl->EnsureGrad();
+               if (need_x) x_impl->EnsureGrad();
+               kernels::LayerNormBackwardRows(
+                   rows, d, o.grad.data(), g_impl->data.data(), xhat.data(),
+                   inv_std.data(), need_x ? x_impl->grad.data() : nullptr,
+                   need_g ? g_impl->grad.data() : nullptr,
+                   need_b ? b_impl->grad.data() : nullptr);
              });
   return out;
 }
@@ -782,16 +814,21 @@ Tensor CrossEntropy(const Tensor& logits, const std::vector<int64_t>& labels) {
     float* pp = probs.data();
     float* prl = row_loss.data();
     const int64_t* plb = labels.data();
-    kernels::RowMap(b, c, [pl, pp, prl, plb, c](int64_t i) {
+    // Mode branch hoisted out of the row loops (the flag is an atomic load).
+    const bool vec = kernels::VecMathEnabled();
+    kernels::RowMap(b, c, [pl, pp, prl, plb, c, vec](int64_t i) {
       const float* xr = pl + i * c;
       float mx = xr[0];
       for (int64_t j = 1; j < c; ++j) mx = std::max(mx, xr[j]);
       float z = 0.0f;
-      for (int64_t j = 0; j < c; ++j) z += std::exp(xr[j] - mx);
+      for (int64_t j = 0; j < c; ++j) {
+        z += vec ? kernels::ExpPsScalar(xr[j] - mx) : std::exp(xr[j] - mx);
+      }
       const float lse = mx + std::log(z);
       prl[i] = lse - xr[plb[i]];
       for (int64_t j = 0; j < c; ++j) {
-        pp[i * c + j] = std::exp(xr[j] - lse);
+        pp[i * c + j] =
+            vec ? kernels::ExpPsScalar(xr[j] - lse) : std::exp(xr[j] - lse);
       }
     });
   }

@@ -23,6 +23,7 @@
 #include "tensor/arena.h"
 #include "tensor/kernels/kernel_context.h"
 #include "tensor/kernels/matmul_kernel.h"
+#include "tensor/kernels/vec_math.h"
 #include "tensor/tensor.h"
 #include "tensor/tensor_ops.h"
 #include "util/rng.h"
@@ -34,13 +35,21 @@ namespace {
 /// scope ends, so no test leaks settings into the next.
 class SettingsScope {
  public:
-  SettingsScope() = default;
+  // The vec-math mode restores to whatever was active on entry (the
+  // env-resolved default), so verify.sh can re-run this whole suite under
+  // CDCL_VEC_MATH=0 and every test keeps the legacy numerics.
+  SettingsScope() : vec_math_(kernels::VecMathEnabled()) {}
   ~SettingsScope() {
     kernels::SetNumThreads(0);
     kernels::SetGemmKernel(kernels::GemmKernel::kAuto);
     SetArenaEnabled(true);
     nn::SetFusedTrain(true);
+    kernels::SetVecMath(vec_math_);
+    kernels::SetVecMathIsa(kernels::VecMathIsa::kAuto);
   }
+
+ private:
+  bool vec_math_;
 };
 
 void ExpectBitwiseEqual(const std::vector<float>& a,
@@ -74,11 +83,15 @@ struct Trajectory {
   std::vector<std::vector<float>> params;    // final model parameters
 };
 
-Trajectory RunCdcl(bool arena, bool fused_train, int64_t threads) {
+// vec_math defaults to the ambient mode so the CDCL_VEC_MATH=0 verify pass
+// runs every trajectory test in the legacy numerics.
+Trajectory RunCdcl(bool arena, bool fused_train, int64_t threads,
+                   bool vec_math = kernels::VecMathEnabled()) {
   SettingsScope restore;
   kernels::SetNumThreads(threads);
   SetArenaEnabled(arena);
   nn::SetFusedTrain(fused_train);
+  kernels::SetVecMath(vec_math);
   auto stream = TinyStream();
   core::CdclOptions opt;
   opt.base.model.image_hw = 16;
@@ -137,6 +150,25 @@ TEST(ArenaTest, CdclTrajectoryBitwiseFusedTrainOnVsOff) {
     Trajectory fused = RunCdcl(/*arena=*/true, /*fused_train=*/true, threads);
     ExpectSameTrajectory(op_path, fused,
                          "fused train, threads=" + std::to_string(threads));
+  }
+}
+
+// Both numerics modes (vectorized transcendentals on/off) are distinct
+// trajectories, but *within* each mode the full trajectory must stay bitwise
+// identical across fused-vs-op, arena-vs-heap and thread counts. The vec-off
+// run is byte-for-byte the pre-tier code path, so its self-consistency here
+// is the "CDCL_VEC_MATH=0 restores the exact pre-tier numerics" proof.
+TEST(ArenaTest, CdclTrajectoryBitwisePerVecMathMode) {
+  for (const bool vec : {true, false}) {
+    Trajectory reference =
+        RunCdcl(/*arena=*/true, /*fused_train=*/true, 1, vec);
+    const std::string mode = vec ? "vec_math on" : "vec_math off";
+    ExpectSameTrajectory(
+        reference, RunCdcl(/*arena=*/true, /*fused_train=*/false, 1, vec),
+        mode + ", op path");
+    ExpectSameTrajectory(
+        reference, RunCdcl(/*arena=*/false, /*fused_train=*/true, 2, vec),
+        mode + ", heap, threads=2");
   }
 }
 
@@ -215,6 +247,70 @@ TEST(ArenaTest, AttentionAndFfnGradsBitwiseFusedVsOp) {
                                 " task=" + std::to_string(task));
           }
         }
+      }
+    }
+  }
+}
+
+// The full encoder block through both paths: this is the component that
+// exercises the folded pre-norm LayerNorms (single-LN self sublayer, the
+// two-stream cross sublayer with its companion LN node, and the folded MLP
+// pre-norm). Losses and every gradient — block params and all input
+// streams — must agree bit for bit with the op chain, in both numerics
+// modes, per thread count, including the first-layer undefined-mixed cross
+// case.
+TEST(ArenaTest, EncoderLayerGradsBitwiseFusedVsOp) {
+  for (const bool vec : {true, false}) {
+    for (int64_t threads : {int64_t{1}, int64_t{2}, int64_t{8}}) {
+      SettingsScope restore;
+      kernels::SetVecMath(vec);
+      kernels::SetNumThreads(threads);
+      Rng rng(37);
+      nn::TransformerEncoderLayer layer(24, 16, 48, &rng,
+                                        /*softmax_scores=*/true,
+                                        /*freeze_old_keys=*/true);
+      layer.AddTask();
+      Tensor xs = Tensor::Randn(Shape{4, 16, 24}, &rng, 1.0f, true);
+      Tensor xt = Tensor::Randn(Shape{4, 16, 24}, &rng, 1.0f, true);
+      Tensor mixed = Tensor::Randn(Shape{4, 16, 24}, &rng, 1.0f, true);
+
+      for (const int mode : {0, 1, 2}) {  // self, cross, cross first-layer
+        auto run = [&](bool fused) {
+          nn::SetFusedTrain(fused);
+          for (Tensor& p : layer.Parameters()) p.ZeroGrad();
+          xs.ZeroGrad();
+          xt.ZeroGrad();
+          mixed.ZeroGrad();
+          Tensor y;
+          switch (mode) {
+            case 0:
+              y = layer.SelfForward(xs, 0);
+              break;
+            case 1:
+              y = layer.CrossForward(xs, xt, mixed, 0);
+              break;
+            default:
+              y = layer.CrossForward(xs, xt, Tensor(), 0);
+              break;
+          }
+          Tensor loss = ops::Sum(ops::Square(y));
+          loss.Backward();
+          GradCapture cap;
+          cap.loss = loss.item();
+          for (Tensor& p : layer.Parameters()) {
+            cap.grads.push_back(p.GradTensor().ToVector());
+          }
+          cap.grads.push_back(xs.GradTensor().ToVector());
+          cap.grads.push_back(xt.GradTensor().ToVector());
+          cap.grads.push_back(mixed.GradTensor().ToVector());
+          return cap;
+        };
+        GradCapture op_path = run(/*fused=*/false);
+        GradCapture fused = run(/*fused=*/true);
+        ExpectSameGrads(op_path, fused,
+                        "encoder layer vec=" + std::to_string(vec) +
+                            " threads=" + std::to_string(threads) +
+                            " mode=" + std::to_string(mode));
       }
     }
   }

@@ -300,6 +300,57 @@ TEST(GradCheckTest, FusedFeedForwardTrainWithResidual) {
        RandInput(Shape{4}, 265), RandInput(Shape{2, 3, 4}, 266)}));
 }
 
+TEST(GradCheckTest, FusedAttentionLayerTrainSelfAliased) {
+  // The SelfForward block shape: one tensor is residual, q stream and kv
+  // stream at once, and the folded pre-norm's gamma/beta gradients must
+  // cover all three projection chains through the single LN backward.
+  for (const bool softmax : {true, false}) {
+    EXPECT_GRADCHECK_OK(GradCheck(
+        [softmax](const std::vector<Tensor>& in) {
+          return ops::Mean(ops::Square(ops::FusedAttentionLayerTrain(
+              in[0], in[0], in[1], in[2], 1e-5f, in[3], in[4], in[5], in[6],
+              0.5f, softmax, /*residual=*/in[0])));
+        },
+        {RandInput(Shape{2, 3, 4}, 271), RandInput(Shape{4}, 272),
+         RandInput(Shape{4}, 273), RandInput(Shape{4, 4}, 274),
+         RandInput(Shape{4, 4}, 275), RandInput(Shape{4, 4}, 276),
+         RandInput(Shape{3}, 277)}));
+  }
+}
+
+TEST(GradCheckTest, FusedAttentionLayerTrainCrossTwoStream) {
+  // The CrossForward block shape: two distinct streams normed by the SAME
+  // gamma/beta (the two-stream accumulation case — the kv-stream LN backward
+  // folded into the node, the q-stream LN in its companion node, both
+  // accumulating into the shared parameters), plus a separate residual.
+  EXPECT_GRADCHECK_OK(GradCheck(
+      [](const std::vector<Tensor>& in) {
+        return ops::Mean(ops::Square(ops::FusedAttentionLayerTrain(
+            in[0], in[1], in[2], in[3], 1e-5f, in[4], in[5], in[6], in[7],
+            0.5f, /*softmax=*/true, /*residual=*/in[8])));
+      },
+      {RandInput(Shape{2, 3, 4}, 281), RandInput(Shape{2, 3, 4}, 282),
+       RandInput(Shape{4}, 283), RandInput(Shape{4}, 284),
+       RandInput(Shape{4, 4}, 285), RandInput(Shape{4, 4}, 286),
+       RandInput(Shape{4, 4}, 287), RandInput(Shape{3}, 288),
+       RandInput(Shape{2, 3, 4}, 289)}));
+}
+
+TEST(GradCheckTest, FusedFeedForwardLayerTrainWithResidual) {
+  // The MLP sublayer with norm2 folded in; the residual aliases the raw
+  // input like the encoder block's h.
+  EXPECT_GRADCHECK_OK(GradCheck(
+      [](const std::vector<Tensor>& in) {
+        return ops::Mean(ops::Square(ops::FusedFeedForwardLayerTrain(
+            in[0], in[1], in[2], 1e-5f, in[3], in[4], in[5], in[6],
+            /*residual=*/in[0])));
+      },
+      {RandInput(Shape{2, 3, 4}, 291), RandInput(Shape{4}, 292),
+       RandInput(Shape{4}, 293), RandInput(Shape{4, 6}, 294),
+       RandInput(Shape{6}, 295), RandInput(Shape{6, 4}, 296),
+       RandInput(Shape{4}, 297)}));
+}
+
 TEST(GradCheckTest, Conv2dReluMatchesReluOfConvBitwise) {
   // The fused conv+ReLU node's contract is exact equality with the op pair,
   // values and gradients, which also pins the mask-from-output backward
