@@ -31,15 +31,15 @@ for example in examples/*.cc; do
   fi
 done
 
-echo "== ASan/UBSan: kernel + batched-eval + arena + vec-math suites =="
+echo "== ASan/UBSan: kernel + batched-eval + arena + vec-math + quant suites =="
 asan_dir="build-verify-asan"
 cmake -B "${asan_dir}" -S . -DCMAKE_BUILD_TYPE=Debug -DCDCL_SANITIZE=ON \
   -DCDCL_BUILD_BENCH=OFF -DCDCL_BUILD_EXAMPLES=OFF
 cmake --build "${asan_dir}" -j "${JOBS}" \
   --target kernels_test gemm_packed_test batched_eval_test arena_test \
-  vec_math_test
+  vec_math_test gemm_quant_test quant_eval_test
 ctest --test-dir "${asan_dir}" --output-on-failure -j "${JOBS}" \
-  -R '^(kernels_test|gemm_packed_test|batched_eval_test|arena_test|vec_math_test)$'
+  -R '^(kernels_test|gemm_packed_test|batched_eval_test|arena_test|vec_math_test|gemm_quant_test|quant_eval_test)$'
 
 echo "== legacy numerics mode: arena suite with CDCL_VEC_MATH=0 =="
 # The vectorized transcendental tier is a numerics mode; the libm mode must
@@ -47,6 +47,13 @@ echo "== legacy numerics mode: arena suite with CDCL_VEC_MATH=0 =="
 # arena lifetimes) or the CDCL_VEC_MATH=0 escape hatch rots.
 CDCL_VEC_MATH=0 ctest --test-dir "${asan_dir}" --output-on-failure \
   -j "${JOBS}" -R '^arena_test$'
+
+echo "== reduced precision mode: batched-eval coherence with CDCL_GEMM_PRECISION=bf16 =="
+# Within a quantized mode the op-by-op eval forward and the fused batched
+# forward consume the same QuantizedBlock, so the whole bitwise coherence
+# suite must stay green — otherwise the two eval paths have drifted apart.
+CDCL_GEMM_PRECISION=bf16 ctest --test-dir "${asan_dir}" --output-on-failure \
+  -j "${JOBS}" -R '^batched_eval_test$'
 
 echo "== docs: README knob consistency =="
 # Every CDCL_* knob README.md documents must still be *read* somewhere — an

@@ -174,16 +174,18 @@ void RehearsalTrainer::StoreTaskMemory(const data::CrossDomainTask& task) {
     rec.task_label = ex.task_label;
     rec.confidence = confidence[static_cast<size_t>(i)];
     rec.logit_tasks = tasks_seen_;
-    rec.source_logits.resize(static_cast<size_t>(width));
-    rec.target_logits.resize(static_cast<size_t>(width));
+    std::vector<float> logits(static_cast<size_t>(width));
+    std::vector<float> feat(static_cast<size_t>(d));
     for (int64_t j = 0; j < width; ++j) {
-      rec.source_logits[static_cast<size_t>(j)] = cil_logits.at(i, j);
-      rec.target_logits[static_cast<size_t>(j)] = cil_logits.at(i, j);
+      logits[static_cast<size_t>(j)] = cil_logits.at(i, j);
     }
-    rec.feature.resize(static_cast<size_t>(d));
     for (int64_t j = 0; j < d; ++j) {
-      rec.feature[static_cast<size_t>(j)] = z.at(i, j);
+      feat[static_cast<size_t>(j)] = z.at(i, j);
     }
+    // Encoded under the active precision mode — fp32 stores raw floats.
+    rec.source_logits = cl::CompactFloats::Encode(logits);
+    rec.target_logits = cl::CompactFloats::Encode(logits);
+    rec.feature = cl::CompactFloats::Encode(feat);
     candidates.push_back(std::move(rec));
   }
   memory_.AddTask(current, std::move(candidates), &rng_);

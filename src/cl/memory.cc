@@ -1,11 +1,72 @@
 #include "cl/memory.h"
 
 #include <algorithm>
+#include <cfloat>
+#include <cmath>
 
 #include "util/logging.h"
 
 namespace cdcl {
 namespace cl {
+
+CompactFloats CompactFloats::Encode(const std::vector<float>& x) {
+  CompactFloats out;
+  out.mode_ = kernels::GetGemmPrecision();
+  out.n_ = x.size();
+  switch (out.mode_) {
+    case kernels::GemmPrecision::kBf16: {
+      out.bf16_.resize(x.size());
+      for (size_t i = 0; i < x.size(); ++i) {
+        out.bf16_[i] = kernels::Bf16FromF32(x[i]);
+      }
+      break;
+    }
+    case kernels::GemmPrecision::kInt8: {
+      // Symmetric per-vector absmax quantization — the same scheme as
+      // QuantizeInt8Slice (tensor/kernels/matmul_quant.cc), including the
+      // denormal-scale flush to exact zeros.
+      float amax = 0.0f;
+      for (float v : x) amax = std::max(amax, std::fabs(v));
+      const float scale = amax / 127.0f;
+      out.i8_.resize(x.size());
+      if (!(scale >= FLT_MIN) || !std::isfinite(scale)) {
+        out.scale_ = 0.0f;
+        std::fill(out.i8_.begin(), out.i8_.end(), static_cast<int8_t>(0));
+      } else {
+        out.scale_ = scale;
+        const double inv = 127.0 / static_cast<double>(amax);
+        for (size_t i = 0; i < x.size(); ++i) {
+          const long long q =
+              std::llrint(static_cast<double>(x[i]) * inv);
+          out.i8_[i] = static_cast<int8_t>(
+              std::max(-127LL, std::min(127LL, q)));
+        }
+      }
+      break;
+    }
+    default:
+      out.f32_ = x;
+      break;
+  }
+  return out;
+}
+
+std::vector<float> CompactFloats::Decode() const {
+  std::vector<float> out(n_);
+  for (size_t i = 0; i < n_; ++i) out[i] = (*this)[i];
+  return out;
+}
+
+size_t CompactFloats::ByteSize() const {
+  switch (mode_) {
+    case kernels::GemmPrecision::kBf16:
+      return n_ * sizeof(uint16_t);
+    case kernels::GemmPrecision::kInt8:
+      return n_ * sizeof(int8_t) + sizeof(float);
+    default:
+      return n_ * sizeof(float);
+  }
+}
 
 RehearsalMemory::RehearsalMemory(int64_t capacity, MemoryPolicy policy)
     : capacity_(capacity), policy_(policy) {

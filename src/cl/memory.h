@@ -1,29 +1,82 @@
 #ifndef CDCL_CL_MEMORY_H_
 #define CDCL_CL_MEMORY_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "tensor/kernels/matmul_quant.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
 
 namespace cdcl {
 namespace cl {
 
+/// Compact storage for a per-record float vector (stored logits / features).
+/// The encoding is chosen ONCE at Encode() time from the active
+/// CDCL_GEMM_PRECISION mode and travels with the vector:
+///   - fp32 (default): raw floats — byte-identical to the plain
+///     std::vector<float> storage this type replaced.
+///   - bf16: round-to-nearest-even bf16 codes (2 bytes/element).
+///   - int8: symmetric per-vector absmax codes + one fp32 scale
+///     (1 byte/element). An all-zero or denormal-absmax vector stores
+///     scale 0 and decodes to exact zeros, mirroring QuantizeWeight.
+/// Reads decode on the fly; replay consumers index records element-wise, so
+/// operator[] keeps their loops unchanged.
+class CompactFloats {
+ public:
+  CompactFloats() = default;
+
+  /// Encodes `x` under the current GemmPrecision mode.
+  static CompactFloats Encode(const std::vector<float>& x);
+
+  size_t size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+
+  /// Decoded element i — the exact value Decode()[i] would hold.
+  float operator[](size_t i) const {
+    switch (mode_) {
+      case kernels::GemmPrecision::kBf16:
+        return kernels::F32FromBf16(bf16_[i]);
+      case kernels::GemmPrecision::kInt8:
+        return static_cast<float>(i8_[i]) * scale_;
+      default:
+        return f32_[i];
+    }
+  }
+
+  /// Full decoded vector (for tensor construction).
+  std::vector<float> Decode() const;
+
+  /// Heap bytes held by the encoded payload (capacity-independent; counts
+  /// size() elements at the encoding's width plus the int8 scale).
+  size_t ByteSize() const;
+
+ private:
+  kernels::GemmPrecision mode_ = kernels::GemmPrecision::kFp32;
+  size_t n_ = 0;
+  std::vector<float> f32_;
+  std::vector<uint16_t> bf16_;
+  std::vector<int8_t> i8_;
+  float scale_ = 0.0f;  // int8 only
+};
+
 /// One rehearsal record (paper §IV-C footnote 2): the tuple
 /// (x_S, x_T, y_S, y^CIL_S, y^CIL_T) plus bookkeeping. Logits are stored as
 /// raw vectors because the CIL head keeps growing; `logit_tasks` records how
-/// many task blocks the stored logits cover.
+/// many task blocks the stored logits cover. The float payloads sit behind
+/// CompactFloats, so reduced-precision modes shrink the snapshot footprint
+/// 2x (bf16) / ~4x (int8) without touching the fp32 default.
 struct MemoryRecord {
   Tensor source_image;   // (c,h,w)
   Tensor target_image;   // (c,h,w)
   int64_t label = -1;       // global source label y_S
   int64_t task_label = -1;  // within-task label
   int64_t task_id = -1;
-  std::vector<float> source_logits;  // CIL logits at store time
-  std::vector<float> target_logits;
+  CompactFloats source_logits;  // CIL logits at store time
+  CompactFloats target_logits;
   int64_t logit_tasks = 0;
-  std::vector<float> feature;  // pooled source feature at store time (HAL/MSL)
+  CompactFloats feature;  // pooled source feature at store time (HAL/MSL)
   float confidence = 0.0f;  // max(y_TIL_S) v max(y_TIL_T) at store time
 };
 

@@ -78,7 +78,7 @@ std::vector<BoundTerms> ComputeBoundDiagnostics(
       Tensor current = model.CilLogitsUpTo(z, rec.logit_tasks);
       Tensor stored = Tensor::FromVector(
           Shape{1, static_cast<int64_t>(rec.source_logits.size())},
-          rec.source_logits);
+          rec.source_logits.Decode());
       kl_sum += ops::KlDivergenceToTarget(current, stored).item();
       ++kl_count;
     }

@@ -335,17 +335,21 @@ void CdclTrainer::StoreTaskMemory(const data::CrossDomainTask& task,
     // max(y^TIL_S) v max(y^TIL_T) - the paper's confidence criterion.
     rec.confidence = std::max(conf_s[i], conf_t[i]);
     rec.logit_tasks = tasks_seen_;
-    rec.source_logits.resize(static_cast<size_t>(width));
-    rec.target_logits.resize(static_cast<size_t>(width));
-    rec.feature.resize(static_cast<size_t>(d));
     const int64_t row = static_cast<int64_t>(i);
+    std::vector<float> logits_s(static_cast<size_t>(width));
+    std::vector<float> logits_t(static_cast<size_t>(width));
+    std::vector<float> feat(static_cast<size_t>(d));
     for (int64_t j = 0; j < width; ++j) {
-      rec.source_logits[static_cast<size_t>(j)] = cil_s.at(row, j);
-      rec.target_logits[static_cast<size_t>(j)] = cil_t.at(row, j);
+      logits_s[static_cast<size_t>(j)] = cil_s.at(row, j);
+      logits_t[static_cast<size_t>(j)] = cil_t.at(row, j);
     }
     for (int64_t j = 0; j < d; ++j) {
-      rec.feature[static_cast<size_t>(j)] = zs.at(row, j);
+      feat[static_cast<size_t>(j)] = zs.at(row, j);
     }
+    // Encoded under the active precision mode — fp32 stores raw floats.
+    rec.source_logits = cl::CompactFloats::Encode(logits_s);
+    rec.target_logits = cl::CompactFloats::Encode(logits_t);
+    rec.feature = cl::CompactFloats::Encode(feat);
     candidates.push_back(std::move(rec));
   }
   memory_.AddTask(task_id, std::move(candidates), &rng_);

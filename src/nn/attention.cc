@@ -132,18 +132,16 @@ Tensor TaskConditionedAttention::SelfAttentionFused(const Tensor& x,
 
   // The three projections as single (b*n, d) GEMMs — the same flattened call
   // Linear::Forward issues, minus the reshape/tape plumbing. The GEMMs
-  // overwrite every element, so the outputs skip the zero-fill.
+  // overwrite every element, so the outputs skip the zero-fill. EvalGemm
+  // consumes the quantized weight snapshot in reduced-precision modes (the
+  // same block Linear::Forward reads, keeping both paths bitwise).
   Tensor q = Tensor::Uninitialized(x.shape());
   Tensor k = Tensor::Uninitialized(x.shape());
   Tensor v = Tensor::Uninitialized(x.shape());
   const float* px = x.data();
-  kernels::GemmNN(rows, dim_, dim_, px, wq_->weight().data(), q.data(),
-                  /*accumulate=*/false);
-  kernels::GemmNN(rows, dim_, dim_, px,
-                  wk_tasks_[static_cast<size_t>(task)]->weight().data(),
-                  k.data(), /*accumulate=*/false);
-  kernels::GemmNN(rows, dim_, dim_, px, wv_->weight().data(), v.data(),
-                  /*accumulate=*/false);
+  wq_->EvalGemm(rows, px, q.data());
+  wk_tasks_[static_cast<size_t>(task)]->EvalGemm(rows, px, k.data());
+  wv_->EvalGemm(rows, px, v.data());
 
   Tensor out = Tensor::Uninitialized(x.shape());
   kernels::FusedAttentionEval(
@@ -194,12 +192,10 @@ Tensor FeedForward::ForwardFused(const Tensor& x) const {
   CDCL_CHECK_EQ(x.dim(-1), d);
   const int64_t rows = x.NumElements() / d;
   Tensor h = Tensor::Uninitialized(Shape{rows, hidden});
-  kernels::GemmNN(rows, hidden, d, x.data(), fc1_->weight().data(), h.data(),
-                  /*accumulate=*/false);
+  fc1_->EvalGemm(rows, x.data(), h.data());
   kernels::BiasGeluMap(rows * hidden, hidden, h.data(), fc1_->bias().data());
   Tensor y = Tensor::Uninitialized(x.shape());
-  kernels::GemmNN(rows, d, hidden, h.data(), fc2_->weight().data(), y.data(),
-                  /*accumulate=*/false);
+  fc2_->EvalGemm(rows, h.data(), y.data());
   kernels::BiasAddMap(rows * d, d, y.data(), fc2_->bias().data());
   return y;
 }
@@ -234,9 +230,12 @@ Tensor TransformerEncoderLayer::SelfForward(const Tensor& x,
 
 Tensor TransformerEncoderLayer::SelfForwardFused(const Tensor& x,
                                                  int64_t task) const {
-  Tensor h =
-      ops::Add(x, attention_->SelfAttentionFused(norm1_->Forward(x), task));
-  return ops::Add(h, mlp_->ForwardFused(norm2_->Forward(h)));
+  // Pre-norms run the shared row kernels directly (LayerNorm::ForwardEval):
+  // bitwise identical to ops::LayerNorm, minus the tape/saved-state tensors
+  // — the last scalar-path norms on the eval side.
+  Tensor h = ops::Add(
+      x, attention_->SelfAttentionFused(norm1_->ForwardEval(x), task));
+  return ops::Add(h, mlp_->ForwardFused(norm2_->ForwardEval(h)));
 }
 
 Tensor TransformerEncoderLayer::CrossForward(const Tensor& source_hidden,
@@ -285,8 +284,7 @@ Tensor SequencePool::ForwardFused(const Tensor& x) const {
   CDCL_CHECK_EQ(x.ndim(), 3);
   const int64_t b = x.dim(0), n = x.dim(1), d = x.dim(2);
   Tensor weights = Tensor::Uninitialized(Shape{b, n});
-  kernels::GemmNN(b * n, 1, d, x.data(), g_->weight().data(), weights.data(),
-                  /*accumulate=*/false);
+  g_->EvalGemm(b * n, x.data(), weights.data());
   kernels::BiasAddMap(b * n, 1, weights.data(), g_->bias().data());
   kernels::SoftmaxRows(b, n, weights.data());  // eq. 4
   Tensor z = Tensor::Uninitialized(Shape{b, d});

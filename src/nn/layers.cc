@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "tensor/kernels/fused_eval.h"
+#include "tensor/kernels/layernorm.h"
+#include "tensor/kernels/matmul_kernel.h"
 #include "tensor/tensor_ops.h"
 #include "util/logging.h"
 
@@ -29,14 +32,55 @@ Tensor Linear::Forward(const Tensor& x) const {
     CDCL_CHECK_EQ(x.dim(-1), in_features_);
     input = ops::Reshape(x, Shape{x.NumElements() / in_features_, in_features_});
   }
-  Tensor out = ops::MatMul(input, weight_);
-  if (bias_.defined()) out = ops::Add(out, bias_);
+  Tensor out;
+  const QuantizedBlock* qb =
+      GradModeEnabled() ? nullptr : quantized_weight();
+  if (qb != nullptr) {
+    // Reduced-precision eval: consume the published quantized snapshot. The
+    // fused eval path (EvalGemm) reads the same block, so op-by-op and fused
+    // forwards agree bitwise within the precision mode. Training forwards
+    // never take this branch — gradients always see fp32 weights.
+    const int64_t rows = input.dim(0);
+    out = Tensor::Uninitialized(Shape{rows, out_features_});
+    GemmNNQuant(rows, input.data(), *qb, out.data(), /*accumulate=*/false);
+    if (bias_.defined()) {
+      kernels::BiasAddMap(rows * out_features_, out_features_, out.data(),
+                          bias_.data());
+    }
+  } else {
+    out = ops::MatMul(input, weight_);
+    if (bias_.defined()) out = ops::Add(out, bias_);
+  }
   if (original.ndim() != 2) {
     std::vector<int64_t> dims = original.dims();
     dims.back() = out_features_;
     out = ops::Reshape(out, Shape(dims));
   }
   return out;
+}
+
+const QuantizedBlock* Linear::quantized_weight() const {
+  const kernels::GemmPrecision p = kernels::GetGemmPrecision();
+  if (p == kernels::GemmPrecision::kFp32) return nullptr;
+  const uint64_t version = WeightVersion();
+  if (qweight_ == nullptr || qweight_version_ != version ||
+      qweight_precision_ != p) {
+    qweight_ = std::make_unique<QuantizedBlock>(QuantizeWeight(weight_, p));
+    qweight_version_ = version;
+    qweight_precision_ = p;
+  }
+  return qweight_.get();
+}
+
+void Linear::EvalGemm(int64_t rows, const float* x, float* out) const {
+  CDCL_CHECK(!GradModeEnabled());
+  const QuantizedBlock* qb = quantized_weight();
+  if (qb != nullptr) {
+    GemmNNQuant(rows, x, *qb, out, /*accumulate=*/false);
+    return;
+  }
+  kernels::GemmNN(rows, out_features_, in_features_, x, weight_.data(), out,
+                  /*accumulate=*/false);
 }
 
 Conv2d::Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel,
@@ -69,6 +113,17 @@ LayerNorm::LayerNorm(int64_t dim, float eps) : eps_(eps) {
 
 Tensor LayerNorm::Forward(const Tensor& x) const {
   return ops::LayerNorm(x, gamma_, beta_, eps_);
+}
+
+Tensor LayerNorm::ForwardEval(const Tensor& x) const {
+  CDCL_CHECK(!GradModeEnabled());
+  CDCL_CHECK(x.defined());
+  const int64_t d = x.dim(-1);
+  Tensor out = Tensor::Uninitialized(x.shape());
+  kernels::LayerNormForwardRows(x.NumElements() / d, d, x.data(),
+                                gamma_.data(), beta_.data(), eps_, out.data(),
+                                /*inv_std=*/nullptr, /*xhat=*/nullptr);
+  return out;
 }
 
 Dropout::Dropout(float p, Rng* rng) : p_(p), rng_(rng) {

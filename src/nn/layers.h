@@ -2,8 +2,10 @@
 #define CDCL_NN_LAYERS_H_
 
 #include <cstdint>
+#include <memory>
 
 #include "nn/module.h"
+#include "tensor/quantized.h"
 #include "tensor/tensor.h"
 
 namespace cdcl {
@@ -19,6 +21,19 @@ class Linear : public Module {
 
   Tensor Forward(const Tensor& x) const;
 
+  /// Raw no-tape GEMM over (rows, in) -> (rows, out) buffers for the fused
+  /// eval path: no bias, no reshape. In a reduced-precision mode this
+  /// consumes the cached QuantizedBlock — the same block Forward consumes in
+  /// eval, so the op path and the fused path stay bitwise identical within
+  /// every precision mode. Must not be called under grad mode.
+  void EvalGemm(int64_t rows, const float* x, float* out) const;
+
+  /// The published-weight quantized block for the current precision mode, or
+  /// nullptr in fp32 mode. Rebuilt lazily when the weight generation
+  /// (tensor/quantized.h WeightVersion) or the mode changes; main-thread use
+  /// only, like the rest of the Module API.
+  const QuantizedBlock* quantized_weight() const;
+
   int64_t in_features() const { return in_features_; }
   int64_t out_features() const { return out_features_; }
   Tensor weight() const { return weight_; }
@@ -29,6 +44,11 @@ class Linear : public Module {
   int64_t out_features_;
   Tensor weight_;  // (in, out)
   Tensor bias_;    // (out) or undefined
+  // Quantized-eval snapshot cache (see quantized_weight()).
+  mutable std::unique_ptr<QuantizedBlock> qweight_;
+  mutable uint64_t qweight_version_ = 0;
+  mutable kernels::GemmPrecision qweight_precision_ =
+      kernels::GemmPrecision::kFp32;
 };
 
 /// 2D convolution layer (NCHW), square kernel.
@@ -61,6 +81,12 @@ class LayerNorm : public Module {
   explicit LayerNorm(int64_t dim, float eps = 1e-5f);
 
   Tensor Forward(const Tensor& x) const;
+
+  /// Eval-only forward straight through the shared row kernels
+  /// (kernels/layernorm.h), skipping the tape plumbing and the inv_std/xhat
+  /// saved-for-backward buffers. Bitwise identical to Forward — same kernel,
+  /// same row decomposition. Must not be called under grad mode.
+  Tensor ForwardEval(const Tensor& x) const;
 
   /// Parameter access for the fused pre-norm sublayer nodes, which fold this
   /// norm's forward+backward into the attention/MLP tape node

@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "tensor/quantized.h"
 #include "util/env.h"
 #include "util/logging.h"
 
@@ -108,6 +109,9 @@ void Module::CopyParametersFrom(const Module& other) {
         << mine[i].name;
     mine[i].tensor.CopyDataFrom(theirs[i].tensor);
   }
+  // The copied weights are a new published parameter set — invalidate every
+  // cached reduced-precision snapshot (Linear::quantized_weight).
+  BumpWeightVersion();
 }
 
 }  // namespace nn

@@ -78,6 +78,25 @@ int64_t ConvGradChunk(int64_t batch, int64_t grad_elems) {
   return (batch + max_chunks - 1) / max_chunks;
 }
 
+/// Minimum madds a forked batch task should carry. Below this floor the
+/// dispatch/wake cost of a task rivals its work, and the parallel conv loops
+/// lose to the serial sweep on small shapes (the old one-sample-per-task
+/// schedule ran 0.91x at 4 threads on the bench conv).
+constexpr int64_t kConvMinTaskWork = int64_t{1} << 22;
+
+/// Samples grouped into one forked task: enough to clear the work floor,
+/// capped at batch/threads so every worker still gets a task when the batch
+/// is large. Grouping is pure scheduling — each sample's arithmetic and any
+/// reduction-slot assignment are unchanged — so the thread-count dependence
+/// here never reaches the numerics.
+int64_t ConvSchedGroup(int64_t batch, int64_t per_sample_madds) {
+  const int64_t by_work = std::max<int64_t>(
+      1, kConvMinTaskWork / std::max<int64_t>(per_sample_madds, 1));
+  const int64_t by_threads =
+      std::max<int64_t>(1, batch / kernels::GetNumThreads());
+  return std::min(by_work, by_threads);
+}
+
 /// Shared Conv2d body; `fuse_relu` applies ReLU as a forward epilogue and a
 /// mask pass on the output gradient before the conv backward — the same
 /// float ops, in the same order, as the separate ops::Relu node it replaces.
@@ -132,9 +151,11 @@ Tensor Conv2dImpl(const Tensor& x, const Tensor& w, const Tensor& bias,
     float* po = out.data();
     float* pcols = cols.data();
     // Samples write disjoint column/output slices, so the batch loop fans out
-    // across the kernel pool; with few samples the blocked GEMM parallelizes
+    // across the kernel pool — grouped so each task clears the work floor on
+    // small shapes; with few samples the blocked GEMM parallelizes
     // internally instead (nested regions collapse to serial).
-    kernels::ForEachBatch(b, [=](int64_t bi) {
+    const int64_t group = ConvSchedGroup(b, o * spatial * ckk);
+    kernels::ForEachBatch(b, group, [=](int64_t bi) {
       float* col = pcols + bi * ckk * spatial;
       Im2Col(px + bi * c * h * ww, c, h, ww, kh, kw, stride, padding, oh, ow,
              col);
@@ -187,6 +208,16 @@ Tensor Conv2dImpl(const Tensor& x, const Tensor& w, const Tensor& bias,
                // every element => bitwise identical at any thread count).
                const int64_t chunk = ConvGradChunk(b, o * ckk);
                const int64_t nchunks = (b + chunk - 1) / chunk;
+               // Scheduling grain, decoupled from the reduction slot width: a
+               // multiple of `chunk` (so each scratch slot is written by
+               // exactly one task) sized to clear the per-task work floor.
+               // The slot a sample reduces into stays bi/chunk — a pure
+               // function of the shape — so the gradients remain bitwise
+               // identical to the one-slot-per-task schedule.
+               const int64_t sched =
+                   chunk *
+                   std::max<int64_t>(
+                       1, ConvSchedGroup(b, 2 * o * ckk * spatial) / chunk);
                // Zeroed per-chunk partials; tensors so they ride the step
                // arena. (The per-chunk gcol below stays a vector: it is
                // allocated on pool worker threads, which have no arena.)
@@ -198,15 +229,15 @@ Tensor Conv2dImpl(const Tensor& x, const Tensor& w, const Tensor& bias,
                float* gx = need_x ? x_impl->grad.data() : nullptr;
                float* pwpart = need_w ? wpart.data() : nullptr;
                float* pbpart = need_b ? bpart.data() : nullptr;
-               kernels::ParallelChunks(b, chunk, [&](int64_t b0, int64_t b1) {
-                 const int64_t ci = b0 / chunk;
-                 // Per-chunk column-grad scratch; the inner GEMMs run serial
+               kernels::ParallelChunks(b, sched, [&](int64_t b0, int64_t b1) {
+                 // Per-task column-grad scratch; the inner GEMMs run serial
                  // inline here (nested parallel regions collapse).
                  std::vector<float> gcol;
                  if (need_x) {
                    gcol.resize(static_cast<size_t>(ckk * spatial));
                  }
                  for (int64_t bi = b0; bi < b1; ++bi) {
+                   const int64_t ci = bi / chunk;  // reduction slot
                    const float* gout = g + bi * o * spatial;
                    const float* col = pcols + bi * ckk * spatial;
                    if (need_b) {

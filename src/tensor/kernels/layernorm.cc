@@ -74,11 +74,20 @@ void LayerNormForwardRows(int64_t rows, int64_t d, const float* x,
       var /= static_cast<float>(d);
     }
     const float istd = 1.0f / std::sqrt(var + eps);
-    inv_std[r] = istd;
-    for (int64_t j = 0; j < d; ++j) {
-      const float h = (xr[j] - mean) * istd;
-      xhat[r * d + j] = h;
-      out[r * d + j] = h * gamma[j] + beta[j];
+    if (inv_std != nullptr) inv_std[r] = istd;
+    // `h` is computed in a register either way, so skipping the xhat stores
+    // (eval callers pass nullptr) leaves `out` bitwise unchanged.
+    if (xhat != nullptr) {
+      for (int64_t j = 0; j < d; ++j) {
+        const float h = (xr[j] - mean) * istd;
+        xhat[r * d + j] = h;
+        out[r * d + j] = h * gamma[j] + beta[j];
+      }
+    } else {
+      for (int64_t j = 0; j < d; ++j) {
+        const float h = (xr[j] - mean) * istd;
+        out[r * d + j] = h * gamma[j] + beta[j];
+      }
     }
   });
 }

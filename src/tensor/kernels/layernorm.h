@@ -33,7 +33,9 @@ namespace kernels {
 ///   out[r][j] = xhat[r][j] * gamma[j] + beta[j],
 ///   xhat[r][j] = (x[r][j] - mean_r) * inv_std[r],
 ///   inv_std[r] = 1 / sqrt(var_r + eps).
-/// `inv_std` (rows) and `xhat` (rows*d) are saved for the backward.
+/// `inv_std` (rows) and `xhat` (rows*d) are saved for the backward; either
+/// may be nullptr to skip its stores (eval-only callers like
+/// LayerNorm::ForwardEval) — `out` is bitwise unchanged by the choice.
 void LayerNormForwardRows(int64_t rows, int64_t d, const float* x,
                           const float* gamma, const float* beta, float eps,
                           float* out, float* inv_std, float* xhat);

@@ -1,0 +1,128 @@
+// AVX2/FMA micro-kernel for the packed bf16 NN GEMM (matmul_quant.h).
+// Compiled with -mavx2 -mfma (see CMakeLists.txt) and entered only after a
+// runtime Avx2Available() check. The widen (u16 << 16 reinterpreted as fp32)
+// is exact and the accumulation is the scalar chain's ascending-k fma per
+// lane, so this body is bitwise identical to ScalarRowsNNBf16 and to the
+// AVX-512 variant in matmul_avx512.cc.
+
+#include "tensor/kernels/matmul_internal.h"
+#include "tensor/kernels/matmul_quant.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+#define CDCL_HAVE_AVX2_TU 1
+#include <immintrin.h>
+#else
+#define CDCL_HAVE_AVX2_TU 0
+#endif
+
+namespace cdcl {
+namespace kernels {
+namespace internal {
+
+#if CDCL_HAVE_AVX2_TU
+
+namespace {
+
+/// Widens 8 bf16 codes to fp32 lanes: zero-extend to u32, shift into the
+/// high half. Exact (bf16 is truncated fp32).
+inline __m256 WidenBf16(const uint16_t* p) {
+  const __m128i raw = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  const __m256i u32 = _mm256_cvtepu16_epi32(raw);
+  return _mm256_castsi256_ps(_mm256_slli_epi32(u32, 16));
+}
+
+/// MR x kQuantPanel register tile over one packed bf16 panel, full k in
+/// registers (no k-blocking; see matmul_quant.h). `c` is always full panel
+/// width — tail panels are staged through a padded stack tile by the caller.
+/// MR <= 6: 12 accumulators + 2 B lanes + 1 broadcast within 16 YMM.
+template <int MR>
+inline void MicroNNBf16(int64_t k, const float* a, int64_t lda,
+                        const uint16_t* pb, float* c, int64_t ldc,
+                        bool load_c) {
+  __m256 lo[MR], hi[MR];
+  for (int r = 0; r < MR; ++r) {
+    lo[r] = load_c ? _mm256_loadu_ps(c + r * ldc) : _mm256_setzero_ps();
+    hi[r] = load_c ? _mm256_loadu_ps(c + r * ldc + 8) : _mm256_setzero_ps();
+  }
+  for (int64_t l = 0; l < k; ++l) {
+    const __m256 b0 = WidenBf16(pb + l * kQuantPanel);
+    const __m256 b1 = WidenBf16(pb + l * kQuantPanel + 8);
+    for (int r = 0; r < MR; ++r) {
+      const __m256 av = _mm256_set1_ps(a[r * lda + l]);
+      lo[r] = _mm256_fmadd_ps(av, b0, lo[r]);
+      hi[r] = _mm256_fmadd_ps(av, b1, hi[r]);
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    _mm256_storeu_ps(c + r * ldc, lo[r]);
+    _mm256_storeu_ps(c + r * ldc + 8, hi[r]);
+  }
+}
+
+template <int MR>
+void RowBlockNNBf16(int64_t n, int64_t k, const float* a, int64_t lda,
+                    const uint16_t* packed_b, float* c, int64_t ldc,
+                    bool accumulate) {
+  const int64_t panels = (n + kQuantPanel - 1) / kQuantPanel;
+  for (int64_t p = 0; p < panels; ++p) {
+    const uint16_t* pb = packed_b + p * k * kQuantPanel;
+    const int64_t j0 = p * kQuantPanel;
+    const int64_t ncols = n - j0 < kQuantPanel ? n - j0 : kQuantPanel;
+    if (ncols == kQuantPanel) {
+      MicroNNBf16<MR>(k, a, lda, pb, c + j0, ldc, accumulate);
+    } else {
+      // Tail panel: stage C through a zero-padded stack tile so the micro-
+      // kernel runs full width (packed B pads dead lanes with zero codes,
+      // which keep the padded accumulators at exactly zero).
+      float tmp[6 * kQuantPanel];
+      for (int r = 0; r < MR; ++r) {
+        for (int64_t t = 0; t < kQuantPanel; ++t) {
+          tmp[r * kQuantPanel + t] =
+              (accumulate && t < ncols) ? c[r * ldc + j0 + t] : 0.0f;
+        }
+      }
+      MicroNNBf16<MR>(k, a, lda, pb, tmp, kQuantPanel, /*load_c=*/true);
+      for (int r = 0; r < MR; ++r) {
+        for (int64_t t = 0; t < ncols; ++t) {
+          c[r * ldc + j0 + t] = tmp[r * kQuantPanel + t];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+bool Avx2GemmNNBf16(int64_t r0, int64_t r1, int64_t n, int64_t k,
+                    const float* a, const uint16_t* packed_b, float* c,
+                    bool accumulate) {
+  constexpr int64_t kMr = 6;
+  int64_t i = r0;
+  for (; i + kMr <= r1; i += kMr) {
+    RowBlockNNBf16<6>(n, k, a + i * k, k, packed_b, c + i * n, n, accumulate);
+  }
+  const float* ar = a + i * k;
+  float* cr = c + i * n;
+  switch (r1 - i) {
+    case 5: RowBlockNNBf16<5>(n, k, ar, k, packed_b, cr, n, accumulate); break;
+    case 4: RowBlockNNBf16<4>(n, k, ar, k, packed_b, cr, n, accumulate); break;
+    case 3: RowBlockNNBf16<3>(n, k, ar, k, packed_b, cr, n, accumulate); break;
+    case 2: RowBlockNNBf16<2>(n, k, ar, k, packed_b, cr, n, accumulate); break;
+    case 1: RowBlockNNBf16<1>(n, k, ar, k, packed_b, cr, n, accumulate); break;
+    default: break;
+  }
+  return true;
+}
+
+#else  // !CDCL_HAVE_AVX2_TU
+
+bool Avx2GemmNNBf16(int64_t, int64_t, int64_t, int64_t, const float*,
+                    const uint16_t*, float*, bool) {
+  return false;
+}
+
+#endif  // CDCL_HAVE_AVX2_TU
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace cdcl

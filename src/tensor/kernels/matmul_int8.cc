@@ -1,0 +1,147 @@
+// AVX2/FMA micro-kernel for the packed int8 NN GEMM (matmul_quant.h).
+// Compiled with -mavx2 -mfma and entered only after a runtime
+// Avx2Available() check. Codes widen exactly to fp32 (|q| <= 127), the
+// accumulation is the scalar chain's ascending-k fma per lane from a zero
+// seed, and the per-output-channel scale is one correctly rounded multiply
+// after the full-k sum (plus one add when accumulating) — bitwise identical
+// to ScalarRowsNNInt8 and to the AVX-512 variant.
+
+#include "tensor/kernels/matmul_internal.h"
+#include "tensor/kernels/matmul_quant.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+#define CDCL_HAVE_AVX2_TU 1
+#include <immintrin.h>
+#else
+#define CDCL_HAVE_AVX2_TU 0
+#endif
+
+namespace cdcl {
+namespace kernels {
+namespace internal {
+
+#if CDCL_HAVE_AVX2_TU
+
+namespace {
+
+/// Widens 8 int8 codes to fp32 lanes (exact for |q| <= 127).
+inline __m256 WidenInt8(const int8_t* p) {
+  const __m128i raw =
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p));
+  return _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(raw));
+}
+
+/// MR x kQuantPanel tile: zero-seeded full-k accumulation of widened codes,
+/// then scale, then the optional C add. MR <= 6 as in the bf16 kernel.
+template <int MR>
+inline void MicroNNInt8(int64_t k, const float* a, int64_t lda,
+                        const int8_t* pb, const float* scales, float* c,
+                        int64_t ldc, bool accumulate) {
+  __m256 lo[MR], hi[MR];
+  for (int r = 0; r < MR; ++r) {
+    lo[r] = _mm256_setzero_ps();
+    hi[r] = _mm256_setzero_ps();
+  }
+  for (int64_t l = 0; l < k; ++l) {
+    const __m256 b0 = WidenInt8(pb + l * kQuantPanel);
+    const __m256 b1 = WidenInt8(pb + l * kQuantPanel + 8);
+    for (int r = 0; r < MR; ++r) {
+      const __m256 av = _mm256_set1_ps(a[r * lda + l]);
+      lo[r] = _mm256_fmadd_ps(av, b0, lo[r]);
+      hi[r] = _mm256_fmadd_ps(av, b1, hi[r]);
+    }
+  }
+  const __m256 s0 = _mm256_loadu_ps(scales);
+  const __m256 s1 = _mm256_loadu_ps(scales + 8);
+  for (int r = 0; r < MR; ++r) {
+    __m256 o0 = _mm256_mul_ps(lo[r], s0);
+    __m256 o1 = _mm256_mul_ps(hi[r], s1);
+    if (accumulate) {
+      o0 = _mm256_add_ps(_mm256_loadu_ps(c + r * ldc), o0);
+      o1 = _mm256_add_ps(_mm256_loadu_ps(c + r * ldc + 8), o1);
+    }
+    _mm256_storeu_ps(c + r * ldc, o0);
+    _mm256_storeu_ps(c + r * ldc + 8, o1);
+  }
+}
+
+template <int MR>
+void RowBlockNNInt8(int64_t n, int64_t k, const float* a, int64_t lda,
+                    const int8_t* packed_b, const float* scales, float* c,
+                    int64_t ldc, bool accumulate) {
+  const int64_t panels = (n + kQuantPanel - 1) / kQuantPanel;
+  for (int64_t p = 0; p < panels; ++p) {
+    const int8_t* pb = packed_b + p * k * kQuantPanel;
+    const int64_t j0 = p * kQuantPanel;
+    const int64_t ncols = n - j0 < kQuantPanel ? n - j0 : kQuantPanel;
+    if (ncols == kQuantPanel) {
+      MicroNNInt8<MR>(k, a, lda, pb, scales + j0, c + j0, ldc, accumulate);
+    } else {
+      // Tail panel: padded codes and scales are zero, so dead lanes compute
+      // exactly 0; stage C through a padded stack tile (zeros there make the
+      // accumulate add a no-op on dead lanes).
+      float tmp[6 * kQuantPanel];
+      for (int r = 0; r < MR; ++r) {
+        for (int64_t t = 0; t < kQuantPanel; ++t) {
+          tmp[r * kQuantPanel + t] =
+              (accumulate && t < ncols) ? c[r * ldc + j0 + t] : 0.0f;
+        }
+      }
+      MicroNNInt8<MR>(k, a, lda, pb, scales + j0, tmp, kQuantPanel,
+                      accumulate);
+      for (int r = 0; r < MR; ++r) {
+        for (int64_t t = 0; t < ncols; ++t) {
+          c[r * ldc + j0 + t] = tmp[r * kQuantPanel + t];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+bool Avx2GemmNNInt8(int64_t r0, int64_t r1, int64_t n, int64_t k,
+                    const float* a, const int8_t* packed_b,
+                    const float* scales, float* c, bool accumulate) {
+  constexpr int64_t kMr = 6;
+  int64_t i = r0;
+  for (; i + kMr <= r1; i += kMr) {
+    RowBlockNNInt8<6>(n, k, a + i * k, k, packed_b, scales, c + i * n, n,
+                      accumulate);
+  }
+  const float* ar = a + i * k;
+  float* cr = c + i * n;
+  switch (r1 - i) {
+    case 5:
+      RowBlockNNInt8<5>(n, k, ar, k, packed_b, scales, cr, n, accumulate);
+      break;
+    case 4:
+      RowBlockNNInt8<4>(n, k, ar, k, packed_b, scales, cr, n, accumulate);
+      break;
+    case 3:
+      RowBlockNNInt8<3>(n, k, ar, k, packed_b, scales, cr, n, accumulate);
+      break;
+    case 2:
+      RowBlockNNInt8<2>(n, k, ar, k, packed_b, scales, cr, n, accumulate);
+      break;
+    case 1:
+      RowBlockNNInt8<1>(n, k, ar, k, packed_b, scales, cr, n, accumulate);
+      break;
+    default:
+      break;
+  }
+  return true;
+}
+
+#else  // !CDCL_HAVE_AVX2_TU
+
+bool Avx2GemmNNInt8(int64_t, int64_t, int64_t, int64_t, const float*,
+                    const int8_t*, const float*, float*, bool) {
+  return false;
+}
+
+#endif  // CDCL_HAVE_AVX2_TU
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace cdcl

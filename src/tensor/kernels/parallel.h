@@ -85,6 +85,19 @@ void ForEachBatch(int64_t bs, F&& f) {
   }
 }
 
+/// ForEachBatch with `group` consecutive entries per forked task, for batched
+/// kernels whose per-entry work is too small to amortize a dispatch on its
+/// own. Same dispatch rule as above; grouping only changes the scheduling
+/// (entries write disjoint slices either way), never the arithmetic.
+template <typename F>
+void ForEachBatch(int64_t bs, int64_t group, F&& f) {
+  if (bs >= GetNumThreads()) {
+    ParallelFor(bs, group, std::forward<F>(f));
+  } else {
+    for (int64_t bi = 0; bi < bs; ++bi) f(bi);
+  }
+}
+
 /// Deterministic sum over f(i) using fixed per-chunk partials.
 template <typename F>
 double ReduceSum(int64_t n, F&& f) {

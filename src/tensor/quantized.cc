@@ -1,0 +1,88 @@
+#include "tensor/quantized.h"
+
+#include <atomic>
+
+#include "util/logging.h"
+
+namespace cdcl {
+namespace {
+
+std::atomic<uint64_t> g_weight_version{0};
+
+int64_t PanelCount(int64_t n) {
+  return (n + kernels::kQuantPanel - 1) / kernels::kQuantPanel;
+}
+
+}  // namespace
+
+size_t QuantizedBlock::ByteSize() const {
+  return bf16.size() * sizeof(uint16_t) + int8.size() * sizeof(int8_t) +
+         scales.size() * sizeof(float);
+}
+
+QuantizedBlock QuantizeWeight(const Tensor& weight,
+                              kernels::GemmPrecision precision) {
+  CDCL_CHECK(weight.defined());
+  CDCL_CHECK_EQ(weight.ndim(), 2);
+  CDCL_CHECK(precision != kernels::GemmPrecision::kFp32);
+  QuantizedBlock block;
+  block.precision = precision;
+  block.rows = weight.dim(0);
+  block.cols = weight.dim(1);
+  const int64_t padded =
+      PanelCount(block.cols) * block.rows * kernels::kQuantPanel;
+  if (precision == kernels::GemmPrecision::kBf16) {
+    block.bf16.resize(static_cast<size_t>(padded));
+    kernels::PackBf16NN(block.rows, block.cols, weight.data(),
+                        block.bf16.data());
+  } else {
+    block.int8.resize(static_cast<size_t>(padded));
+    block.scales.resize(
+        static_cast<size_t>(PanelCount(block.cols) * kernels::kQuantPanel));
+    kernels::PackInt8NN(block.rows, block.cols, weight.data(),
+                        block.int8.data(), block.scales.data());
+  }
+  return block;
+}
+
+Tensor DequantizeWeight(const QuantizedBlock& block) {
+  Tensor out(Shape{block.rows, block.cols});
+  float* p = out.data();
+  const int64_t k = block.rows, n = block.cols;
+  for (int64_t l = 0; l < k; ++l) {
+    for (int64_t j = 0; j < n; ++j) {
+      const int64_t idx = (j / kernels::kQuantPanel) * k * kernels::kQuantPanel +
+                          l * kernels::kQuantPanel + j % kernels::kQuantPanel;
+      if (block.precision == kernels::GemmPrecision::kBf16) {
+        p[l * n + j] =
+            kernels::F32FromBf16(block.bf16[static_cast<size_t>(idx)]);
+      } else {
+        p[l * n + j] =
+            static_cast<float>(block.int8[static_cast<size_t>(idx)]) *
+            block.scales[static_cast<size_t>(j)];
+      }
+    }
+  }
+  return out;
+}
+
+void GemmNNQuant(int64_t m, const float* a, const QuantizedBlock& b, float* c,
+                 bool accumulate) {
+  if (b.precision == kernels::GemmPrecision::kBf16) {
+    kernels::GemmNNBf16Packed(m, b.cols, b.rows, a, b.bf16.data(), c,
+                              accumulate);
+  } else {
+    kernels::GemmNNInt8Packed(m, b.cols, b.rows, a, b.int8.data(),
+                              b.scales.data(), c, accumulate);
+  }
+}
+
+uint64_t WeightVersion() {
+  return g_weight_version.load(std::memory_order_relaxed);
+}
+
+void BumpWeightVersion() {
+  g_weight_version.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace cdcl

@@ -1,0 +1,54 @@
+#ifndef CDCL_TENSOR_QUANTIZED_H_
+#define CDCL_TENSOR_QUANTIZED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/kernels/matmul_quant.h"
+#include "tensor/tensor.h"
+
+namespace cdcl {
+
+/// One published weight matrix in reduced precision: the panel-packed codes
+/// a quantized NN GEMM consumes directly (kernels/matmul_quant.h layout),
+/// built **once per published parameter set** — unlike the fp32 packed path,
+/// which repacks B on every call. Holds bf16 codes or int8 codes plus
+/// per-output-channel scales; activations stay fp32 everywhere.
+struct QuantizedBlock {
+  kernels::GemmPrecision precision = kernels::GemmPrecision::kFp32;
+  int64_t rows = 0;  // k: input features
+  int64_t cols = 0;  // n: output features / channels
+  std::vector<uint16_t> bf16;  // packed panels (kBf16)
+  std::vector<int8_t> int8;    // packed panels (kInt8)
+  std::vector<float> scales;   // per output channel, panel-padded (kInt8)
+
+  /// Resident bytes of the quantized representation (codes + scales).
+  size_t ByteSize() const;
+};
+
+/// Quantizes a 2-D (in, out) weight tensor into the packed representation.
+/// `precision` must be kBf16 or kInt8.
+QuantizedBlock QuantizeWeight(const Tensor& weight,
+                              kernels::GemmPrecision precision);
+
+/// Unpacks a block back to a plain (rows, cols) fp32 tensor — the exact
+/// values the quantized GEMM consumes (bf16 decode / q * scale), used by the
+/// equivalence tests as the reference operand.
+Tensor DequantizeWeight(const QuantizedBlock& block);
+
+/// C(m, cols) (+)= A(m, rows) * B for a quantized B, dispatching on the
+/// block's precision. The contract of the underlying kernels applies:
+/// bitwise across thread counts and ISA tiers within the block's precision.
+void GemmNNQuant(int64_t m, const float* a, const QuantizedBlock& b, float* c,
+                 bool accumulate);
+
+/// Monotonic generation counter for published parameter values. Optimizer
+/// steps and bulk parameter copies bump it; quantized-weight caches compare
+/// generations to decide when a block is stale. Cheap relaxed atomics — the
+/// caches themselves are main-thread-only like the rest of the Module API.
+uint64_t WeightVersion();
+void BumpWeightVersion();
+
+}  // namespace cdcl
+
+#endif  // CDCL_TENSOR_QUANTIZED_H_

@@ -1,0 +1,479 @@
+// Tolerance + determinism harness for the reduced-precision GEMM tier
+// (tensor/kernels/matmul_quant.h). The tier's contract has two halves:
+//
+//  1. Tolerance: each quantized kernel matches a naive serial GEMM over the
+//     *decoded* quantized operand (bf16 decode / q * scale — bit-exact
+//     inputs) to fp32 accumulation tolerance, and stays within a loose,
+//     documented envelope of the full-fp32 product.
+//  2. Determinism: within a precision mode every kernel is BITWISE identical
+//     across thread counts {1, 2, 8} AND across ISA tiers (the scalar pin
+//     via CDCL_GEMM_KERNEL=scalar vs the auto-dispatched widest SIMD tier)
+//     — the same invariance the fp32 tier guarantees, extended to the
+//     quantized chains because scalar fmaf and SIMD vfmadd evaluate the
+//     identical ascending-k expression.
+//
+// Shapes are adversarial: degenerate rows/columns, K=0, primes that miss
+// every register tile and the 16-wide panel, exact multiples, panel tails.
+// Weight pathologies: all-denormal columns (the documented int8
+// denormal-flush to exact zeros) and extreme-magnitude columns.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tensor/kernels/kernel_context.h"
+#include "tensor/kernels/matmul_kernel.h"
+#include "tensor/kernels/matmul_quant.h"
+#include "tensor/quantized.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace cdcl {
+namespace {
+
+using kernels::Bf16FromF32;
+using kernels::F32FromBf16;
+using kernels::GemmPrecision;
+using kernels::kQuantPanel;
+
+/// Restores thread count, kernel override and precision mode on scope exit.
+class QuantScope {
+ public:
+  QuantScope(int64_t threads, kernels::GemmKernel kernel) {
+    kernels::SetNumThreads(threads);
+    kernels::SetGemmKernel(kernel);
+  }
+  ~QuantScope() {
+    kernels::SetNumThreads(0);
+    kernels::SetGemmKernel(kernels::GemmKernel::kAuto);
+    kernels::SetGemmPrecision(GemmPrecision::kFp32);
+  }
+};
+
+std::vector<float> RandVec(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(static_cast<size_t>(n));
+  for (float& x : v) x = static_cast<float>(rng.Gaussian(0.0, 1.0));
+  return v;
+}
+
+struct GemmShape {
+  int64_t m, k, n;
+};
+
+// Single row/column, scalar, K=0, primes (miss the 6/8-row tiles and the
+// 16-wide panel), exact tile/panel multiples, ragged rows + panel tails.
+const GemmShape kShapes[] = {
+    {1, 17, 65}, {65, 17, 1},   {1, 1, 1},    {2, 3, 5},    {5, 0, 7},
+    {37, 53, 41}, {48, 64, 96}, {100, 100, 100}, {67, 70, 77},
+};
+
+int64_t Panels(int64_t n) { return (n + kQuantPanel - 1) / kQuantPanel; }
+
+/// Decodes a PackBf16NN buffer back to a dense (k, n) fp32 matrix.
+std::vector<float> DecodePackedBf16(int64_t k, int64_t n,
+                                    const std::vector<uint16_t>& packed) {
+  std::vector<float> b(static_cast<size_t>(k * n));
+  for (int64_t l = 0; l < k; ++l) {
+    for (int64_t j = 0; j < n; ++j) {
+      const int64_t idx =
+          (j / kQuantPanel * k + l) * kQuantPanel + j % kQuantPanel;
+      b[static_cast<size_t>(l * n + j)] =
+          F32FromBf16(packed[static_cast<size_t>(idx)]);
+    }
+  }
+  return b;
+}
+
+/// Decodes a PackInt8NN buffer (codes * per-column scale) to dense (k, n).
+std::vector<float> DecodePackedInt8(int64_t k, int64_t n,
+                                    const std::vector<int8_t>& packed,
+                                    const std::vector<float>& scales) {
+  std::vector<float> b(static_cast<size_t>(k * n));
+  for (int64_t l = 0; l < k; ++l) {
+    for (int64_t j = 0; j < n; ++j) {
+      const int64_t idx =
+          (j / kQuantPanel * k + l) * kQuantPanel + j % kQuantPanel;
+      b[static_cast<size_t>(l * n + j)] =
+          static_cast<float>(packed[static_cast<size_t>(idx)]) *
+          scales[static_cast<size_t>(j)];
+    }
+  }
+  return b;
+}
+
+/// Naive serial NN reference, k ascending per output element.
+std::vector<float> RefGemmNN(const GemmShape& s, const std::vector<float>& a,
+                             const std::vector<float>& b,
+                             const std::vector<float>& c0, bool accumulate) {
+  std::vector<float> c = c0;
+  for (int64_t i = 0; i < s.m; ++i) {
+    for (int64_t j = 0; j < s.n; ++j) {
+      float acc = accumulate ? c[static_cast<size_t>(i * s.n + j)] : 0.0f;
+      for (int64_t l = 0; l < s.k; ++l) {
+        acc += a[static_cast<size_t>(i * s.k + l)] *
+               b[static_cast<size_t>(l * s.n + j)];
+      }
+      c[static_cast<size_t>(i * s.n + j)] = acc;
+    }
+  }
+  return c;
+}
+
+struct PackedOperand {
+  std::vector<uint16_t> bf16;
+  std::vector<int8_t> int8;
+  std::vector<float> scales;
+  std::vector<float> decoded;  // dense (k, n) values the kernel consumes
+};
+
+PackedOperand Pack(GemmPrecision p, const GemmShape& s,
+                   const std::vector<float>& b) {
+  PackedOperand out;
+  const int64_t panel_elems = Panels(s.n) * std::max<int64_t>(s.k, 0) * kQuantPanel;
+  if (p == GemmPrecision::kBf16) {
+    out.bf16.assign(static_cast<size_t>(std::max<int64_t>(panel_elems, 1)), 0);
+    kernels::PackBf16NN(s.k, s.n, b.data(), out.bf16.data());
+    out.decoded = DecodePackedBf16(s.k, s.n, out.bf16);
+  } else {
+    out.int8.assign(static_cast<size_t>(std::max<int64_t>(panel_elems, 1)), 0);
+    out.scales.assign(static_cast<size_t>(Panels(s.n) * kQuantPanel), 0.0f);
+    kernels::PackInt8NN(s.k, s.n, b.data(), out.int8.data(),
+                        out.scales.data());
+    out.decoded = DecodePackedInt8(s.k, s.n, out.int8, out.scales);
+  }
+  return out;
+}
+
+std::vector<float> RunQuantNN(GemmPrecision p, const GemmShape& s,
+                              kernels::GemmKernel kern, int64_t threads,
+                              const std::vector<float>& a,
+                              const PackedOperand& packed,
+                              const std::vector<float>& c0, bool accumulate) {
+  QuantScope scope(threads, kern);
+  std::vector<float> c = c0;
+  if (p == GemmPrecision::kBf16) {
+    kernels::GemmNNBf16Packed(s.m, s.n, s.k, a.data(), packed.bf16.data(),
+                              c.data(), accumulate);
+  } else {
+    kernels::GemmNNInt8Packed(s.m, s.n, s.k, a.data(), packed.int8.data(),
+                              packed.scales.data(), c.data(), accumulate);
+  }
+  return c;
+}
+
+class QuantGemmTest : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(QuantGemmTest, PackedNNMatchesDecodedReferenceBitwiseAcrossTiers) {
+  const GemmPrecision p = static_cast<GemmPrecision>(std::get<0>(GetParam()));
+  const bool accumulate = std::get<1>(GetParam());
+  uint64_t seed = 11;
+  for (const GemmShape& s : kShapes) {
+    SCOPED_TRACE("m=" + std::to_string(s.m) + " k=" + std::to_string(s.k) +
+                 " n=" + std::to_string(s.n) +
+                 (accumulate ? " accumulate" : ""));
+    const std::vector<float> a = RandVec(s.m * s.k, seed++);
+    const std::vector<float> b = RandVec(s.k * s.n, seed++);
+    std::vector<float> c0 = RandVec(s.m * s.n, seed++);
+    if (!accumulate) {
+      // Poison: the kernel must overwrite every element (including K=0).
+      for (float& x : c0) x = -1000.0f;
+    }
+    const PackedOperand packed = Pack(p, s, b);
+    const std::vector<float> want = RefGemmNN(s, a, packed.decoded, c0,
+                                              accumulate);
+    const float tol = 2e-4f * static_cast<float>(std::max<int64_t>(s.k, 1));
+    // Auto dispatch (widest available SIMD tier) vs the decoded reference.
+    const std::vector<float> auto1 = RunQuantNN(
+        p, s, kernels::GemmKernel::kAuto, 1, a, packed, c0, accumulate);
+    for (size_t i = 0; i < want.size(); ++i) {
+      ASSERT_NEAR(auto1[i], want[i], tol) << "i=" << i;
+    }
+    // ISA invariance: the scalar pin must agree BITWISE with the SIMD tier.
+    const std::vector<float> scalar1 = RunQuantNN(
+        p, s, kernels::GemmKernel::kScalar, 1, a, packed, c0, accumulate);
+    for (size_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(auto1[i], scalar1[i]) << "i=" << i << " (scalar vs SIMD)";
+    }
+    // Thread invariance, on both tiers.
+    for (int64_t threads : {2, 8}) {
+      for (kernels::GemmKernel kern :
+           {kernels::GemmKernel::kAuto, kernels::GemmKernel::kScalar}) {
+        const std::vector<float> gotn =
+            RunQuantNN(p, s, kern, threads, a, packed, c0, accumulate);
+        for (size_t i = 0; i < want.size(); ++i) {
+          ASSERT_EQ(auto1[i], gotn[i])
+              << "threads=" << threads << " kernel=" << static_cast<int>(kern)
+              << " i=" << i << " (bitwise invariance)";
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothPrecisions, QuantGemmTest,
+    ::testing::Combine(::testing::Values(1, 2), ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<int, bool>>& info) {
+      return std::string(std::get<0>(info.param) == 1 ? "Bf16" : "Int8") +
+             (std::get<1>(info.param) ? "Accumulate" : "Overwrite");
+    });
+
+// The unpacked NT / TN forms run the same scalar chain; check tolerance vs
+// their decoded operands and thread invariance.
+TEST(QuantGemmTransposedTest, NtTnMatchDecodedReference) {
+  const GemmShape shapes[] = {{5, 7, 9}, {37, 53, 41}, {48, 64, 96}, {3, 0, 4}};
+  uint64_t seed = 101;
+  for (const GemmShape& s : shapes) {
+    SCOPED_TRACE("m=" + std::to_string(s.m) + " k=" + std::to_string(s.k) +
+                 " n=" + std::to_string(s.n));
+    const std::vector<float> a_nt = RandVec(s.m * s.k, seed++);
+    const std::vector<float> a_tn = RandVec(s.k * s.m, seed++);
+    const std::vector<float> b_nt = RandVec(s.n * s.k, seed++);  // (n, k)
+    const std::vector<float> b_tn = RandVec(s.k * s.n, seed++);  // (k, n)
+    const std::vector<float> c0(static_cast<size_t>(s.m * s.n), -7.0f);
+    const float tol = 2e-4f * static_cast<float>(std::max<int64_t>(s.k, 1));
+
+    // bf16 NT: decode row-major codes, reference with B^T.
+    std::vector<uint16_t> b16_nt(b_nt.size());
+    for (size_t i = 0; i < b_nt.size(); ++i) b16_nt[i] = Bf16FromF32(b_nt[i]);
+    {
+      std::vector<float> c = c0;
+      kernels::GemmNTBf16(s.m, s.n, s.k, a_nt.data(), b16_nt.data(), c.data(),
+                          /*accumulate=*/false);
+      for (int64_t i = 0; i < s.m; ++i) {
+        for (int64_t j = 0; j < s.n; ++j) {
+          float acc = 0.0f;
+          for (int64_t l = 0; l < s.k; ++l) {
+            acc += a_nt[static_cast<size_t>(i * s.k + l)] *
+                   F32FromBf16(b16_nt[static_cast<size_t>(j * s.k + l)]);
+          }
+          ASSERT_NEAR(c[static_cast<size_t>(i * s.n + j)], acc, tol)
+              << "bf16 NT " << i << "," << j;
+        }
+      }
+    }
+    // bf16 TN: A is (k, m), B16 is (k, n).
+    std::vector<uint16_t> b16_tn(b_tn.size());
+    for (size_t i = 0; i < b_tn.size(); ++i) b16_tn[i] = Bf16FromF32(b_tn[i]);
+    {
+      std::vector<float> c = c0;
+      kernels::GemmTNBf16(s.m, s.n, s.k, a_tn.data(), b16_tn.data(), c.data(),
+                          /*accumulate=*/false);
+      for (int64_t i = 0; i < s.m; ++i) {
+        for (int64_t j = 0; j < s.n; ++j) {
+          float acc = 0.0f;
+          for (int64_t l = 0; l < s.k; ++l) {
+            acc += a_tn[static_cast<size_t>(l * s.m + i)] *
+                   F32FromBf16(b16_tn[static_cast<size_t>(l * s.n + j)]);
+          }
+          ASSERT_NEAR(c[static_cast<size_t>(i * s.n + j)], acc, tol)
+              << "bf16 TN " << i << "," << j;
+        }
+      }
+    }
+    // int8 NT: per-row scales over B(n, k).
+    if (s.k > 0) {
+      std::vector<int8_t> q(b_nt.size());
+      std::vector<float> scales(static_cast<size_t>(s.n));
+      kernels::QuantizeInt8Rows(s.n, s.k, b_nt.data(), q.data(),
+                                scales.data());
+      std::vector<float> c = c0;
+      kernels::GemmNTInt8(s.m, s.n, s.k, a_nt.data(), q.data(), scales.data(),
+                          c.data(), /*accumulate=*/false);
+      for (int64_t i = 0; i < s.m; ++i) {
+        for (int64_t j = 0; j < s.n; ++j) {
+          float acc = 0.0f;
+          for (int64_t l = 0; l < s.k; ++l) {
+            acc += a_nt[static_cast<size_t>(i * s.k + l)] *
+                   static_cast<float>(q[static_cast<size_t>(j * s.k + l)]);
+          }
+          acc *= scales[static_cast<size_t>(j)];
+          ASSERT_NEAR(c[static_cast<size_t>(i * s.n + j)], acc,
+                      tol * std::max(1.0f, std::fabs(acc)))
+              << "int8 NT " << i << "," << j;
+        }
+      }
+    }
+    // int8 TN: per-column scales over B(k, n).
+    if (s.k > 0) {
+      std::vector<int8_t> q(b_tn.size());
+      std::vector<float> scales(static_cast<size_t>(s.n));
+      kernels::QuantizeInt8Cols(s.k, s.n, b_tn.data(), q.data(),
+                                scales.data());
+      std::vector<float> c = c0;
+      kernels::GemmTNInt8(s.m, s.n, s.k, a_tn.data(), q.data(), scales.data(),
+                          c.data(), /*accumulate=*/false);
+      for (int64_t i = 0; i < s.m; ++i) {
+        for (int64_t j = 0; j < s.n; ++j) {
+          float acc = 0.0f;
+          for (int64_t l = 0; l < s.k; ++l) {
+            acc += a_tn[static_cast<size_t>(l * s.m + i)] *
+                   static_cast<float>(q[static_cast<size_t>(l * s.n + j)]);
+          }
+          acc *= scales[static_cast<size_t>(j)];
+          ASSERT_NEAR(c[static_cast<size_t>(i * s.n + j)], acc,
+                      tol * std::max(1.0f, std::fabs(acc)))
+              << "int8 TN " << i << "," << j;
+        }
+      }
+    }
+    // Thread invariance of the transposed forms (scalar chain, row split).
+    {
+      QuantScope one(1, kernels::GemmKernel::kAuto);
+      std::vector<float> c1 = c0;
+      kernels::GemmNTBf16(s.m, s.n, s.k, a_nt.data(), b16_nt.data(), c1.data(),
+                          false);
+      for (int64_t threads : {2, 8}) {
+        kernels::SetNumThreads(threads);
+        std::vector<float> cn = c0;
+        kernels::GemmNTBf16(s.m, s.n, s.k, a_nt.data(), b16_nt.data(),
+                            cn.data(), false);
+        for (size_t i = 0; i < c1.size(); ++i) {
+          ASSERT_EQ(c1[i], cn[i]) << "NT bf16 threads=" << threads;
+        }
+      }
+    }
+  }
+}
+
+// Loose envelope against the FULL fp32 product: the quantization error a
+// consumer actually sees. N(0,1) operands; the bounds are deliberately slack
+// (documented in docs/kernels.md) — bf16 carries ~8 mantissa bits, int8
+// ~1/254 of the per-column absmax per element.
+TEST(QuantGemmTest, LooseEnvelopeVsFp32) {
+  const GemmShape s{48, 64, 96};
+  const std::vector<float> a = RandVec(s.m * s.k, 301);
+  const std::vector<float> b = RandVec(s.k * s.n, 302);
+  const std::vector<float> c0(static_cast<size_t>(s.m * s.n), 0.0f);
+  const std::vector<float> fp32 = RefGemmNN(s, a, b, c0, false);
+  const float kf = static_cast<float>(s.k);
+  {
+    const PackedOperand packed = Pack(GemmPrecision::kBf16, s, b);
+    const std::vector<float> got = RunQuantNN(
+        GemmPrecision::kBf16, s, kernels::GemmKernel::kAuto, 1, a, packed, c0,
+        false);
+    for (size_t i = 0; i < got.size(); ++i) {
+      ASSERT_NEAR(got[i], fp32[i], 0.01f * kf) << "bf16 i=" << i;
+    }
+  }
+  {
+    const PackedOperand packed = Pack(GemmPrecision::kInt8, s, b);
+    const std::vector<float> got = RunQuantNN(
+        GemmPrecision::kInt8, s, kernels::GemmKernel::kAuto, 1, a, packed, c0,
+        false);
+    for (size_t i = 0; i < got.size(); ++i) {
+      ASSERT_NEAR(got[i], fp32[i], 0.06f * kf) << "int8 i=" << i;
+    }
+  }
+}
+
+// Weight pathologies: an all-denormal column must flush to exact zeros in
+// int8 (scale underflows — the documented behavior) and stay finite in bf16;
+// an extreme-magnitude column must stay finite in both.
+TEST(QuantGemmTest, DenormalAndExtremeScaleColumns) {
+  const GemmShape s{9, 21, 34};  // panel tail on n
+  const std::vector<float> a = RandVec(s.m * s.k, 401);
+  std::vector<float> b = RandVec(s.k * s.n, 402);
+  for (int64_t l = 0; l < s.k; ++l) {
+    b[static_cast<size_t>(l * s.n + 3)] = 1e-40f;   // denormal column
+    b[static_cast<size_t>(l * s.n + 17)] *= 1e30f;  // extreme column
+  }
+  const std::vector<float> c0(static_cast<size_t>(s.m * s.n), 0.0f);
+  {
+    const PackedOperand packed = Pack(GemmPrecision::kInt8, s, b);
+    EXPECT_EQ(packed.scales[3], 0.0f) << "denormal column scale must flush";
+    const std::vector<float> got = RunQuantNN(
+        GemmPrecision::kInt8, s, kernels::GemmKernel::kAuto, 1, a, packed, c0,
+        false);
+    const std::vector<float> want = RefGemmNN(s, a, packed.decoded, c0, false);
+    for (int64_t i = 0; i < s.m; ++i) {
+      ASSERT_EQ(got[static_cast<size_t>(i * s.n + 3)], 0.0f)
+          << "denormal column output row " << i;
+      for (int64_t j = 0; j < s.n; ++j) {
+        const float g = got[static_cast<size_t>(i * s.n + j)];
+        ASSERT_TRUE(std::isfinite(g)) << i << "," << j;
+        ASSERT_NEAR(g, want[static_cast<size_t>(i * s.n + j)],
+                    2e-4f * static_cast<float>(s.k) *
+                        std::max(1.0f, std::fabs(g)))
+            << i << "," << j;
+      }
+    }
+  }
+  {
+    const PackedOperand packed = Pack(GemmPrecision::kBf16, s, b);
+    const std::vector<float> got = RunQuantNN(
+        GemmPrecision::kBf16, s, kernels::GemmKernel::kAuto, 1, a, packed, c0,
+        false);
+    for (const float g : got) ASSERT_TRUE(std::isfinite(g));
+  }
+}
+
+TEST(QuantGemmTest, PrecisionKnobRoundTrips) {
+  QuantScope scope(1, kernels::GemmKernel::kAuto);
+  kernels::SetGemmPrecision(GemmPrecision::kBf16);
+  EXPECT_EQ(kernels::GetGemmPrecision(), GemmPrecision::kBf16);
+  kernels::SetGemmPrecision(GemmPrecision::kInt8);
+  EXPECT_EQ(kernels::GetGemmPrecision(), GemmPrecision::kInt8);
+  kernels::SetGemmPrecision(GemmPrecision::kFp32);
+  EXPECT_EQ(kernels::GetGemmPrecision(), GemmPrecision::kFp32);
+}
+
+// QuantizedBlock: DequantizeWeight must reproduce the exact values the
+// kernel consumes, GemmNNQuant must match the naive product over them, and
+// the dequantization error must sit inside the per-format envelope.
+TEST(QuantizedBlockTest, RoundTripAndGemm) {
+  const int64_t k = 37, n = 41;  // primes: row tails + panel tail
+  const std::vector<float> w = RandVec(k * n, 501);
+  Tensor weight = Tensor::FromVector(Shape{k, n}, w);
+  for (GemmPrecision p : {GemmPrecision::kBf16, GemmPrecision::kInt8}) {
+    QuantizedBlock block = QuantizeWeight(weight, p);
+    EXPECT_EQ(block.rows, k);
+    EXPECT_EQ(block.cols, n);
+    EXPECT_GT(block.ByteSize(), 0u);
+    // Quantized storage must actually be smaller than fp32.
+    EXPECT_LT(block.ByteSize(), static_cast<size_t>(k * n) * sizeof(float));
+    Tensor deq = DequantizeWeight(block);
+    ASSERT_EQ(deq.NumElements(), k * n);
+    // Per-column error envelope.
+    for (int64_t j = 0; j < n; ++j) {
+      float amax = 0.0f;
+      for (int64_t l = 0; l < k; ++l) {
+        amax = std::max(amax, std::fabs(w[static_cast<size_t>(l * n + j)]));
+      }
+      const float envelope = p == GemmPrecision::kBf16
+                                 ? amax * (1.0f / 256.0f)
+                                 : amax / 254.0f + 1e-6f;
+      for (int64_t l = 0; l < k; ++l) {
+        ASSERT_NEAR(deq.data()[l * n + j], w[static_cast<size_t>(l * n + j)],
+                    envelope)
+            << "p=" << static_cast<int>(p) << " l=" << l << " j=" << j;
+      }
+    }
+    // GemmNNQuant vs naive over the dequantized operand.
+    const int64_t m = 13;
+    const std::vector<float> a = RandVec(m * k, 502);
+    std::vector<float> c(static_cast<size_t>(m * n), -3.0f);
+    GemmNNQuant(m, a.data(), block, c.data(), /*accumulate=*/false);
+    const std::vector<float> bdec(deq.data(), deq.data() + k * n);
+    const std::vector<float> want =
+        RefGemmNN(GemmShape{m, k, n}, a, bdec,
+                  std::vector<float>(static_cast<size_t>(m * n), 0.0f), false);
+    const float tol = 2e-4f * static_cast<float>(k);
+    for (size_t i = 0; i < want.size(); ++i) {
+      ASSERT_NEAR(c[i], want[i], tol) << "p=" << static_cast<int>(p);
+    }
+  }
+}
+
+TEST(QuantizedBlockTest, WeightVersionBumps) {
+  const uint64_t v0 = WeightVersion();
+  BumpWeightVersion();
+  EXPECT_GT(WeightVersion(), v0);
+}
+
+}  // namespace
+}  // namespace cdcl

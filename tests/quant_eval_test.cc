@@ -1,0 +1,256 @@
+// Accuracy-delta gate + storage round-trips for the reduced-precision tier.
+//
+// The gate is the end-to-end guard the opt-in modes ship behind: a small
+// continual experiment trains in fp32 (training always sees fp32 weights),
+// then the paper-table eval metrics (EvaluateTil / EvaluateCil — the same
+// entry points the benchmark tables call) are re-run under each precision
+// mode and must stay within a documented epsilon of the fp32 numbers:
+//
+//   bf16: |delta accuracy| <= 0.10   (~8 mantissa bits on the weights)
+//   int8: |delta accuracy| <= 0.15   (per-channel absmax codes)
+//
+// The epsilons are deliberately coarse — the tiny test model (16-dim, 50
+// test samples per task => 0.02 accuracy granularity) amplifies quantization
+// noise far beyond the paper-scale models — but they still catch the failure
+// class that matters: a broken kernel or a mis-scaled channel collapses
+// accuracy to chance, tens of epsilons away.
+//
+// Also covered here: the op-by-op eval path and the fused batched path must
+// stay BITWISE identical within each quantized mode (they consume the same
+// QuantizedBlock), and CompactFloats (cl/memory.h) must round-trip each
+// encoding within its format envelope while shrinking the snapshot bytes.
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cl/experiment.h"
+#include "cl/memory.h"
+#include "core/cdcl_trainer.h"
+#include "data/task_stream.h"
+#include "gtest/gtest.h"
+#include "models/compact_transformer.h"
+#include "nn/module.h"
+#include "tensor/kernels/kernel_context.h"
+#include "tensor/kernels/matmul_kernel.h"
+#include "tensor/kernels/matmul_quant.h"
+#include "tensor/quantized.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace cdcl {
+namespace {
+
+using kernels::GemmPrecision;
+
+/// Documented accuracy-delta gates for the opt-in modes (see file comment).
+constexpr double kBf16Epsilon = 0.10;
+constexpr double kInt8Epsilon = 0.15;
+
+/// Restores the precision mode (and dispatch settings) on scope exit so no
+/// test leaks a quantized mode into the rest of the suite.
+class PrecisionScope {
+ public:
+  explicit PrecisionScope(GemmPrecision p) { kernels::SetGemmPrecision(p); }
+  ~PrecisionScope() {
+    kernels::SetGemmPrecision(GemmPrecision::kFp32);
+    kernels::SetNumThreads(0);
+    kernels::SetGemmKernel(kernels::GemmKernel::kAuto);
+    nn::SetFusedEval(true);
+  }
+};
+
+const char* PrecisionName(GemmPrecision p) {
+  switch (p) {
+    case GemmPrecision::kFp32: return "fp32";
+    case GemmPrecision::kBf16: return "bf16";
+    case GemmPrecision::kInt8: return "int8";
+  }
+  return "?";
+}
+
+data::CrossDomainTaskStream GateStream() {
+  data::TaskStreamOptions opt;
+  opt.family = "digits";
+  opt.source_domain = "MN";
+  opt.target_domain = "US";
+  opt.num_tasks = 2;
+  opt.classes_per_task = 2;
+  opt.train_per_class = 12;
+  // 25 test samples per class => 50 per task: 0.02 accuracy granularity, so
+  // the epsilons above correspond to 5 (bf16) / 7 (int8) flipped samples.
+  opt.test_per_class = 25;
+  opt.seed = 5;
+  return *data::CrossDomainTaskStream::Make(opt);
+}
+
+TEST(QuantAccuracyGateTest, EvalMetricsStayWithinEpsilonOfFp32) {
+  auto stream = GateStream();
+  core::CdclOptions opt;
+  opt.base.model.image_hw = 16;
+  opt.base.model.channels = 1;
+  opt.base.model.embed_dim = 16;
+  opt.base.model.num_layers = 1;
+  opt.base.epochs = 6;
+  opt.base.warmup_epochs = 2;
+  opt.base.batch_size = 8;
+  opt.base.memory_size = 40;
+  opt.base.seed = 3;
+  core::CdclTrainer trainer(opt);
+  Result<cl::ContinualResult> result =
+      cl::RunContinualExperiment(&trainer, stream);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // fp32 reference metrics on the trained model.
+  std::vector<double> til_fp32, cil_fp32;
+  for (int64_t t = 0; t < stream.num_tasks(); ++t) {
+    til_fp32.push_back(trainer.EvaluateTil(stream.task(t).target_test, t));
+    cil_fp32.push_back(trainer.EvaluateCil(stream.task(t).target_test));
+  }
+
+  struct Gate {
+    GemmPrecision p;
+    double epsilon;
+  };
+  const Gate gates[] = {{GemmPrecision::kBf16, kBf16Epsilon},
+                        {GemmPrecision::kInt8, kInt8Epsilon}};
+  for (const Gate& gate : gates) {
+    PrecisionScope scope(gate.p);
+    for (int64_t t = 0; t < stream.num_tasks(); ++t) {
+      const double til = trainer.EvaluateTil(stream.task(t).target_test, t);
+      const double cil = trainer.EvaluateCil(stream.task(t).target_test);
+      EXPECT_NEAR(til, til_fp32[static_cast<size_t>(t)], gate.epsilon)
+          << PrecisionName(gate.p) << " TIL task " << t;
+      EXPECT_NEAR(cil, cil_fp32[static_cast<size_t>(t)], gate.epsilon)
+          << PrecisionName(gate.p) << " CIL task " << t;
+    }
+  }
+}
+
+// Within each quantized mode the op-by-op eval forward and the fused batched
+// forward consume the SAME QuantizedBlock, so they must agree bit for bit —
+// the quantized extension of batched_eval_test's coherence contract — and
+// stay thread-invariant.
+TEST(QuantEvalCoherenceTest, OpPathMatchesFusedPathBitwise) {
+  Rng rng(7);
+  models::ModelConfig config;
+  config.image_hw = 8;
+  config.channels = 3;
+  config.embed_dim = 24;
+  config.num_layers = 2;
+  models::CompactTransformer model(config, &rng);
+  model.AddTask(2);
+  model.AddTask(2);
+  model.SetTraining(false);
+  Tensor images = Tensor::Randn(Shape{6, 3, 8, 8}, &rng);
+  const int64_t task = 1;
+  for (GemmPrecision p : {GemmPrecision::kBf16, GemmPrecision::kInt8}) {
+    PrecisionScope scope(p);
+    NoGradGuard no_grad;
+    nn::SetFusedEval(false);
+    Tensor reference = model.EncodeSelf(images, task);
+    nn::SetFusedEval(true);
+    Tensor fused = model.EncodeSelfBatched(images, task);
+    ASSERT_TRUE(reference.shape() == fused.shape());
+    for (int64_t i = 0; i < reference.NumElements(); ++i) {
+      ASSERT_EQ(std::memcmp(&reference.data()[i], &fused.data()[i],
+                            sizeof(float)),
+                0)
+          << PrecisionName(p) << " diverges at " << i << ": "
+          << reference.data()[i] << " vs " << fused.data()[i];
+    }
+    for (int64_t threads : {2, 8}) {
+      kernels::SetNumThreads(threads);
+      Tensor z = model.EncodeSelfBatched(images, task);
+      for (int64_t i = 0; i < fused.NumElements(); ++i) {
+        ASSERT_EQ(fused.data()[i], z.data()[i])
+            << PrecisionName(p) << " threads=" << threads << " i=" << i;
+      }
+    }
+    kernels::SetNumThreads(0);
+  }
+}
+
+// Switching precision (or publishing new weights) must invalidate the cached
+// block: the same Linear must produce different quantized_weight() blocks
+// per mode and nullptr again in fp32.
+TEST(QuantEvalCoherenceTest, QuantizedCacheFollowsModeAndWeightVersion) {
+  Rng rng(21);
+  nn::Linear linear(24, 16, &rng);
+  {
+    PrecisionScope scope(GemmPrecision::kBf16);
+    const QuantizedBlock* bf = linear.quantized_weight();
+    ASSERT_NE(bf, nullptr);
+    EXPECT_EQ(bf->precision, GemmPrecision::kBf16);
+    kernels::SetGemmPrecision(GemmPrecision::kInt8);
+    const QuantizedBlock* i8 = linear.quantized_weight();
+    ASSERT_NE(i8, nullptr);
+    EXPECT_EQ(i8->precision, GemmPrecision::kInt8);
+    // A weight publish bumps the version; the cache must rebuild (observable
+    // via a changed underlying block after the weight data changes).
+    Tensor w = linear.weight();
+    w.data()[0] += 1.0f;
+    BumpWeightVersion();
+    const QuantizedBlock* rebuilt = linear.quantized_weight();
+    ASSERT_NE(rebuilt, nullptr);
+    Tensor deq = DequantizeWeight(*rebuilt);
+    EXPECT_NEAR(deq.data()[0], w.data()[0],
+                std::fabs(w.data()[0]) / 64.0f + 1e-3f);
+  }
+  EXPECT_EQ(linear.quantized_weight(), nullptr) << "fp32 mode must bypass";
+}
+
+TEST(CompactFloatsTest, Fp32ModeRoundTripsExactly) {
+  PrecisionScope scope(GemmPrecision::kFp32);
+  const std::vector<float> x = {0.0f, -1.5f, 3.25e-12f, 7.75e20f, -0.125f};
+  cl::CompactFloats c = cl::CompactFloats::Encode(x);
+  ASSERT_EQ(c.size(), x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    ASSERT_EQ(c[i], x[i]) << i;  // bitwise: fp32 mode stores raw floats
+  }
+  EXPECT_EQ(c.Decode(), x);
+  EXPECT_EQ(c.ByteSize(), x.size() * sizeof(float));
+}
+
+TEST(CompactFloatsTest, QuantizedModesRoundTripWithinEnvelopeAndShrink) {
+  Rng rng(33);
+  std::vector<float> x(256);
+  for (float& v : x) v = static_cast<float>(rng.Gaussian(0.0, 2.0));
+  float amax = 0.0f;
+  for (float v : x) amax = std::max(amax, std::fabs(v));
+  {
+    PrecisionScope scope(GemmPrecision::kBf16);
+    cl::CompactFloats c = cl::CompactFloats::Encode(x);
+    ASSERT_EQ(c.size(), x.size());
+    for (size_t i = 0; i < x.size(); ++i) {
+      ASSERT_NEAR(c[i], x[i], std::fabs(x[i]) / 128.0f + 1e-30f) << i;
+    }
+    EXPECT_EQ(c.ByteSize(), x.size() * sizeof(uint16_t));
+  }
+  {
+    PrecisionScope scope(GemmPrecision::kInt8);
+    cl::CompactFloats c = cl::CompactFloats::Encode(x);
+    ASSERT_EQ(c.size(), x.size());
+    for (size_t i = 0; i < x.size(); ++i) {
+      ASSERT_NEAR(c[i], x[i], amax / 254.0f + 1e-30f) << i;
+    }
+    EXPECT_EQ(c.ByteSize(), x.size() * sizeof(int8_t) + sizeof(float));
+  }
+}
+
+TEST(CompactFloatsTest, Int8DenormalVectorFlushesToZero) {
+  PrecisionScope scope(GemmPrecision::kInt8);
+  const std::vector<float> x(16, 1e-40f);  // all-denormal
+  cl::CompactFloats c = cl::CompactFloats::Encode(x);
+  for (size_t i = 0; i < x.size(); ++i) {
+    ASSERT_EQ(c[i], 0.0f) << i;
+  }
+  cl::CompactFloats empty = cl::CompactFloats::Encode({});
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.ByteSize(), sizeof(float));  // just the scale slot
+}
+
+}  // namespace
+}  // namespace cdcl
