@@ -1,0 +1,287 @@
+// Serving-path load generator: drives an in-process InferenceServer (bound
+// to an ephemeral port) with pipelined client connections and records
+// throughput plus p50/p99 request latency per dispatch policy:
+//
+//   per_request    max_batch=1, deadline=0 — every request is its own eval
+//   microbatch     max_batch=32, deadline=200us — adaptive coalescing
+//   microbatch_4w  same, 4 batcher workers
+//
+// The headline ratio (microbatch QPS / per_request QPS) is the acceptance
+// number for the micro-batching tentpole: coalescing must beat per-request
+// dispatch at the paper shape. Emits BENCH_serve.json.
+//
+// Env knobs:
+//   CDCL_BENCH_SERVE_REQS     requests per client connection (default 400)
+//   CDCL_BENCH_SERVE_CLIENTS  concurrent client connections (default 4)
+//   CDCL_BENCH_SERVE_WINDOW   pipelined requests in flight per client (16)
+//
+// Defaults keep clients*window (64 in flight) above max_batch (32) so the
+// saturation run measures steady-state coalescing: the queue never drains,
+// full batches form back-to-back, and the latency deadline only shapes the
+// tail at light load (it never idles a saturated server).
+//   CDCL_BENCH_OUT            JSON report path (default BENCH_serve.json)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "models/compact_transformer.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "util/env.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace cdcl;  // NOLINT: bench brevity
+using Clock = std::chrono::steady_clock;
+
+std::vector<float> RandomImage(const models::ModelConfig& config,
+                               uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> pixels(static_cast<size_t>(
+      config.channels * config.image_hw * config.image_hw));
+  for (float& p : pixels) p = static_cast<float>(rng.Gaussian(0.0, 1.0));
+  return pixels;
+}
+
+serve::Request MakeRequest(const models::ModelConfig& config,
+                           const std::vector<float>& pixels, uint32_t id) {
+  serve::Request request;
+  request.type = serve::MessageType::kClassifyTil;
+  request.request_id = id;
+  request.task = 0;
+  request.channels = static_cast<uint16_t>(config.channels);
+  request.height = static_cast<uint16_t>(config.image_hw);
+  request.width = static_cast<uint16_t>(config.image_hw);
+  request.pixels = pixels;
+  return request;
+}
+
+/// One pipelined client connection: keeps `window` requests in flight until
+/// `total` responses arrived, recording per-request latency.
+void ClientLoop(uint16_t port, const models::ModelConfig& config,
+                const std::vector<float>& pixels, int64_t total,
+                int64_t window, std::vector<double>* latencies_ms, bool* ok) {
+  serve::Client client;
+  if (!client.Connect(port)) {
+    *ok = false;
+    return;
+  }
+  std::map<uint32_t, Clock::time_point> in_flight;
+  uint32_t next_id = 1;
+  int64_t received = 0;
+  *ok = true;
+  while (received < total) {
+    while (static_cast<int64_t>(in_flight.size()) < window &&
+           static_cast<int64_t>(next_id) <= total) {
+      const uint32_t id = next_id++;
+      in_flight[id] = Clock::now();
+      if (!client.Send(MakeRequest(config, pixels, id))) {
+        *ok = false;
+        return;
+      }
+    }
+    serve::Response response;
+    if (!client.Receive(&response) ||
+        response.status != serve::ResponseStatus::kOk) {
+      *ok = false;
+      return;
+    }
+    const auto it = in_flight.find(response.request_id);
+    if (it == in_flight.end()) {
+      *ok = false;
+      return;
+    }
+    latencies_ms->push_back(
+        std::chrono::duration<double, std::milli>(Clock::now() - it->second)
+            .count());
+    in_flight.erase(it);
+    ++received;
+  }
+}
+
+struct RunResult {
+  std::string name;
+  int64_t workers = 0;
+  int64_t max_batch = 0;
+  int64_t deadline_us = 0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  uint64_t batches = 0;
+  double mean_batch = 0.0;
+  int64_t max_batch_seen = 0;
+  bool ok = false;
+};
+
+double Percentile(std::vector<double>* sorted_in_place, double q) {
+  std::sort(sorted_in_place->begin(), sorted_in_place->end());
+  if (sorted_in_place->empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(
+      q * static_cast<double>(sorted_in_place->size() - 1));
+  return (*sorted_in_place)[idx];
+}
+
+RunResult RunConfig(const std::string& name,
+                    std::shared_ptr<const models::CompactTransformer> model,
+                    const models::ModelConfig& config,
+                    serve::InferenceServer::Options options, int64_t clients,
+                    int64_t reqs_per_client, int64_t window) {
+  RunResult result;
+  result.name = name;
+  result.workers = options.workers;
+  result.max_batch = options.max_batch;
+  result.deadline_us = options.deadline_us;
+
+  options.port = 0;  // ephemeral
+  serve::InferenceServer server(options, std::move(model));
+  if (!server.Start()) return result;
+  const std::vector<float> pixels = RandomImage(config, /*seed=*/7);
+
+  // Warm up kernel dispatch, thread pool and the quantized-weight cache so
+  // the timed window measures steady-state serving.
+  {
+    serve::Client warm;
+    serve::Response response;
+    if (!warm.Connect(server.port())) return result;
+    for (int i = 0; i < 8; ++i) {
+      if (!warm.Call(MakeRequest(config, pixels, 1000000u + i), &response)) {
+        return result;
+      }
+    }
+  }
+  const serve::MicroBatcher::Stats warm_stats = server.batcher_stats();
+
+  std::vector<std::vector<double>> latencies(clients);
+  std::vector<bool> oks(clients, false);
+  std::vector<std::thread> threads;
+  const Clock::time_point start = Clock::now();
+  for (int64_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      bool ok = false;
+      ClientLoop(server.port(), config, pixels, reqs_per_client, window,
+                 &latencies[c], &ok);
+      oks[c] = ok;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  server.Stop();
+
+  result.ok = true;
+  for (int64_t c = 0; c < clients; ++c) result.ok = result.ok && oks[c];
+  const double total = static_cast<double>(clients * reqs_per_client);
+  result.qps = seconds > 0.0 ? total / seconds : 0.0;
+  std::vector<double> all;
+  for (const auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  result.p99_ms = Percentile(&all, 0.99);
+  result.p50_ms = Percentile(&all, 0.50);
+  const serve::MicroBatcher::Stats stats = server.batcher_stats();
+  result.batches = stats.batches - warm_stats.batches;
+  const uint64_t reqs = stats.requests - warm_stats.requests;
+  result.mean_batch = result.batches > 0
+                          ? static_cast<double>(reqs) /
+                                static_cast<double>(result.batches)
+                          : 0.0;
+  result.max_batch_seen = stats.max_batch_seen;
+  return result;
+}
+
+void WriteJson(const std::string& path, const std::vector<RunResult>& rows,
+               double microbatch_vs_per_request) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_serve: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"serve\",\n");
+  std::fprintf(f, "  \"headlines\": {\n");
+  std::fprintf(f, "    \"microbatch_vs_per_request_qps\": %.3f\n  },\n",
+               microbatch_vs_per_request);
+  std::fprintf(f, "  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const RunResult& r = rows[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"workers\": %lld, \"max_batch\": "
+                 "%lld, \"deadline_us\": %lld, \"qps\": %.1f, \"p50_ms\": "
+                 "%.3f, \"p99_ms\": %.3f, \"batches\": %llu, \"mean_batch\": "
+                 "%.2f, \"max_batch_seen\": %lld, \"ok\": %s}%s\n",
+                 r.name.c_str(), static_cast<long long>(r.workers),
+                 static_cast<long long>(r.max_batch),
+                 static_cast<long long>(r.deadline_us), r.qps, r.p50_ms,
+                 r.p99_ms, static_cast<unsigned long long>(r.batches),
+                 r.mean_batch, static_cast<long long>(r.max_batch_seen),
+                 r.ok ? "true" : "false", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main() {
+  const int64_t reqs = EnvInt("CDCL_BENCH_SERVE_REQS", 400);
+  const int64_t clients = EnvInt("CDCL_BENCH_SERVE_CLIENTS", 4);
+  const int64_t window = EnvInt("CDCL_BENCH_SERVE_WINDOW", 16);
+  const std::string out = EnvString("CDCL_BENCH_OUT", "BENCH_serve.json");
+
+  models::ModelConfig config = models::ModelConfig::Small(16, 3);
+  config.embed_dim = EnvInt("CDCL_EMBED_DIM", config.embed_dim);
+  config.num_layers = EnvInt("CDCL_LAYERS", config.num_layers);
+  Rng rng(42);
+  auto model = std::make_shared<models::CompactTransformer>(config, &rng);
+  model->AddTask(4);
+  model->AddTask(4);
+  model->SetTraining(false);
+
+  std::printf("bench_serve: %lld clients x %lld reqs, window %lld (d=%lld, "
+              "layers=%lld)\n",
+              static_cast<long long>(clients), static_cast<long long>(reqs),
+              static_cast<long long>(window),
+              static_cast<long long>(config.embed_dim),
+              static_cast<long long>(config.num_layers));
+
+  serve::InferenceServer::Options per_request;
+  per_request.workers = 1;
+  per_request.max_batch = 1;
+  per_request.deadline_us = 0;
+
+  serve::InferenceServer::Options microbatch;
+  microbatch.workers = 1;
+  microbatch.max_batch = 32;
+  microbatch.deadline_us = 200;
+
+  serve::InferenceServer::Options microbatch_4w = microbatch;
+  microbatch_4w.workers = 4;
+
+  std::vector<RunResult> rows;
+  rows.push_back(RunConfig("per_request", model, config, per_request, clients,
+                           reqs, window));
+  rows.push_back(RunConfig("microbatch", model, config, microbatch, clients,
+                           reqs, window));
+  rows.push_back(RunConfig("microbatch_4w", model, config, microbatch_4w,
+                           clients, reqs, window));
+
+  std::printf("%-14s %8s %10s %10s %10s %10s %6s\n", "config", "workers",
+              "qps", "p50_ms", "p99_ms", "mean_bat", "ok");
+  for (const RunResult& r : rows) {
+    std::printf("%-14s %8lld %10.1f %10.3f %10.3f %10.2f %6s\n",
+                r.name.c_str(), static_cast<long long>(r.workers), r.qps,
+                r.p50_ms, r.p99_ms, r.mean_batch, r.ok ? "yes" : "NO");
+  }
+  const double ratio =
+      rows[0].qps > 0.0 ? rows[1].qps / rows[0].qps : 0.0;
+  std::printf("headline: microbatch vs per_request QPS x%.2f\n", ratio);
+  WriteJson(out, rows, ratio);
+  return 0;
+}

@@ -4,9 +4,11 @@
 # kernel + fused-eval + arena suites (packing buffers, per-thread grad
 # scratch, per-sample score scratch, and step-arena lifetimes are where
 # bugs hide — under ASan the arena allocates per-request so a tensor
-# escaping its step scope is a real heap-use-after-free), an examples build
-# check, and a docs knob-consistency grep (README.md must not document env
-# knobs that no longer exist in the source). Usage: scripts/verify.sh [jobs]
+# escaping its step scope is a real heap-use-after-free) and the serve
+# suite, a TSan pass over the lock-free concurrency suites (quantized-cache
+# publish, micro-batcher), an examples build check, and a docs
+# knob-consistency grep (README.md must not document env knobs that no
+# longer exist in the source). Usage: scripts/verify.sh [jobs]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -31,15 +33,15 @@ for example in examples/*.cc; do
   fi
 done
 
-echo "== ASan/UBSan: kernel + batched-eval + arena + vec-math + quant suites =="
+echo "== ASan/UBSan: kernel + batched-eval + arena + vec-math + quant + serve suites =="
 asan_dir="build-verify-asan"
 cmake -B "${asan_dir}" -S . -DCMAKE_BUILD_TYPE=Debug -DCDCL_SANITIZE=ON \
   -DCDCL_BUILD_BENCH=OFF -DCDCL_BUILD_EXAMPLES=OFF
 cmake --build "${asan_dir}" -j "${JOBS}" \
   --target kernels_test gemm_packed_test batched_eval_test arena_test \
-  vec_math_test gemm_quant_test quant_eval_test
+  vec_math_test gemm_quant_test quant_eval_test serve_test
 ctest --test-dir "${asan_dir}" --output-on-failure -j "${JOBS}" \
-  -R '^(kernels_test|gemm_packed_test|batched_eval_test|arena_test|vec_math_test|gemm_quant_test|quant_eval_test)$'
+  -R '^(kernels_test|gemm_packed_test|batched_eval_test|arena_test|vec_math_test|gemm_quant_test|quant_eval_test|serve_test)$'
 
 echo "== legacy numerics mode: arena suite with CDCL_VEC_MATH=0 =="
 # The vectorized transcendental tier is a numerics mode; the libm mode must
@@ -54,6 +56,28 @@ echo "== reduced precision mode: batched-eval coherence with CDCL_GEMM_PRECISION
 # suite must stay green — otherwise the two eval paths have drifted apart.
 CDCL_GEMM_PRECISION=bf16 ctest --test-dir "${asan_dir}" --output-on-failure \
   -j "${JOBS}" -R '^batched_eval_test$'
+
+echo "== TSan: quantized-cache + micro-batcher concurrency suites =="
+# The lock-free serving pieces — the QuantizedBlock cache's atomic
+# shared_ptr publish and the micro-batcher's queue/deadline handoff — are
+# exactly the code ASan cannot vet. Skipped (with a note) only when the
+# toolchain cannot link ThreadSanitizer.
+tsan_probe="$(mktemp -d)"
+trap 'rm -rf "${tsan_probe}"' EXIT
+echo 'int main(){return 0;}' > "${tsan_probe}/probe.cc"
+if c++ -fsanitize=thread "${tsan_probe}/probe.cc" -o "${tsan_probe}/probe" \
+    2>/dev/null && "${tsan_probe}/probe"; then
+  tsan_dir="build-verify-tsan"
+  cmake -B "${tsan_dir}" -S . -DCMAKE_BUILD_TYPE=Debug -DCDCL_TSAN=ON \
+    -DCDCL_BUILD_BENCH=OFF -DCDCL_BUILD_EXAMPLES=OFF
+  cmake --build "${tsan_dir}" -j "${JOBS}" --target quant_eval_test serve_test
+  "${tsan_dir}/quant_eval_test" \
+    --gtest_filter='QuantizedCacheConcurrencyTest.*'
+  "${tsan_dir}/serve_test" \
+    --gtest_filter='MicroBatcherTest.*:ServeTest.SoakManyConnectionsPipelined'
+else
+  echo "verify: NOTE — toolchain lacks ThreadSanitizer support, TSan pass skipped"
+fi
 
 echo "== docs: README knob consistency =="
 # Every CDCL_* knob README.md documents must still be *read* somewhere — an
@@ -72,4 +96,4 @@ if [[ "${stale}" -ne 0 ]]; then
   exit 1
 fi
 
-echo "verify: OK (Debug + Release + examples + ASan/UBSan + legacy-numerics + docs knobs)"
+echo "verify: OK (Debug + Release + examples + ASan/UBSan + legacy-numerics + TSan + docs knobs)"

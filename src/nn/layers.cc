@@ -1,6 +1,9 @@
 #include "nn/layers.h"
 
+#include <atomic>
 #include <cmath>
+#include <memory>
+#include <utility>
 
 #include "tensor/kernels/fused_eval.h"
 #include "tensor/kernels/layernorm.h"
@@ -33,8 +36,8 @@ Tensor Linear::Forward(const Tensor& x) const {
     input = ops::Reshape(x, Shape{x.NumElements() / in_features_, in_features_});
   }
   Tensor out;
-  const QuantizedBlock* qb =
-      GradModeEnabled() ? nullptr : quantized_weight();
+  const std::shared_ptr<const QuantizedBlock> qb =
+      GradModeEnabled() ? nullptr : quantized_snapshot();
   if (qb != nullptr) {
     // Reduced-precision eval: consume the published quantized snapshot. The
     // fused eval path (EvalGemm) reads the same block, so op-by-op and fused
@@ -59,22 +62,38 @@ Tensor Linear::Forward(const Tensor& x) const {
   return out;
 }
 
-const QuantizedBlock* Linear::quantized_weight() const {
+std::shared_ptr<const QuantizedBlock> Linear::quantized_snapshot() const {
   const kernels::GemmPrecision p = kernels::GetGemmPrecision();
   if (p == kernels::GemmPrecision::kFp32) return nullptr;
   const uint64_t version = WeightVersion();
-  if (qweight_ == nullptr || qweight_version_ != version ||
-      qweight_precision_ != p) {
-    qweight_ = std::make_unique<QuantizedBlock>(QuantizeWeight(weight_, p));
-    qweight_version_ = version;
-    qweight_precision_ = p;
+  std::shared_ptr<const CachedQuantizedWeight> cached =
+      std::atomic_load_explicit(&qcache_, std::memory_order_acquire);
+  if (cached == nullptr || cached->version != version ||
+      cached->precision != p) {
+    // Stale (or first touch): rebuild and publish. Concurrent rebuilders do
+    // redundant work but publish byte-identical blocks (QuantizeWeight is
+    // deterministic), so last-write-wins is safe; readers that loaded the
+    // retiring block keep it alive through their shared_ptr.
+    auto fresh = std::make_shared<CachedQuantizedWeight>();
+    fresh->version = version;
+    fresh->precision = p;
+    fresh->block = QuantizeWeight(weight_, p);
+    std::atomic_store_explicit(
+        &qcache_, std::shared_ptr<const CachedQuantizedWeight>(fresh),
+        std::memory_order_release);
+    cached = std::move(fresh);
   }
-  return qweight_.get();
+  // Aliasing ctor: the returned pointer shares ownership of the whole record.
+  return std::shared_ptr<const QuantizedBlock>(cached, &cached->block);
+}
+
+const QuantizedBlock* Linear::quantized_weight() const {
+  return quantized_snapshot().get();
 }
 
 void Linear::EvalGemm(int64_t rows, const float* x, float* out) const {
   CDCL_CHECK(!GradModeEnabled());
-  const QuantizedBlock* qb = quantized_weight();
+  const std::shared_ptr<const QuantizedBlock> qb = quantized_snapshot();
   if (qb != nullptr) {
     GemmNNQuant(rows, x, *qb, out, /*accumulate=*/false);
     return;

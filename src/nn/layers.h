@@ -25,13 +25,27 @@ class Linear : public Module {
   /// eval path: no bias, no reshape. In a reduced-precision mode this
   /// consumes the cached QuantizedBlock — the same block Forward consumes in
   /// eval, so the op path and the fused path stay bitwise identical within
-  /// every precision mode. Must not be called under grad mode.
+  /// every precision mode. Must not be called under grad mode. Safe for
+  /// concurrent callers (see quantized_snapshot()).
   void EvalGemm(int64_t rows, const float* x, float* out) const;
 
   /// The published-weight quantized block for the current precision mode, or
   /// nullptr in fp32 mode. Rebuilt lazily when the weight generation
-  /// (tensor/quantized.h WeightVersion) or the mode changes; main-thread use
-  /// only, like the rest of the Module API.
+  /// (tensor/quantized.h WeightVersion) or the mode changes, and published
+  /// through an atomic shared_ptr: any number of reader threads may call
+  /// this concurrently (inference-server workers serving one snapshot), and
+  /// a concurrent republish (version bump) is race-free — late readers of
+  /// the stale block keep a live reference, fresh readers rebuild. Quantize
+  /// is deterministic, so racing rebuilders publish byte-identical blocks
+  /// and the bitwise op-vs-fused coherence contract holds regardless of
+  /// which publish wins. Writers mutating the fp32 weight data itself must
+  /// still be quiesced against readers, like all parameter mutation.
+  std::shared_ptr<const QuantizedBlock> quantized_snapshot() const;
+
+  /// Convenience raw-pointer view of quantized_snapshot(); nullptr in fp32
+  /// mode. The pointer stays valid until the next weight publish invalidates
+  /// the cache, so callers that may race a republish must hold the
+  /// shared_ptr form instead.
   const QuantizedBlock* quantized_weight() const;
 
   int64_t in_features() const { return in_features_; }
@@ -44,11 +58,16 @@ class Linear : public Module {
   int64_t out_features_;
   Tensor weight_;  // (in, out)
   Tensor bias_;    // (out) or undefined
-  // Quantized-eval snapshot cache (see quantized_weight()).
-  mutable std::unique_ptr<QuantizedBlock> qweight_;
-  mutable uint64_t qweight_version_ = 0;
-  mutable kernels::GemmPrecision qweight_precision_ =
-      kernels::GemmPrecision::kFp32;
+  // Quantized-eval snapshot cache: one immutable record (version, precision,
+  // block) published via std::atomic_load/atomic_store on the shared_ptr so
+  // concurrent readers and a racing republish never tear (see
+  // quantized_snapshot()).
+  struct CachedQuantizedWeight {
+    uint64_t version = 0;
+    kernels::GemmPrecision precision = kernels::GemmPrecision::kFp32;
+    QuantizedBlock block;
+  };
+  mutable std::shared_ptr<const CachedQuantizedWeight> qcache_;
 };
 
 /// 2D convolution layer (NCHW), square kernel.

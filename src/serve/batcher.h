@@ -1,0 +1,83 @@
+#ifndef CDCL_SERVE_BATCHER_H_
+#define CDCL_SERVE_BATCHER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.h"
+
+namespace cdcl {
+namespace serve {
+
+/// One in-flight request as the batcher sees it: the parsed protocol frame
+/// plus the session it came from (so completions can find their way home).
+struct InferenceRequest {
+  uint64_t session_id = 0;
+  Request request;
+  std::chrono::steady_clock::time_point enqueue_time;
+};
+
+/// Adaptive micro-batcher: worker threads coalesce queued requests into one
+/// batch of up to `max_batch`, dispatching early the moment the batch is
+/// full and otherwise when the *oldest* queued request has waited
+/// `deadline_us` — so a lone request pays at most the deadline in added
+/// latency while a loaded queue always ships full batches. deadline_us <= 0
+/// disables coalescing (every wakeup ships whatever is queued immediately,
+/// max_batch still caps the slice). The batch function runs on the worker
+/// thread; with several workers, distinct batches execute concurrently
+/// against the shared immutable model snapshot.
+class MicroBatcher {
+ public:
+  struct Options {
+    int64_t max_batch = 32;
+    int64_t deadline_us = 200;
+    int64_t workers = 1;
+  };
+
+  struct Stats {
+    uint64_t batches = 0;
+    uint64_t requests = 0;
+    int64_t max_batch_seen = 0;
+  };
+
+  using BatchFn = std::function<void(std::vector<InferenceRequest>)>;
+
+  MicroBatcher(const Options& options, BatchFn batch_fn);
+  ~MicroBatcher();
+
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  void Start();
+  /// Drains the queue (every submitted request is still dispatched), then
+  /// joins the workers. Idempotent.
+  void Stop();
+
+  /// Thread-safe; stamps the enqueue time used by the deadline policy.
+  void Submit(InferenceRequest request);
+
+  Stats stats() const;
+
+ private:
+  void WorkerLoop();
+
+  Options options_;
+  BatchFn batch_fn_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<InferenceRequest> queue_;  // guarded by mutex_
+  bool stopping_ = false;               // guarded by mutex_
+  Stats stats_;                         // guarded by mutex_
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace serve
+}  // namespace cdcl
+
+#endif  // CDCL_SERVE_BATCHER_H_

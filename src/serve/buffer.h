@@ -1,0 +1,75 @@
+#ifndef CDCL_SERVE_BUFFER_H_
+#define CDCL_SERVE_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace cdcl {
+namespace serve {
+
+/// Growable byte buffer with separate read/write cursors, the muduo /
+/// redis-cpp17 Buffer idiom: network reads append at the write index,
+/// protocol parsing consumes from the read index, and the two indices are
+/// periodically compacted so steady-state traffic reuses one allocation.
+/// Single-owner (one session on one event-loop thread); not thread-safe.
+class Buffer {
+ public:
+  size_t ReadableBytes() const { return write_index_ - read_index_; }
+
+  const uint8_t* Peek() const { return data_.data() + read_index_; }
+
+  /// Appends `n` raw bytes at the write cursor.
+  void Append(const void* bytes, size_t n) {
+    EnsureWritable(n);
+    std::memcpy(data_.data() + write_index_, bytes, n);
+    write_index_ += n;
+  }
+
+  /// Reserves `n` writable bytes and exposes the raw write cursor for
+  /// zero-copy fills (e.g. read(2) straight into the buffer); call
+  /// CommitWrite(actual) afterwards.
+  uint8_t* WritePtr(size_t n) {
+    EnsureWritable(n);
+    return data_.data() + write_index_;
+  }
+  void CommitWrite(size_t n) { write_index_ += n; }
+
+  /// Consumes `n` readable bytes (n <= ReadableBytes()).
+  void Retrieve(size_t n) {
+    read_index_ += n;
+    if (read_index_ == write_index_) {
+      read_index_ = 0;
+      write_index_ = 0;
+    }
+  }
+
+  void Clear() {
+    read_index_ = 0;
+    write_index_ = 0;
+  }
+
+ private:
+  void EnsureWritable(size_t n) {
+    if (data_.size() - write_index_ >= n) return;
+    const size_t readable = ReadableBytes();
+    if (read_index_ > 0 && data_.size() - readable >= n) {
+      // Compact: slide unread bytes to the front instead of growing.
+      std::memmove(data_.data(), data_.data() + read_index_, readable);
+      read_index_ = 0;
+      write_index_ = readable;
+      return;
+    }
+    data_.resize(write_index_ + n);
+  }
+
+  std::vector<uint8_t> data_;
+  size_t read_index_ = 0;
+  size_t write_index_ = 0;
+};
+
+}  // namespace serve
+}  // namespace cdcl
+
+#endif  // CDCL_SERVE_BUFFER_H_

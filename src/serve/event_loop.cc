@@ -1,0 +1,122 @@
+#include "serve/event_loop.h"
+
+#include <cerrno>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace cdcl {
+namespace serve {
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ >= 0 && wake_fd_ >= 0) {
+    epoll_event ev;
+    ev.events = EPOLLIN;
+    ev.data.fd = wake_fd_;
+    CDCL_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) == 0);
+  }
+}
+
+EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void EventLoop::Add(int fd, uint32_t events, Handler handler) {
+  epoll_event ev;
+  ev.events = events;
+  ev.data.fd = fd;
+  CDCL_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0)
+      << "epoll_ctl ADD fd=" << fd << " errno=" << errno;
+  handlers_[fd] = std::move(handler);
+}
+
+void EventLoop::Update(int fd, uint32_t events) {
+  epoll_event ev;
+  ev.events = events;
+  ev.data.fd = fd;
+  CDCL_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0)
+      << "epoll_ctl MOD fd=" << fd << " errno=" << errno;
+}
+
+void EventLoop::Remove(int fd) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  handlers_.erase(fd);
+}
+
+void EventLoop::Run() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (!quit_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, /*timeout=*/-1);
+    if (n < 0) {
+      if (errno == EINTR) continue;  // signals must not tear down the loop
+      CDCL_LOG(Error) << "epoll_wait failed, errno=" << errno;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        DrainWake();
+        continue;
+      }
+      // A handler earlier in this round may have Remove()d this fd (e.g. a
+      // session close); re-look-up instead of holding a stale iterator.
+      auto it = handlers_.find(fd);
+      if (it == handlers_.end()) continue;
+      // Copy: the handler may Remove(fd) (erasing the map slot) mid-call.
+      Handler handler = it->second;
+      handler(events[i].events);
+    }
+    RunQueuedTasks();
+  }
+  // Drain once more so tasks queued right before Quit() still run.
+  RunQueuedTasks();
+}
+
+void EventLoop::Quit() {
+  quit_.store(true, std::memory_order_release);
+  Wake();
+}
+
+void EventLoop::RunInLoop(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(task_mutex_);
+    tasks_.push_back(std::move(task));
+  }
+  Wake();
+}
+
+void EventLoop::Wake() {
+  const uint64_t one = 1;
+  for (;;) {
+    const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+    if (n >= 0 || errno != EINTR) break;  // EAGAIN means already pending: fine
+  }
+}
+
+void EventLoop::DrainWake() {
+  uint64_t count = 0;
+  for (;;) {
+    const ssize_t n = ::read(wake_fd_, &count, sizeof(count));
+    if (n < 0 && errno == EINTR) continue;
+    break;  // one read empties an eventfd counter
+  }
+}
+
+void EventLoop::RunQueuedTasks() {
+  std::vector<std::function<void()>> tasks;
+  {
+    std::lock_guard<std::mutex> lock(task_mutex_);
+    tasks.swap(tasks_);
+  }
+  for (auto& task : tasks) task();
+}
+
+}  // namespace serve
+}  // namespace cdcl

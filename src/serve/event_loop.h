@@ -1,0 +1,68 @@
+#ifndef CDCL_SERVE_EVENT_LOOP_H_
+#define CDCL_SERVE_EVENT_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace cdcl {
+namespace serve {
+
+/// Non-blocking epoll reactor, the redis-cpp17 EventLoop idiom: one thread
+/// calls Run() and owns every registered fd; other threads may only Quit()
+/// or RunInLoop() (both wake the loop through an eventfd). Handlers receive
+/// the ready epoll event mask. Level-triggered, so a handler that leaves
+/// bytes unconsumed is simply called again — no starvation bookkeeping.
+class EventLoop {
+ public:
+  using Handler = std::function<void(uint32_t events)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// True when construction managed to set up epoll + wake fds.
+  bool ok() const { return epoll_fd_ >= 0 && wake_fd_ >= 0; }
+
+  /// Registers `fd` for `events` (EPOLLIN/EPOLLOUT mask). Loop thread only.
+  void Add(int fd, uint32_t events, Handler handler);
+  /// Changes the event mask of a registered fd. Loop thread only.
+  void Update(int fd, uint32_t events);
+  /// Deregisters an fd (does not close it). Loop thread only; safe to call
+  /// from inside a handler for the same or another fd.
+  void Remove(int fd);
+
+  /// Blocks dispatching events until Quit(). EINTR from epoll_wait is
+  /// retried — a signal must never tear the loop down.
+  void Run();
+
+  /// Thread-safe: requests loop exit and wakes it.
+  void Quit();
+
+  /// Thread-safe: queues `task` for execution on the loop thread and wakes
+  /// it. Tasks run after the current dispatch round. This is how batcher
+  /// workers hand completed responses back to the sessions' owner thread.
+  void RunInLoop(std::function<void()> task);
+
+ private:
+  void Wake();
+  void DrainWake();
+  void RunQueuedTasks();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd
+  std::atomic<bool> quit_{false};
+  std::unordered_map<int, Handler> handlers_;  // loop thread only
+  std::mutex task_mutex_;
+  std::vector<std::function<void()>> tasks_;  // guarded by task_mutex_
+};
+
+}  // namespace serve
+}  // namespace cdcl
+
+#endif  // CDCL_SERVE_EVENT_LOOP_H_

@@ -1,0 +1,62 @@
+#ifndef CDCL_SERVE_INFERENCE_H_
+#define CDCL_SERVE_INFERENCE_H_
+
+#include <memory>
+#include <vector>
+
+#include "models/compact_transformer.h"
+#include "serve/batcher.h"
+#include "serve/protocol.h"
+
+namespace cdcl {
+namespace serve {
+
+/// One completed request on its way back to a session.
+struct CompletedResponse {
+  uint64_t session_id = 0;
+  Response response;
+};
+
+/// Holds the published model snapshot and turns micro-batches into fused
+/// batched evals.
+///
+/// The snapshot is an immutable, eval-mode CompactTransformer published
+/// through an atomic shared_ptr swap: worker threads load it per batch and
+/// serve lock-free while a newer snapshot (e.g. from a continual-training
+/// loop) is published underneath them. Requires the publisher to have called
+/// SetTraining(false) and to never mutate the instance afterwards; per-layer
+/// quantized-weight caches are themselves concurrent-reader-safe
+/// (nn::Linear::quantized_snapshot), so reduced-precision modes serve from
+/// the same snapshot machinery.
+///
+/// Batch execution groups requests by task id (attention is task-keyed),
+/// runs ONE fused batched encode per group (CompactTransformer::
+/// EncodeSelfBatched — the flattened (b*n, d) GEMM sweep), then one head
+/// GEMM per (task, type) sub-group. Because every eval kernel is bitwise
+/// per-sample-stable (tests/batched_eval_test.cc), each response is bitwise
+/// identical to a quiesced single-request eval regardless of how requests
+/// were coalesced — the property tests/serve_test.cc pins per precision mode.
+class InferenceEngine {
+ public:
+  explicit InferenceEngine(
+      std::shared_ptr<const models::CompactTransformer> model);
+
+  /// Atomically replaces the served snapshot. Thread-safe; in-flight batches
+  /// finish on the snapshot they loaded.
+  void Publish(std::shared_ptr<const models::CompactTransformer> model);
+
+  /// The current snapshot (thread-safe acquire).
+  std::shared_ptr<const models::CompactTransformer> Snapshot() const;
+
+  /// Validates + executes one micro-batch. Runs on a batcher worker thread;
+  /// tensor scratch draws from a thread-local step arena.
+  std::vector<CompletedResponse> Run(std::vector<InferenceRequest> batch) const;
+
+ private:
+  std::shared_ptr<const models::CompactTransformer> model_;  // atomic access
+};
+
+}  // namespace serve
+}  // namespace cdcl
+
+#endif  // CDCL_SERVE_INFERENCE_H_

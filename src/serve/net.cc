@@ -1,0 +1,161 @@
+#include "serve/net.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace cdcl {
+namespace serve {
+
+void IgnoreSigpipe() {
+  // Once per process: a peer that closes mid-write must yield EPIPE from
+  // send(2), never a process-killing signal. MSG_NOSIGNAL on our sends
+  // already covers the server path; this covers any stray write(2).
+  static const bool done = [] {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = SIG_IGN;
+    sigaction(SIGPIPE, &sa, nullptr);
+    return true;
+  }();
+  (void)done;
+}
+
+bool SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+int CreateListenSocket(uint16_t port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  // SO_REUSEADDR: without it a server restarted while old connections sit in
+  // TIME_WAIT fails to bind for minutes — the classic restart trap.
+  if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, backlog) != 0 || !SetNonBlocking(fd)) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+uint16_t LocalPort(int fd) {
+  sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return 0;
+  }
+  return ntohs(addr.sin_port);
+}
+
+int AcceptConnection(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      if (!SetNonBlocking(fd)) {
+        ::close(fd);
+        return -1;
+      }
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return fd;
+    }
+    if (errno == EINTR) continue;  // a signal landed mid-accept: retry
+    return -1;                     // EAGAIN (backlog drained) or hard error
+  }
+}
+
+IoStatus ReadToBuffer(int fd, Buffer* in) {
+  for (;;) {
+    uint8_t* p = in->WritePtr(16 * 1024);
+    const ssize_t n = ::recv(fd, p, 16 * 1024, 0);
+    if (n > 0) {
+      in->CommitWrite(static_cast<size_t>(n));
+      continue;  // keep draining until EAGAIN so level-trigger stays quiet
+    }
+    if (n == 0) return IoStatus::kEof;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kOk;
+    return IoStatus::kError;
+  }
+}
+
+IoStatus WriteFromBuffer(int fd, Buffer* out) {
+  while (out->ReadableBytes() > 0) {
+    const ssize_t n =
+        ::send(fd, out->Peek(), out->ReadableBytes(), MSG_NOSIGNAL);
+    if (n > 0) {
+      out->Retrieve(static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return IoStatus::kOk;  // kernel buffer full: leave the rest queued
+    }
+    return IoStatus::kError;  // EPIPE/ECONNRESET and friends
+  }
+  return IoStatus::kOk;
+}
+
+int ConnectLocal(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    ::close(fd);
+    return -1;
+  }
+}
+
+bool SendAll(int fd, const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  size_t sent = 0;
+  while (sent < n) {
+    const ssize_t w = ::send(fd, p + sent, n - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+int64_t RecvSome(int fd, void* data, size_t n) {
+  for (;;) {
+    const ssize_t r = ::recv(fd, data, n, 0);
+    if (r >= 0) return r;
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
+}  // namespace serve
+}  // namespace cdcl

@@ -1,0 +1,64 @@
+#ifndef CDCL_SERVE_NET_H_
+#define CDCL_SERVE_NET_H_
+
+#include <cstdint>
+
+#include "serve/buffer.h"
+
+namespace cdcl {
+namespace serve {
+
+// ---------------------------------------------------------------------------
+// Thin POSIX socket helpers wrapping the classic event-loop traps so the
+// server/session code stays readable: every syscall retries EINTR, sockets
+// are non-blocking, listen sockets take SO_REUSEADDR (a restarted server must
+// not fail to bind on TIME_WAIT remnants), and writes never raise SIGPIPE
+// (MSG_NOSIGNAL + a process-wide SIG_IGN belt-and-braces, because a peer that
+// resets mid-response must surface as EPIPE, not kill the process).
+// ---------------------------------------------------------------------------
+
+/// Installs SIG_IGN for SIGPIPE once per process. Idempotent.
+void IgnoreSigpipe();
+
+/// O_NONBLOCK on an fd; returns false on error.
+bool SetNonBlocking(int fd);
+
+/// Creates a non-blocking listening TCP socket on 127.0.0.1:`port` with
+/// SO_REUSEADDR. `port` 0 binds an ephemeral port. Returns the fd or -1.
+int CreateListenSocket(uint16_t port, int backlog = 128);
+
+/// The locally bound port of a socket (resolves ephemeral binds); 0 on error.
+uint16_t LocalPort(int fd);
+
+/// accept(2) with EINTR retry; the accepted fd is made non-blocking.
+/// Returns -1 with errno EAGAIN/EWOULDBLOCK when the backlog is drained.
+int AcceptConnection(int listen_fd);
+
+enum class IoStatus {
+  kOk,     // progress was made (or the call would simply block)
+  kEof,    // orderly peer close
+  kError,  // hard error; connection is dead
+};
+
+/// Drains a non-blocking fd into `in` until EAGAIN/EOF, retrying EINTR.
+IoStatus ReadToBuffer(int fd, Buffer* in);
+
+/// Writes as much of `out`'s readable bytes as the socket accepts (EINTR
+/// retried, MSG_NOSIGNAL, stops at EAGAIN), consuming what was written.
+/// Partial writes simply leave bytes buffered for the next EPOLLOUT.
+IoStatus WriteFromBuffer(int fd, Buffer* out);
+
+/// Blocking connect to 127.0.0.1:`port` (EINTR retried), used by the load
+/// generator and tests; returns the connected fd (blocking mode) or -1.
+int ConnectLocal(uint16_t port);
+
+/// Blocking full-buffer send/recv helpers for client-side code (EINTR
+/// retried). SendAll returns false on any hard error.
+bool SendAll(int fd, const void* data, size_t n);
+/// Receives up to n bytes, returns bytes read (0 = EOF, -1 = error).
+int64_t RecvSome(int fd, void* data, size_t n);
+
+}  // namespace serve
+}  // namespace cdcl
+
+#endif  // CDCL_SERVE_NET_H_

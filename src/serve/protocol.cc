@@ -1,0 +1,180 @@
+#include "serve/protocol.h"
+
+#include <cstring>
+
+namespace cdcl {
+namespace serve {
+namespace {
+
+// The wire format is little-endian; serialize through explicit byte shifts so
+// the protocol code is host-order independent.
+
+void PutU16(uint16_t v, std::vector<uint8_t>* out) {
+  out->push_back(static_cast<uint8_t>(v & 0xff));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(uint32_t v, std::vector<uint8_t>* out) {
+  out->push_back(static_cast<uint8_t>(v & 0xff));
+  out->push_back(static_cast<uint8_t>((v >> 8) & 0xff));
+  out->push_back(static_cast<uint8_t>((v >> 16) & 0xff));
+  out->push_back(static_cast<uint8_t>((v >> 24) & 0xff));
+}
+
+void PutF32(float v, std::vector<uint8_t>* out) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU32(bits, out);
+}
+
+uint16_t GetU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+float GetF32(const uint8_t* p) {
+  const uint32_t bits = GetU32(p);
+  float v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+/// Shared prologue of both parsers: returns kFrame with [body, body+len)
+/// located when a complete frame is buffered. Consumption happens in the
+/// caller after a successful body parse.
+ParseResult LocateFrame(const Buffer& in, size_t max_body_bytes,
+                        const uint8_t** body, size_t* body_len) {
+  if (in.ReadableBytes() < sizeof(uint32_t)) return ParseResult::kNeedMore;
+  const size_t len = GetU32(in.Peek());
+  if (len > max_body_bytes) return ParseResult::kError;
+  if (in.ReadableBytes() < sizeof(uint32_t) + len) return ParseResult::kNeedMore;
+  *body = in.Peek() + sizeof(uint32_t);
+  *body_len = len;
+  return ParseResult::kFrame;
+}
+
+}  // namespace
+
+void AppendRequest(const Request& request, Buffer* out) {
+  std::vector<uint8_t> body;
+  body.push_back(static_cast<uint8_t>(request.type));
+  body.push_back(0);
+  PutU16(0, &body);
+  PutU32(request.request_id, &body);
+  if (request.type == MessageType::kPing) {
+    body.insert(body.end(), request.ping_payload.begin(),
+                request.ping_payload.end());
+  } else {
+    PutU32(static_cast<uint32_t>(static_cast<int32_t>(request.task)), &body);
+    PutU16(static_cast<uint16_t>(request.channels), &body);
+    PutU16(static_cast<uint16_t>(request.height), &body);
+    PutU16(static_cast<uint16_t>(request.width), &body);
+    PutU16(0, &body);
+    body.reserve(body.size() + request.pixels.size() * sizeof(float));
+    for (float v : request.pixels) PutF32(v, &body);
+  }
+  std::vector<uint8_t> prefix;
+  PutU32(static_cast<uint32_t>(body.size()), &prefix);
+  out->Append(prefix.data(), prefix.size());
+  out->Append(body.data(), body.size());
+}
+
+void AppendResponse(const Response& response, Buffer* out) {
+  std::vector<uint8_t> body;
+  PutU32(response.request_id, &body);
+  body.push_back(static_cast<uint8_t>(response.status));
+  body.push_back(static_cast<uint8_t>(response.type));
+  PutU16(0, &body);
+  if (response.type == MessageType::kPing) {
+    body.insert(body.end(), response.ping_payload.begin(),
+                response.ping_payload.end());
+  } else {
+    PutU32(static_cast<uint32_t>(response.values.size()), &body);
+    body.reserve(body.size() + response.values.size() * sizeof(float));
+    for (float v : response.values) PutF32(v, &body);
+  }
+  std::vector<uint8_t> prefix;
+  PutU32(static_cast<uint32_t>(body.size()), &prefix);
+  out->Append(prefix.data(), prefix.size());
+  out->Append(body.data(), body.size());
+}
+
+ParseResult FrameParser::Next(Buffer* in, Request* out) {
+  const uint8_t* body = nullptr;
+  size_t len = 0;
+  const ParseResult located = LocateFrame(*in, max_body_bytes_, &body, &len);
+  if (located != ParseResult::kFrame) return located;
+
+  // Fixed request header: type + 3 reserved + request_id.
+  constexpr size_t kHeader = 8;
+  if (len < kHeader) return ParseResult::kError;
+  const uint8_t raw_type = body[0];
+  if (raw_type > static_cast<uint8_t>(MessageType::kEncode)) {
+    return ParseResult::kError;
+  }
+  *out = Request();
+  out->type = static_cast<MessageType>(raw_type);
+  out->request_id = GetU32(body + 4);
+
+  if (out->type == MessageType::kPing) {
+    out->ping_payload.assign(body + kHeader, body + len);
+  } else {
+    // i32 task + 4x u16 dims header, then the pixel payload.
+    constexpr size_t kImageHeader = 12;
+    if (len < kHeader + kImageHeader) return ParseResult::kError;
+    out->task = static_cast<int32_t>(GetU32(body + kHeader));
+    out->channels = GetU16(body + kHeader + 4);
+    out->height = GetU16(body + kHeader + 6);
+    out->width = GetU16(body + kHeader + 8);
+    const size_t pixel_bytes = len - kHeader - kImageHeader;
+    if (pixel_bytes % sizeof(float) != 0) return ParseResult::kError;
+    const size_t n = pixel_bytes / sizeof(float);
+    out->pixels.resize(n);
+    const uint8_t* p = body + kHeader + kImageHeader;
+    for (size_t i = 0; i < n; ++i) out->pixels[i] = GetF32(p + i * 4);
+  }
+  in->Retrieve(sizeof(uint32_t) + len);
+  return ParseResult::kFrame;
+}
+
+ParseResult ResponseParser::Next(Buffer* in, Response* out) {
+  const uint8_t* body = nullptr;
+  size_t len = 0;
+  const ParseResult located = LocateFrame(*in, max_body_bytes_, &body, &len);
+  if (located != ParseResult::kFrame) return located;
+
+  // Fixed response header: request_id + status + type + 2 reserved.
+  constexpr size_t kHeader = 8;
+  if (len < kHeader) return ParseResult::kError;
+  const uint8_t raw_type = body[5];
+  if (raw_type > static_cast<uint8_t>(MessageType::kEncode)) {
+    return ParseResult::kError;
+  }
+  *out = Response();
+  out->request_id = GetU32(body);
+  out->status = static_cast<ResponseStatus>(body[4]);
+  out->type = static_cast<MessageType>(raw_type);
+
+  if (out->type == MessageType::kPing) {
+    out->ping_payload.assign(body + kHeader, body + len);
+  } else {
+    if (len < kHeader + sizeof(uint32_t)) return ParseResult::kError;
+    const size_t count = GetU32(body + kHeader);
+    if (len != kHeader + sizeof(uint32_t) + count * sizeof(float)) {
+      return ParseResult::kError;
+    }
+    out->values.resize(count);
+    const uint8_t* p = body + kHeader + sizeof(uint32_t);
+    for (size_t i = 0; i < count; ++i) out->values[i] = GetF32(p + i * 4);
+  }
+  in->Retrieve(sizeof(uint32_t) + len);
+  return ParseResult::kFrame;
+}
+
+}  // namespace serve
+}  // namespace cdcl

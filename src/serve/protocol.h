@@ -1,0 +1,120 @@
+#ifndef CDCL_SERVE_PROTOCOL_H_
+#define CDCL_SERVE_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "serve/buffer.h"
+
+namespace cdcl {
+namespace serve {
+
+// ---------------------------------------------------------------------------
+// Length-prefixed binary protocol for classify/encode requests (docs/serve.md
+// has the byte-level spec). Every frame is
+//
+//   u32 body_len | body
+//
+// with all integers little-endian and floats raw IEEE-754 bits. Request body:
+//
+//   u8 type | u8 zero | u16 zero | u32 request_id | type-specific payload
+//
+//   kPing          payload = opaque bytes, echoed back verbatim
+//   kClassifyTil   i32 task | u16 c | u16 h | u16 w | u16 zero | f32 pixels[]
+//   kClassifyCil   same as kClassifyTil (task conditions the encoder)
+//   kEncode        same as kClassifyTil
+//
+// Response body:
+//
+//   u32 request_id | u8 status | u8 type | u16 zero | payload
+//
+//   kPing          payload = the echoed bytes
+//   others         u32 count | f32 values[count]   (logits or embedding)
+//
+// Responses carry the request_id because the micro-batcher may reorder
+// completions across a pipelined connection; clients match on id, not order.
+// Frames whose body_len exceeds the parser's limit are a protocol error and
+// the server closes the connection (a length prefix of garbage would
+// otherwise stall the session forever waiting for terabytes).
+// ---------------------------------------------------------------------------
+
+enum class MessageType : uint8_t {
+  kPing = 0,
+  kClassifyTil = 1,
+  kClassifyCil = 2,
+  kEncode = 3,
+};
+
+enum class ResponseStatus : uint8_t {
+  kOk = 0,
+  kBadRequest = 1,  // malformed body for the declared type
+  kBadTask = 2,     // task id outside the model's task range
+  kBadShape = 3,    // image dims disagree with the model config
+};
+
+/// Default body-size ceiling: fits a 224x224x3 fp32 image with headroom.
+inline constexpr size_t kMaxFrameBytes = 4u << 20;
+
+struct Request {
+  MessageType type = MessageType::kPing;
+  uint32_t request_id = 0;
+  // kClassifyTil / kClassifyCil / kEncode:
+  int64_t task = 0;
+  int64_t channels = 0;
+  int64_t height = 0;
+  int64_t width = 0;
+  std::vector<float> pixels;
+  // kPing:
+  std::vector<uint8_t> ping_payload;
+};
+
+struct Response {
+  uint32_t request_id = 0;
+  ResponseStatus status = ResponseStatus::kOk;
+  MessageType type = MessageType::kPing;
+  std::vector<float> values;          // non-ping payload
+  std::vector<uint8_t> ping_payload;  // ping echo
+};
+
+/// Serializes one full frame (length prefix included) at `out`'s write cursor.
+void AppendRequest(const Request& request, Buffer* out);
+void AppendResponse(const Response& response, Buffer* out);
+
+enum class ParseResult {
+  kNeedMore,  // no complete frame buffered yet
+  kFrame,     // one frame extracted and consumed
+  kError,     // oversized or malformed frame; connection should close
+};
+
+/// Incremental frame extraction from a byte stream: tolerant of frames split
+/// across arbitrarily many reads and of many frames coalesced into one read.
+/// On kFrame the frame's bytes have been consumed from the buffer; on
+/// kNeedMore nothing is consumed; on kError the stream is unrecoverable.
+class FrameParser {
+ public:
+  explicit FrameParser(size_t max_body_bytes = kMaxFrameBytes)
+      : max_body_bytes_(max_body_bytes) {}
+
+  ParseResult Next(Buffer* in, Request* out);
+
+ private:
+  size_t max_body_bytes_;
+};
+
+/// Client-side twin of FrameParser for response streams.
+class ResponseParser {
+ public:
+  explicit ResponseParser(size_t max_body_bytes = kMaxFrameBytes)
+      : max_body_bytes_(max_body_bytes) {}
+
+  ParseResult Next(Buffer* in, Response* out);
+
+ private:
+  size_t max_body_bytes_;
+};
+
+}  // namespace serve
+}  // namespace cdcl
+
+#endif  // CDCL_SERVE_PROTOCOL_H_

@@ -1,0 +1,88 @@
+#ifndef CDCL_SERVE_SERVER_H_
+#define CDCL_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+
+#include "models/compact_transformer.h"
+#include "serve/batcher.h"
+#include "serve/event_loop.h"
+#include "serve/inference.h"
+#include "serve/protocol.h"
+
+namespace cdcl {
+namespace serve {
+
+/// Epoll inference server: one event-loop thread owns the acceptor and all
+/// sessions; N micro-batcher workers run fused batched evals against the
+/// published model snapshot; completed responses hop back to the loop thread
+/// (EventLoop::RunInLoop) to be written, so session state never needs a
+/// lock. Pings short-circuit at the session layer (no batcher round-trip).
+///
+/// Wire protocol, batching policy and knob table are documented in
+/// docs/serve.md.
+class InferenceServer {
+ public:
+  struct Options {
+    uint16_t port = 7070;       // 0 = ephemeral (tests/bench)
+    int64_t workers = 1;        // batcher worker threads
+    int64_t max_batch = 32;     // micro-batch ceiling
+    int64_t deadline_us = 200;  // coalescing deadline; <= 0 disables
+    size_t max_frame_bytes = kMaxFrameBytes;
+
+    /// CDCL_SERVE_PORT / CDCL_SERVE_WORKERS / CDCL_SERVE_DEADLINE_US /
+    /// CDCL_EVAL_BATCH (>0 overrides max_batch) on top of the defaults.
+    static Options FromEnv();
+  };
+
+  InferenceServer(const Options& options,
+                  std::shared_ptr<const models::CompactTransformer> model);
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Binds, starts the loop thread and the batcher workers. False when the
+  /// port cannot be bound.
+  bool Start();
+
+  /// Stops accepting, closes sessions, drains the batcher, joins threads.
+  /// Idempotent; also called by the destructor.
+  void Stop();
+
+  /// Actual bound port (resolves port=0 binds). Valid after Start().
+  uint16_t port() const { return port_; }
+
+  /// Publishes a new immutable model snapshot (SetTraining(false) and no
+  /// further mutation are the caller's contract). Thread-safe.
+  void Publish(std::shared_ptr<const models::CompactTransformer> model);
+
+  MicroBatcher::Stats batcher_stats() const { return batcher_->stats(); }
+
+ private:
+  class Session;
+
+  void HandleAccept();
+  void CloseSession(uint64_t session_id);
+  /// Loop-thread delivery of a finished micro-batch.
+  void DeliverResponses(std::vector<CompletedResponse> responses);
+
+  Options options_;
+  InferenceEngine engine_;
+  EventLoop loop_;
+  std::unique_ptr<MicroBatcher> batcher_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread loop_thread_;
+  std::atomic<bool> running_{false};
+  uint64_t next_session_id_ = 1;  // loop thread only
+  std::unordered_map<uint64_t, std::unique_ptr<Session>> sessions_;
+};
+
+}  // namespace serve
+}  // namespace cdcl
+
+#endif  // CDCL_SERVE_SERVER_H_

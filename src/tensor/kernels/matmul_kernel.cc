@@ -52,6 +52,19 @@ constexpr int64_t kSimdMinNTN = 16;   // one full output tile of columns
 std::atomic<int> g_kernel_override{-1};  // -1 = unset (env var / auto)
 std::atomic<int> g_narrow_pack{-1};      // -1 = unresolved (consult env once)
 
+// Batch-invariant dispatch (see header): thread-local because concurrent
+// inference workers must not leak the mode into training threads. Selection
+// happens on the GemmNN caller before the row partition fans out, so pool
+// worker threads never consult the flag.
+thread_local bool t_batch_invariant_gemm = false;
+
+// Nominal row count for batch-invariant auto dispatch: a saturated serving
+// micro-batch (32 requests x ~16 tokens). Any fixed value keeps the choice
+// batch-independent; this one keeps the serving shapes (d in [16, 128]) on
+// the same kernels a loaded micro-batch would pick, so the invariant mode
+// costs nothing at exactly the batch sizes the server coalesces into.
+constexpr int64_t kInvariantPolicyRows = 512;
+
 GemmKernel KernelFromEnv() {
   const std::string v = EnvString("CDCL_GEMM_KERNEL", "auto");
   if (v == "scalar") return GemmKernel::kScalar;
@@ -176,6 +189,10 @@ GemmKernel GetGemmKernel() {
 
 bool CpuHasAvx2Fma() { return internal::Avx2Available(); }
 
+void SetBatchInvariantGemm(bool enabled) { t_batch_invariant_gemm = enabled; }
+
+bool BatchInvariantGemmEnabled() { return t_batch_invariant_gemm; }
+
 void SetGemmNarrowPack(bool enabled) {
   g_narrow_pack.store(enabled ? 1 : 0, std::memory_order_relaxed);
 }
@@ -196,8 +213,11 @@ void GemmNN(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
     if (!accumulate) ZeroOutput(m, n, c);
     return;
   }
-  if (UseSimd(m >= kPackedMinM && n >= kPackedMinN && k >= kPackedMinK &&
-              (m * n * k >= kPackedMinWork ||
+  // Batch-invariant mode pins the m-dependent policy terms to a nominal row
+  // count so a row's kernel (and bits) cannot depend on batch composition.
+  const int64_t pm = t_batch_invariant_gemm ? kInvariantPolicyRows : m;
+  if (UseSimd(pm >= kPackedMinM && n >= kPackedMinN && k >= kPackedMinK &&
+              (pm * n * k >= kPackedMinWork ||
                (n < kNr && GemmNarrowPackEnabled())))) {
     GemmNNPacked(m, n, k, a, b, c, accumulate);
     return;

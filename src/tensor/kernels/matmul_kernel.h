@@ -49,6 +49,36 @@ bool GemmNarrowPackEnabled();
 /// True when the CPU (and build) support the AVX2/FMA micro-kernels.
 bool CpuHasAvx2Fma();
 
+/// Batch-invariant auto dispatch (thread-local). The auto policy is a pure
+/// function of (shape, ISA, override), and the row count m of the flattened
+/// (batch*tokens, d) eval GEMMs scales with the batch — so the SAME sample
+/// can cross a kernel threshold (and shift in the last float bit) purely
+/// because of who it was batched with. While this flag is set on the calling
+/// thread, kAuto evaluates its m-dependent conditions at a fixed nominal row
+/// count instead of the real m, making kernel choice — and therefore every
+/// per-row result — independent of batch composition. Per-row arithmetic
+/// inside each kernel is already row-partition invariant (the thread-count
+/// contract above), so pinning the choice is sufficient. The inference
+/// server's engine runs all its evals under this scope; forced kScalar /
+/// kPacked overrides are batch-invariant by construction and are unaffected.
+void SetBatchInvariantGemm(bool enabled);
+bool BatchInvariantGemmEnabled();
+
+/// RAII guard for SetBatchInvariantGemm on the current thread.
+class BatchInvariantGemmScope {
+ public:
+  BatchInvariantGemmScope() : previous_(BatchInvariantGemmEnabled()) {
+    SetBatchInvariantGemm(true);
+  }
+  ~BatchInvariantGemmScope() { SetBatchInvariantGemm(previous_); }
+
+  BatchInvariantGemmScope(const BatchInvariantGemmScope&) = delete;
+  BatchInvariantGemmScope& operator=(const BatchInvariantGemmScope&) = delete;
+
+ private:
+  bool previous_;
+};
+
 /// C(m,n) (+)= A(m,k) * B(k,n).
 void GemmNN(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
             float* c, bool accumulate);

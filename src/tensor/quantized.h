@@ -44,8 +44,12 @@ void GemmNNQuant(int64_t m, const float* a, const QuantizedBlock& b, float* c,
 
 /// Monotonic generation counter for published parameter values. Optimizer
 /// steps and bulk parameter copies bump it; quantized-weight caches compare
-/// generations to decide when a block is stale. Cheap relaxed atomics — the
-/// caches themselves are main-thread-only like the rest of the Module API.
+/// generations to decide when a block is stale. Cheap relaxed atomics. The
+/// Linear cache built on top publishes immutable blocks through an atomic
+/// shared_ptr keyed on this counter, so any number of reader threads (e.g.
+/// inference-server workers) can consume quantized weights concurrently;
+/// only the *writer* side (optimizer steps mutating the fp32 weights) must
+/// be quiesced against readers, like every other parameter mutation.
 uint64_t WeightVersion();
 void BumpWeightVersion();
 

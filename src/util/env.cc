@@ -1,7 +1,9 @@
 #include "util/env.h"
 
+#include <cerrno>
 #include <cstdlib>
 
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace cdcl {
@@ -9,13 +11,31 @@ namespace cdcl {
 int64_t EnvInt(const char* name, int64_t default_value) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return default_value;
-  return std::strtoll(v, nullptr, 10);
+  char* end = nullptr;
+  errno = 0;
+  const long long parsed = std::strtoll(v, &end, 10);
+  if (end == v || *end != '\0' || errno == ERANGE) {
+    CDCL_LOG(Warning) << "Ignoring " << name << "=\"" << v
+                      << "\": not a valid integer; using default "
+                      << default_value;
+    return default_value;
+  }
+  return static_cast<int64_t>(parsed);
 }
 
 double EnvDouble(const char* name, double default_value) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return default_value;
-  return std::strtod(v, nullptr);
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(v, &end);
+  if (end == v || *end != '\0' || errno == ERANGE) {
+    CDCL_LOG(Warning) << "Ignoring " << name << "=\"" << v
+                      << "\": not a valid number; using default "
+                      << default_value;
+    return default_value;
+  }
+  return parsed;
 }
 
 bool EnvBool(const char* name, bool default_value) {

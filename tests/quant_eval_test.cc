@@ -20,10 +20,13 @@
 // QuantizedBlock), and CompactFloats (cl/memory.h) must round-trip each
 // encoding within its format envelope while shrinking the snapshot bytes.
 
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cl/experiment.h"
@@ -200,6 +203,68 @@ TEST(QuantEvalCoherenceTest, QuantizedCacheFollowsModeAndWeightVersion) {
                 std::fabs(w.data()[0]) / 64.0f + 1e-3f);
   }
   EXPECT_EQ(linear.quantized_weight(), nullptr) << "fp32 mode must bypass";
+}
+
+// Concurrent readers of the quantized-weight cache (the inference-server
+// worker scenario): snapshots and EvalGemm outputs must stay bitwise
+// coherent while any number of threads race the rebuild-and-publish path.
+// Phase 0 races the first-touch rebuild (cache invalidated, all threads
+// quantize concurrently, last-write-wins publish of byte-identical blocks);
+// phase 1 repeats after a quiesced weight mutation + version bump, so every
+// thread must observe the rebuilt block, never the retired one. Run under
+// TSan by scripts/verify.sh.
+TEST(QuantizedCacheConcurrencyTest, ConcurrentReadersStayBitwiseCoherent) {
+  Rng rng(11);
+  nn::Linear linear(32, 24, &rng);
+  Tensor x = Tensor::Randn(Shape{6, 32}, &rng);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 64;
+  for (GemmPrecision p : {GemmPrecision::kBf16, GemmPrecision::kInt8}) {
+    PrecisionScope scope(p);
+    for (int phase = 0; phase < 2; ++phase) {
+      if (phase == 1) {
+        // Quiesced publish: mutate the fp32 weights and bump the version
+        // with no readers live (the writer-side contract).
+        Tensor w = linear.weight();
+        w.data()[0] += 0.25f;
+        BumpWeightVersion();
+      }
+      const QuantizedBlock expected = QuantizeWeight(linear.weight(), p);
+      std::vector<float> reference(6 * 24);
+      {
+        NoGradGuard no_grad;
+        linear.EvalGemm(6, x.data(), reference.data());
+      }
+      BumpWeightVersion();  // invalidate so every thread races the rebuild
+      std::atomic<int> failures{0};
+      std::vector<std::thread> readers;
+      for (int t = 0; t < kThreads; ++t) {
+        readers.emplace_back([&] {
+          NoGradGuard no_grad;  // grad mode is thread-local
+          std::vector<float> out(6 * 24);
+          for (int i = 0; i < kIters; ++i) {
+            std::shared_ptr<const QuantizedBlock> snap =
+                linear.quantized_snapshot();
+            if (snap == nullptr || snap->precision != expected.precision ||
+                snap->rows != expected.rows || snap->cols != expected.cols ||
+                snap->bf16 != expected.bf16 || snap->int8 != expected.int8 ||
+                snap->scales != expected.scales) {
+              failures.fetch_add(1);
+              continue;
+            }
+            linear.EvalGemm(6, x.data(), out.data());
+            if (std::memcmp(out.data(), reference.data(),
+                            out.size() * sizeof(float)) != 0) {
+              failures.fetch_add(1);
+            }
+          }
+        });
+      }
+      for (std::thread& reader : readers) reader.join();
+      EXPECT_EQ(failures.load(), 0)
+          << PrecisionName(p) << " phase " << phase;
+    }
+  }
 }
 
 TEST(CompactFloatsTest, Fp32ModeRoundTripsExactly) {

@@ -171,7 +171,36 @@ TEST(EnvTest, ParsesSetValues) {
   auto list = EnvStringList("CDCL_TEST_SET_VAR", {});
   ASSERT_EQ(list.size(), 2u);
   EXPECT_EQ(list[0], "a");
+  setenv("CDCL_TEST_SET_VAR", "-7", 1);
+  EXPECT_EQ(EnvInt("CDCL_TEST_SET_VAR", 5), -7);
+  setenv("CDCL_TEST_SET_VAR", "-0.5", 1);
+  EXPECT_DOUBLE_EQ(EnvDouble("CDCL_TEST_SET_VAR", 0.0), -0.5);
   unsetenv("CDCL_TEST_SET_VAR");
+}
+
+// Regression: these used to silently parse to 0 (atoll/atof semantics with
+// no endptr/errno check), so a typo'd knob like CDCL_EVAL_BATCH=4O zeroed
+// the setting instead of keeping the default.
+TEST(EnvTest, MalformedValuesFallBackToDefault) {
+  const char* bad_ints[] = {"abc", "12abc", "4O", "", " ", "0x10", "1.5",
+                            "99999999999999999999999",
+                            "-99999999999999999999999"};
+  for (const char* v : bad_ints) {
+    setenv("CDCL_TEST_BAD_VAR", v, 1);
+    EXPECT_EQ(EnvInt("CDCL_TEST_BAD_VAR", 42), 42) << "value \"" << v << '"';
+  }
+  const char* bad_doubles[] = {"abc", "1.5x", "", " ", "2e999"};
+  for (const char* v : bad_doubles) {
+    setenv("CDCL_TEST_BAD_VAR", v, 1);
+    EXPECT_DOUBLE_EQ(EnvDouble("CDCL_TEST_BAD_VAR", 2.5), 2.5)
+        << "value \"" << v << '"';
+  }
+  // Valid values still parse after the hardening.
+  setenv("CDCL_TEST_BAD_VAR", "17", 1);
+  EXPECT_EQ(EnvInt("CDCL_TEST_BAD_VAR", 42), 17);
+  setenv("CDCL_TEST_BAD_VAR", "1e3", 1);
+  EXPECT_DOUBLE_EQ(EnvDouble("CDCL_TEST_BAD_VAR", 2.5), 1000.0);
+  unsetenv("CDCL_TEST_BAD_VAR");
 }
 
 TEST(ThreadPoolTest, RunsAllTasks) {
