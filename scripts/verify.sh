@@ -4,11 +4,13 @@
 # kernel + fused-eval + arena suites (packing buffers, per-thread grad
 # scratch, per-sample score scratch, and step-arena lifetimes are where
 # bugs hide — under ASan the arena allocates per-request so a tensor
-# escaping its step scope is a real heap-use-after-free) and the serve
-# suite, a TSan pass over the lock-free concurrency suites (quantized-cache
-# publish, micro-batcher), an examples build check, and a docs
-# knob-consistency grep (README.md must not document env knobs that no
-# longer exist in the source). Usage: scripts/verify.sh [jobs]
+# escaping its step scope is a real heap-use-after-free) and the
+# ctest-labeled `concurrency` suites (serve_test + continual_serve_test), a
+# TSan pass over the lock-free concurrency suites (quantized-cache publish,
+# micro-batcher, serve-while-train snapshot hand-off) with the soak volumes
+# bumped, an examples build check, and a docs knob-consistency grep
+# (README.md must not document env knobs that no longer exist in the
+# source). Usage: scripts/verify.sh [jobs]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -33,15 +35,19 @@ for example in examples/*.cc; do
   fi
 done
 
-echo "== ASan/UBSan: kernel + batched-eval + arena + vec-math + quant + serve suites =="
+echo "== ASan/UBSan: kernel + batched-eval + arena + vec-math + quant suites =="
 asan_dir="build-verify-asan"
 cmake -B "${asan_dir}" -S . -DCMAKE_BUILD_TYPE=Debug -DCDCL_SANITIZE=ON \
   -DCDCL_BUILD_BENCH=OFF -DCDCL_BUILD_EXAMPLES=OFF
 cmake --build "${asan_dir}" -j "${JOBS}" \
   --target kernels_test gemm_packed_test batched_eval_test arena_test \
-  vec_math_test gemm_quant_test quant_eval_test serve_test
+  vec_math_test gemm_quant_test quant_eval_test serve_test \
+  continual_serve_test
 ctest --test-dir "${asan_dir}" --output-on-failure -j "${JOBS}" \
-  -R '^(kernels_test|gemm_packed_test|batched_eval_test|arena_test|vec_math_test|gemm_quant_test|quant_eval_test|serve_test)$'
+  -R '^(kernels_test|gemm_packed_test|batched_eval_test|arena_test|vec_math_test|gemm_quant_test|quant_eval_test)$'
+
+echo "== ASan/UBSan: concurrency label (serve + serve-while-train) =="
+ctest --test-dir "${asan_dir}" --output-on-failure -j "${JOBS}" -L concurrency
 
 echo "== legacy numerics mode: arena suite with CDCL_VEC_MATH=0 =="
 # The vectorized transcendental tier is a numerics mode; the libm mode must
@@ -57,9 +63,10 @@ echo "== reduced precision mode: batched-eval coherence with CDCL_GEMM_PRECISION
 CDCL_GEMM_PRECISION=bf16 ctest --test-dir "${asan_dir}" --output-on-failure \
   -j "${JOBS}" -R '^batched_eval_test$'
 
-echo "== TSan: quantized-cache + micro-batcher concurrency suites =="
+echo "== TSan: quantized-cache + micro-batcher + serve-while-train suites =="
 # The lock-free serving pieces — the QuantizedBlock cache's atomic
-# shared_ptr publish and the micro-batcher's queue/deadline handoff — are
+# shared_ptr publish, the micro-batcher's queue/deadline handoff, and the
+# continual server's snapshot publish racing live micro-batches — are
 # exactly the code ASan cannot vet. Skipped (with a note) only when the
 # toolchain cannot link ThreadSanitizer.
 tsan_probe="$(mktemp -d)"
@@ -70,11 +77,16 @@ if c++ -fsanitize=thread "${tsan_probe}/probe.cc" -o "${tsan_probe}/probe" \
   tsan_dir="build-verify-tsan"
   cmake -B "${tsan_dir}" -S . -DCMAKE_BUILD_TYPE=Debug -DCDCL_TSAN=ON \
     -DCDCL_BUILD_BENCH=OFF -DCDCL_BUILD_EXAMPLES=OFF
-  cmake --build "${tsan_dir}" -j "${JOBS}" --target quant_eval_test serve_test
+  cmake --build "${tsan_dir}" -j "${JOBS}" \
+    --target quant_eval_test serve_test continual_serve_test
   "${tsan_dir}/quant_eval_test" \
     --gtest_filter='QuantizedCacheConcurrencyTest.*'
-  "${tsan_dir}/serve_test" \
-    --gtest_filter='MicroBatcherTest.*:ServeTest.SoakManyConnectionsPipelined'
+  CDCL_SOAK_REQS=600 "${tsan_dir}/serve_test" \
+    --gtest_filter='MicroBatcherTest.*:ServeTest.Overload*:ServeTest.SlowConsumer*:ServeTest.SoakManyConnectionsPipelined'
+  # The serve-while-train torture test runs in full under TSan, with the
+  # pipelined-traffic floor bumped so the snapshot hand-offs happen under
+  # sustained load (the continual-suite analog of the CDCL_SOAK_REQS bump).
+  CDCL_SERVE_TORTURE_REQS=150 "${tsan_dir}/continual_serve_test"
 else
   echo "verify: NOTE — toolchain lacks ThreadSanitizer support, TSan pass skipped"
 fi

@@ -7,12 +7,23 @@ namespace cl {
 
 Result<ContinualResult> RunContinualExperiment(
     ContinualTrainer* trainer, const data::CrossDomainTaskStream& stream) {
+  return RunContinualExperiment(trainer, stream, ExperimentOptions{});
+}
+
+Result<ContinualResult> RunContinualExperiment(
+    ContinualTrainer* trainer, const data::CrossDomainTaskStream& stream,
+    const ExperimentOptions& options) {
   CDCL_CHECK(trainer != nullptr);
+  CDCL_CHECK_GE(options.first_task, 0);
   const int64_t num_tasks = stream.num_tasks();
   ContinualResult result{AccuracyMatrix(num_tasks), AccuracyMatrix(num_tasks)};
-  for (int64_t t = 0; t < num_tasks; ++t) {
+  for (int64_t t = options.first_task; t < num_tasks; ++t) {
     Status st = trainer->ObserveTask(stream.task(t));
     if (!st.ok()) return st;
+    // The after-task hook runs at the quiescent point between training and
+    // evaluation — the serve co-scheduler snapshots/publishes here.
+    if (options.after_task) options.after_task(t);
+    if (!options.evaluate) continue;
     // Lower-triangle evaluation: every pass below is inference-only, so the
     // trainers run it through the fused batched eval path (bitwise identical
     // to the training-time forward; CDCL_FUSED_EVAL=0 restores the op path).

@@ -1,6 +1,7 @@
 #ifndef CDCL_CL_EXPERIMENT_H_
 #define CDCL_CL_EXPERIMENT_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -45,10 +46,32 @@ struct ContinualResult {
   double cil_fgt() const { return cil.Forgetting(); }
 };
 
+/// Knobs for driving the task loop beyond the paper's fixed protocol — used
+/// by the serve-while-train co-scheduler (serve/continual.h), which needs a
+/// publish hook between tasks and sometimes a resumed or eval-free run.
+struct ExperimentOptions {
+  /// First stream task to observe (earlier tasks are assumed already
+  /// observed by the caller; their evaluation rows are left at zero).
+  int64_t first_task = 0;
+  /// Run the lower-triangle TIL/CIL evaluation after each task. Disable for
+  /// pure-throughput runs (e.g. the serve-under-training bench) where only
+  /// the task stream's training work matters.
+  bool evaluate = true;
+  /// Invoked after each ObserveTask (before that task's evaluations), on the
+  /// thread running the experiment, while the trainer is quiescent — the
+  /// safe point to snapshot/publish the model.
+  std::function<void(int64_t task_index)> after_task;
+};
+
 /// Runs the paper's protocol: sequential tasks, lower-triangle evaluation on
 /// the target-domain test splits.
 Result<ContinualResult> RunContinualExperiment(
     ContinualTrainer* trainer, const data::CrossDomainTaskStream& stream);
+
+/// Same loop with hooks/resume/eval control (see ExperimentOptions).
+Result<ContinualResult> RunContinualExperiment(
+    ContinualTrainer* trainer, const data::CrossDomainTaskStream& stream,
+    const ExperimentOptions& options);
 
 }  // namespace cl
 }  // namespace cdcl

@@ -59,6 +59,25 @@ int64_t CompactTransformer::AddTask(int64_t num_classes) {
   return til_task;
 }
 
+std::shared_ptr<CompactTransformer> CompactTransformer::CloneSnapshot() const {
+  // Rebuild the same architecture (the clone's init values are overwritten
+  // below, so the rng seed is irrelevant — it only feeds initializers), then
+  // replay the task growth so parameter registration order and shapes match
+  // the source exactly, and bulk-copy every value into the clone's own
+  // storage. CopyParametersFrom verifies name-for-name correspondence and
+  // bumps the global weight generation, which also invalidates any
+  // reduced-precision caches a previous publish may have warmed.
+  auto rng = std::make_unique<Rng>(0);
+  auto clone = std::make_shared<CompactTransformer>(config_, rng.get());
+  clone->owned_rng_ = std::move(rng);
+  for (int64_t t = 0; t < num_tasks(); ++t) {
+    clone->AddTask(task_classes(t));
+  }
+  clone->CopyParametersFrom(*this);
+  clone->SetTraining(false);
+  return clone;
+}
+
 int64_t CompactTransformer::KeyTask(int64_t task) const {
   return config_.per_task_keys ? task : 0;
 }

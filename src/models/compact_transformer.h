@@ -49,6 +49,19 @@ class CompactTransformer : public nn::Module {
   /// a task with `num_classes` classes. Returns the new task index.
   int64_t AddTask(int64_t num_classes);
 
+  /// Deep-copies this model into a self-contained, eval-mode snapshot with
+  /// its OWN parameter storage: same config, the same task structure
+  /// (replayed AddTask-for-AddTask) and bitwise-identical parameter values,
+  /// but no tensor sharing with this instance — an optimizer stepping this
+  /// model in place can never reach the clone's weights. This is the
+  /// publish-isolation contract of InferenceServer::Publish: a trainer
+  /// clones between tasks (while quiescent) and hands the clone to the
+  /// server, then keeps training the original freely
+  /// (tests/continual_serve_test.cc pins the immutability). The clone owns
+  /// its Rng (the source's is never retained), so its lifetime is fully
+  /// independent of the trainer.
+  std::shared_ptr<CompactTransformer> CloneSnapshot() const;
+
   int64_t num_tasks() const { return til_head_->num_tasks(); }
   const ModelConfig& config() const { return config_; }
   int64_t feature_dim() const { return config_.embed_dim; }
@@ -110,6 +123,8 @@ class CompactTransformer : public nn::Module {
 
   ModelConfig config_;
   Rng* rng_;
+  /// Set on CloneSnapshot() products so rng_ never dangles past the source.
+  std::unique_ptr<Rng> owned_rng_;
   std::unique_ptr<nn::ConvTokenizer> tokenizer_;
   std::vector<std::unique_ptr<nn::TransformerEncoderLayer>> layers_;
   std::unique_ptr<nn::SequencePool> pool_;

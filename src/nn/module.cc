@@ -105,6 +105,12 @@ void Module::CopyParametersFrom(const Module& other) {
   auto theirs = other.NamedParameters();
   CDCL_CHECK_EQ(mine.size(), theirs.size());
   for (size_t i = 0; i < mine.size(); ++i) {
+    // Same hierarchical name, not just same shape: two structurally
+    // different models can pair same-shaped tensors positionally (e.g. a
+    // snapshot clone whose task replay diverged), and silently copying
+    // across roles would corrupt the destination.
+    CDCL_CHECK(mine[i].name == theirs[i].name)
+        << mine[i].name << " vs " << theirs[i].name;
     CDCL_CHECK(mine[i].tensor.shape() == theirs[i].tensor.shape())
         << mine[i].name;
     mine[i].tensor.CopyDataFrom(theirs[i].tensor);

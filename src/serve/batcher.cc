@@ -41,13 +41,19 @@ void MicroBatcher::Stop() {
   workers_.clear();
 }
 
-void MicroBatcher::Submit(InferenceRequest request) {
+bool MicroBatcher::Submit(InferenceRequest request) {
   request.enqueue_time = std::chrono::steady_clock::now();
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (options_.queue_max > 0 &&
+        static_cast<int64_t>(queue_.size()) >= options_.queue_max) {
+      ++stats_.rejected;
+      return false;
+    }
     queue_.push_back(std::move(request));
   }
   ready_.notify_one();
+  return true;
 }
 
 MicroBatcher::Stats MicroBatcher::stats() const {

@@ -32,17 +32,27 @@ struct InferenceRequest {
 /// max_batch still caps the slice). The batch function runs on the worker
 /// thread; with several workers, distinct batches execute concurrently
 /// against the shared immutable model snapshot.
+///
+/// Backpressure: `queue_max > 0` bounds the number of *undispatched*
+/// requests. A Submit() that would exceed the bound is rejected (returns
+/// false, counted in Stats::rejected) instead of growing the queue without
+/// limit — the caller answers the client with kOverloaded and the
+/// connection stays usable. Requests a worker has already taken into a
+/// batch no longer count against the bound.
 class MicroBatcher {
  public:
   struct Options {
     int64_t max_batch = 32;
     int64_t deadline_us = 200;
     int64_t workers = 1;
+    int64_t queue_max = 0;  // <= 0 = unbounded
   };
 
   struct Stats {
     uint64_t batches = 0;
-    uint64_t requests = 0;
+    uint64_t requests = 0;   // dispatched into batches (Stop() drains, so
+                             // after Stop this equals every accepted Submit)
+    uint64_t rejected = 0;   // refused by the queue bound
     int64_t max_batch_seen = 0;
   };
 
@@ -60,7 +70,8 @@ class MicroBatcher {
   void Stop();
 
   /// Thread-safe; stamps the enqueue time used by the deadline policy.
-  void Submit(InferenceRequest request);
+  /// Returns false (and drops the request) when the queue bound is hit.
+  bool Submit(InferenceRequest request);
 
   Stats stats() const;
 

@@ -1,0 +1,101 @@
+#include "serve/continual.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/env.h"
+#include "util/logging.h"
+
+namespace cdcl {
+namespace serve {
+namespace {
+
+std::shared_ptr<const models::CompactTransformer> InitialClone(
+    baselines::TrainerBase* trainer) {
+  CDCL_CHECK(trainer != nullptr);
+  return trainer->model().CloneSnapshot();
+}
+
+}  // namespace
+
+ContinualServer::Options ContinualServer::Options::FromEnv() {
+  Options options;
+  options.server = InferenceServer::Options::FromEnv();
+  options.publish_every = std::max<int64_t>(
+      1, EnvInt("CDCL_SERVE_PUBLISH_EVERY", options.publish_every));
+  return options;
+}
+
+ContinualServer::ContinualServer(const Options& options,
+                                 baselines::TrainerBase* trainer)
+    : options_(options),
+      trainer_(trainer),
+      initial_snapshot_(InitialClone(trainer)),
+      server_(options_.server, initial_snapshot_) {
+  CDCL_CHECK_GE(options_.publish_every, 1);
+}
+
+ContinualServer::~ContinualServer() { Stop(); }
+
+void ContinualServer::SetPublishObserver(PublishObserver observer) {
+  CDCL_CHECK(!training_started_) << "set the observer before BeginTraining";
+  observer_ = std::move(observer);
+}
+
+bool ContinualServer::Start() {
+  if (!server_.Start()) return false;
+  // The construction-time clone is the version-1 snapshot the engine was
+  // built with; surface it through the same observer channel as later
+  // publishes so a registry of published versions is complete.
+  publishes_.store(1, std::memory_order_relaxed);
+  if (observer_) observer_(server_.published_version(), initial_snapshot_);
+  return true;
+}
+
+void ContinualServer::Stop() {
+  if (train_thread_.joinable()) train_thread_.join();
+  server_.Stop();
+}
+
+uint32_t ContinualServer::PublishSnapshot() {
+  std::shared_ptr<const models::CompactTransformer> snapshot =
+      trainer_->model().CloneSnapshot();
+  const uint32_t version = server_.Publish(snapshot);
+  publishes_.fetch_add(1, std::memory_order_relaxed);
+  if (observer_) observer_(version, snapshot);
+  return version;
+}
+
+void ContinualServer::BeginTraining(const data::CrossDomainTaskStream& stream,
+                                    cl::ExperimentOptions base) {
+  CDCL_CHECK(!training_started_) << "BeginTraining may be called once";
+  training_started_ = true;
+  const int64_t last_task = stream.num_tasks() - 1;
+  train_thread_ = std::thread([this, &stream, base, last_task]() {
+    cl::ExperimentOptions options = base;
+    const auto user_hook = base.after_task;
+    // Publish cadence state lives on the training thread; the hook runs at
+    // the experiment's quiescent point, so the trainer is safe to clone.
+    int64_t since_publish = 0;
+    options.after_task = [this, user_hook, last_task,
+                          &since_publish](int64_t t) {
+      if (user_hook) user_hook(t);
+      ++since_publish;
+      if (since_publish >= options_.publish_every || t == last_task) {
+        since_publish = 0;
+        PublishSnapshot();
+      }
+    };
+    train_result_ = cl::RunContinualExperiment(trainer_, stream, options);
+    training_done_.store(true, std::memory_order_release);
+  });
+}
+
+Result<cl::ContinualResult> ContinualServer::WaitForTraining() {
+  CDCL_CHECK(training_started_) << "BeginTraining was never called";
+  if (train_thread_.joinable()) train_thread_.join();
+  return train_result_;
+}
+
+}  // namespace serve
+}  // namespace cdcl

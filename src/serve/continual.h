@@ -1,0 +1,117 @@
+#ifndef CDCL_SERVE_CONTINUAL_H_
+#define CDCL_SERVE_CONTINUAL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+
+#include "baselines/trainer_base.h"
+#include "cl/experiment.h"
+#include "data/task_stream.h"
+#include "serve/server.h"
+#include "util/status.h"
+
+namespace cdcl {
+namespace serve {
+
+/// Serve-while-train co-scheduler: runs the continual-learning task loop
+/// (cl::RunContinualExperiment) on a dedicated training thread while an
+/// InferenceServer keeps answering traffic against the last published
+/// snapshot. After every `publish_every` tasks (and always after the final
+/// one) the trainer — quiescent at the experiment's after-task hook — is
+/// deep-copied via CompactTransformer::CloneSnapshot() and atomically
+/// published; in-flight micro-batches finish on whichever snapshot they
+/// loaded, new batches pick up the new one, and every response carries the
+/// snapshot's version so clients observe the hand-off explicitly.
+///
+/// Lifecycle: Start() (binds + publishes the trainer's current state as the
+/// initial snapshot) -> BeginTraining(stream) -> WaitForTraining() ->
+/// Stop(). The trainer must outlive the ContinualServer and must not be
+/// driven by anyone else while training runs.
+class ContinualServer {
+ public:
+  struct Options {
+    InferenceServer::Options server;
+    /// Publish a fresh snapshot after every N observed tasks (the final task
+    /// always publishes regardless). Must be >= 1.
+    int64_t publish_every = 1;
+
+    /// InferenceServer::Options::FromEnv() plus CDCL_SERVE_PUBLISH_EVERY.
+    static Options FromEnv();
+  };
+
+  /// Invoked after each publish, on the publishing thread, with the version
+  /// the snapshot was assigned and the snapshot itself. Tests use this to
+  /// build a version -> model registry for bitwise replay; the bench counts
+  /// publishes. Set before Start().
+  using PublishObserver = std::function<void(
+      uint32_t version,
+      std::shared_ptr<const models::CompactTransformer> snapshot)>;
+
+  ContinualServer(const Options& options, baselines::TrainerBase* trainer);
+  ~ContinualServer();
+
+  ContinualServer(const ContinualServer&) = delete;
+  ContinualServer& operator=(const ContinualServer&) = delete;
+
+  void SetPublishObserver(PublishObserver observer);
+
+  /// Publishes the trainer's current state as the initial snapshot and
+  /// starts the inference server. False when the port cannot be bound.
+  bool Start();
+
+  /// Stops the server and, if training is still running, waits for it to
+  /// finish first (the training thread owns the trainer; there is no
+  /// preemption point inside a task). Idempotent.
+  void Stop();
+
+  /// Launches the experiment loop on the training thread. `base` seeds the
+  /// experiment options (first_task/evaluate); its after_task hook, if any,
+  /// runs before the publish decision. `stream` is captured by reference and
+  /// must outlive WaitForTraining(). Call at most once.
+  void BeginTraining(const data::CrossDomainTaskStream& stream,
+                     cl::ExperimentOptions base = {});
+
+  /// Joins the training thread and returns the experiment result. Valid
+  /// after BeginTraining(); safe to call once.
+  Result<cl::ContinualResult> WaitForTraining();
+
+  bool training_done() const {
+    return training_done_.load(std::memory_order_acquire);
+  }
+  uint64_t publishes() const {
+    return publishes_.load(std::memory_order_relaxed);
+  }
+
+  uint16_t port() const { return server_.port(); }
+  InferenceServer& server() { return server_; }
+  const baselines::TrainerBase& trainer() const { return *trainer_; }
+
+ private:
+  /// Clones the (quiescent) trainer model and publishes it; notifies the
+  /// observer. Runs on whichever thread holds the trainer still (the caller
+  /// of Start(), or the training thread at the after-task hook).
+  uint32_t PublishSnapshot();
+
+  Options options_;
+  baselines::TrainerBase* trainer_;
+  /// Clone taken at construction, fed to the server as its version-1
+  /// snapshot; kept so Start() can hand it to the observer.
+  std::shared_ptr<const models::CompactTransformer> initial_snapshot_;
+  InferenceServer server_;
+  PublishObserver observer_;
+
+  std::thread train_thread_;
+  std::atomic<bool> training_done_{false};
+  std::atomic<uint64_t> publishes_{0};
+  bool training_started_ = false;
+  Result<cl::ContinualResult> train_result_{
+      Status::FailedPrecondition("training never started")};
+};
+
+}  // namespace serve
+}  // namespace cdcl
+
+#endif  // CDCL_SERVE_CONTINUAL_H_

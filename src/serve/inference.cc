@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstring>
 #include <map>
+#include <mutex>
 #include <utility>
 
 #include "tensor/arena.h"
@@ -19,31 +20,71 @@ namespace {
 /// loops).
 thread_local Arena t_worker_arena;
 
-}  // namespace
+/// Publish-during-dispatch fault-injection seam (SetRunSeamForTest). Guarded
+/// by a mutex rather than an atomic because tests install/clear it around
+/// traffic from a different thread than the workers that invoke it.
+std::mutex g_run_seam_mutex;
+std::function<void(uint32_t)> g_run_seam;  // guarded by g_run_seam_mutex
 
-InferenceEngine::InferenceEngine(
-    std::shared_ptr<const models::CompactTransformer> model)
-    : model_(std::move(model)) {
-  CDCL_CHECK(model_ != nullptr);
+std::function<void(uint32_t)> LoadRunSeam() {
+  std::lock_guard<std::mutex> lock(g_run_seam_mutex);
+  return g_run_seam;
 }
 
-void InferenceEngine::Publish(
+}  // namespace
+
+void SetRunSeamForTest(std::function<void(uint32_t version)> seam) {
+  std::lock_guard<std::mutex> lock(g_run_seam_mutex);
+  g_run_seam = std::move(seam);
+}
+
+InferenceEngine::InferenceEngine(
     std::shared_ptr<const models::CompactTransformer> model) {
   CDCL_CHECK(model != nullptr);
-  std::atomic_store_explicit(&model_, std::move(model),
+  auto snapshot = std::make_shared<VersionedSnapshot>();
+  snapshot->model = std::move(model);
+  snapshot->version = 1;
+  snapshot_ = std::move(snapshot);
+}
+
+uint32_t InferenceEngine::Publish(
+    std::shared_ptr<const models::CompactTransformer> model) {
+  CDCL_CHECK(model != nullptr);
+  auto snapshot = std::make_shared<VersionedSnapshot>();
+  snapshot->model = std::move(model);
+  snapshot->version = next_version_.fetch_add(1, std::memory_order_relaxed);
+  const uint32_t version = snapshot->version;
+  std::atomic_store_explicit(&snapshot_,
+                             std::shared_ptr<const VersionedSnapshot>(
+                                 std::move(snapshot)),
                              std::memory_order_release);
+  return version;
+}
+
+std::shared_ptr<const InferenceEngine::VersionedSnapshot>
+InferenceEngine::Load() const {
+  return std::atomic_load_explicit(&snapshot_, std::memory_order_acquire);
 }
 
 std::shared_ptr<const models::CompactTransformer> InferenceEngine::Snapshot()
     const {
-  return std::atomic_load_explicit(&model_, std::memory_order_acquire);
+  return Load()->model;
 }
+
+uint32_t InferenceEngine::version() const { return Load()->version; }
 
 std::vector<CompletedResponse> InferenceEngine::Run(
     std::vector<InferenceRequest> batch) const {
-  const std::shared_ptr<const models::CompactTransformer> model = Snapshot();
-  const models::ModelConfig& config = model->config();
-  const int64_t d = model->feature_dim();
+  // ONE atomic load per batch: every response below — values, status and
+  // version stamp alike — comes from this (model, version) pair, so a
+  // Publish() landing anywhere during execution can never mix generations
+  // within the batch.
+  const std::shared_ptr<const VersionedSnapshot> snapshot = Load();
+  const models::CompactTransformer& model = *snapshot->model;
+  const models::ModelConfig& config = model.config();
+  const int64_t d = model.feature_dim();
+
+  if (const auto seam = LoadRunSeam()) seam(snapshot->version);
 
   // Serving determinism contract: a response must not depend on which other
   // requests happened to share its micro-batch. Kernel auto-dispatch is a
@@ -61,13 +102,14 @@ std::vector<CompletedResponse> InferenceEngine::Run(
     out[i].session_id = batch[i].session_id;
     out[i].response.request_id = req.request_id;
     out[i].response.type = req.type;
+    out[i].response.version = snapshot->version;
     if (req.type == MessageType::kPing) {
       // Pings are normally echoed at the session layer; one that reaches the
       // batcher is still answered, just without payload copies.
       out[i].response.ping_payload = req.ping_payload;
       continue;
     }
-    if (req.task < 0 || req.task >= model->num_tasks()) {
+    if (req.task < 0 || req.task >= model.num_tasks()) {
       out[i].response.status = ResponseStatus::kBadTask;
       continue;
     }
@@ -98,7 +140,7 @@ std::vector<CompletedResponse> InferenceEngine::Run(
                   batch[indices[static_cast<size_t>(r)]].request.pixels.data(),
                   static_cast<size_t>(pixels_per_image) * sizeof(float));
     }
-    Tensor z = model->EncodeSelfBatched(images, task);
+    Tensor z = model.EncodeSelfBatched(images, task);
 
     // Head pass per response type, each as one batched GEMM over the rows
     // that asked for it (GEMM rows are bitwise independent, so sub-batching
@@ -128,8 +170,8 @@ std::vector<CompletedResponse> InferenceEngine::Run(
       }
       NoGradGuard no_grad;
       Tensor logits = type == MessageType::kClassifyTil
-                          ? model->TilLogits(zs, task)
-                          : model->CilLogits(zs);
+                          ? model.TilLogits(zs, task)
+                          : model.CilLogits(zs);
       const int64_t u = logits.dim(1);
       for (size_t r = 0; r < rows.size(); ++r) {
         std::vector<float>& values = out[indices[rows[r]]].response.values;

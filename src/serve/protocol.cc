@@ -90,6 +90,7 @@ void AppendResponse(const Response& response, Buffer* out) {
   body.push_back(static_cast<uint8_t>(response.status));
   body.push_back(static_cast<uint8_t>(response.type));
   PutU16(0, &body);
+  PutU32(response.version, &body);
   if (response.type == MessageType::kPing) {
     body.insert(body.end(), response.ping_payload.begin(),
                 response.ping_payload.end());
@@ -148,17 +149,21 @@ ParseResult ResponseParser::Next(Buffer* in, Response* out) {
   const ParseResult located = LocateFrame(*in, max_body_bytes_, &body, &len);
   if (located != ParseResult::kFrame) return located;
 
-  // Fixed response header: request_id + status + type + 2 reserved.
-  constexpr size_t kHeader = 8;
+  // Fixed response header: request_id + status + type + 2 reserved + version.
+  constexpr size_t kHeader = 12;
   if (len < kHeader) return ParseResult::kError;
   const uint8_t raw_type = body[5];
   if (raw_type > static_cast<uint8_t>(MessageType::kEncode)) {
+    return ParseResult::kError;
+  }
+  if (body[4] > static_cast<uint8_t>(ResponseStatus::kOverloaded)) {
     return ParseResult::kError;
   }
   *out = Response();
   out->request_id = GetU32(body);
   out->status = static_cast<ResponseStatus>(body[4]);
   out->type = static_cast<MessageType>(raw_type);
+  out->version = GetU32(body + 8);
 
   if (out->type == MessageType::kPing) {
     out->ping_payload.assign(body + kHeader, body + len);

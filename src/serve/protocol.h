@@ -27,13 +27,17 @@ namespace serve {
 //
 // Response body:
 //
-//   u32 request_id | u8 status | u8 type | u16 zero | payload
+//   u32 request_id | u8 status | u8 type | u16 zero | u32 version | payload
 //
 //   kPing          payload = the echoed bytes
 //   others         u32 count | f32 values[count]   (logits or embedding)
 //
 // Responses carry the request_id because the micro-batcher may reorder
 // completions across a pipelined connection; clients match on id, not order.
+// `version` is the published-snapshot generation that computed the response
+// (monotonic per server; pings echo the currently-published generation), so
+// a client of a continually-trained server can observe exactly which model
+// answered — and tests can assert that one response never mixes snapshots.
 // Frames whose body_len exceeds the parser's limit are a protocol error and
 // the server closes the connection (a length prefix of garbage would
 // otherwise stall the session forever waiting for terabytes).
@@ -51,6 +55,7 @@ enum class ResponseStatus : uint8_t {
   kBadRequest = 1,  // malformed body for the declared type
   kBadTask = 2,     // task id outside the model's task range
   kBadShape = 3,    // image dims disagree with the model config
+  kOverloaded = 4,  // batcher queue full; retry later (connection stays open)
 };
 
 /// Default body-size ceiling: fits a 224x224x3 fp32 image with headroom.
@@ -73,6 +78,7 @@ struct Response {
   uint32_t request_id = 0;
   ResponseStatus status = ResponseStatus::kOk;
   MessageType type = MessageType::kPing;
+  uint32_t version = 0;               // snapshot generation that answered
   std::vector<float> values;          // non-ping payload
   std::vector<uint8_t> ping_payload;  // ping echo
 };

@@ -74,15 +74,32 @@ class InferenceServer::Session {
         Response echo;
         echo.request_id = request.request_id;
         echo.type = MessageType::kPing;
+        // Pings double as a version probe: the echo carries the currently
+        // published snapshot generation, so a client can watch a continual
+        // trainer's publishes without spending an eval.
+        echo.version = server_->engine_.version();
         echo.ping_payload = std::move(request.ping_payload);
         if (!QueueResponse(echo)) return false;
         continue;
       }
-      ++in_flight_;
+      const uint32_t request_id = request.request_id;
+      const MessageType type = request.type;
       InferenceRequest inference;
       inference.session_id = id_;
       inference.request = std::move(request);
-      server_->batcher_->Submit(std::move(inference));
+      if (!server_->batcher_->Submit(std::move(inference))) {
+        // Bounded-queue backpressure: answer right away instead of queueing
+        // without limit. The connection stays fully usable — the client can
+        // retry after draining some of its in-flight window.
+        Response overloaded;
+        overloaded.request_id = request_id;
+        overloaded.status = ResponseStatus::kOverloaded;
+        overloaded.type = type;
+        overloaded.version = server_->engine_.version();
+        if (!QueueResponse(overloaded)) return false;
+        continue;
+      }
+      ++in_flight_;
     }
     if (status == IoStatus::kError) return false;
     if (status == IoStatus::kEof) {
@@ -129,6 +146,7 @@ InferenceServer::Options InferenceServer::Options::FromEnv() {
   options.port = static_cast<uint16_t>(EnvInt("CDCL_SERVE_PORT", options.port));
   options.workers = EnvInt("CDCL_SERVE_WORKERS", options.workers);
   options.deadline_us = EnvInt("CDCL_SERVE_DEADLINE_US", options.deadline_us);
+  options.queue_max = EnvInt("CDCL_SERVE_QUEUE_MAX", options.queue_max);
   const int64_t batch = EnvInt("CDCL_EVAL_BATCH", 0);
   if (batch > 0) options.max_batch = batch;
   return options;
@@ -142,6 +160,7 @@ InferenceServer::InferenceServer(
   batcher_options.max_batch = options_.max_batch;
   batcher_options.deadline_us = options_.deadline_us;
   batcher_options.workers = options_.workers;
+  batcher_options.queue_max = options_.queue_max;
   batcher_ = std::make_unique<MicroBatcher>(
       batcher_options, [this](std::vector<InferenceRequest> batch) {
         std::vector<CompletedResponse> responses =
@@ -176,7 +195,7 @@ bool InferenceServer::Start() {
   CDCL_LOG(Info) << "serve: listening on 127.0.0.1:" << port_ << " ("
                  << options_.workers << " workers, max_batch "
                  << options_.max_batch << ", deadline " << options_.deadline_us
-                 << "us)";
+                 << "us, queue_max " << options_.queue_max << ")";
   return true;
 }
 
@@ -194,9 +213,9 @@ void InferenceServer::Stop() {
   }
 }
 
-void InferenceServer::Publish(
+uint32_t InferenceServer::Publish(
     std::shared_ptr<const models::CompactTransformer> model) {
-  engine_.Publish(std::move(model));
+  return engine_.Publish(std::move(model));
 }
 
 void InferenceServer::HandleAccept() {

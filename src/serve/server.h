@@ -31,10 +31,15 @@ class InferenceServer {
     int64_t workers = 1;        // batcher worker threads
     int64_t max_batch = 32;     // micro-batch ceiling
     int64_t deadline_us = 200;  // coalescing deadline; <= 0 disables
+    /// Backpressure bound on undispatched batcher requests: a request that
+    /// would exceed it is answered immediately with kOverloaded instead of
+    /// growing the queue without limit. <= 0 = unbounded (seed behavior).
+    int64_t queue_max = 1024;
     size_t max_frame_bytes = kMaxFrameBytes;
 
     /// CDCL_SERVE_PORT / CDCL_SERVE_WORKERS / CDCL_SERVE_DEADLINE_US /
-    /// CDCL_EVAL_BATCH (>0 overrides max_batch) on top of the defaults.
+    /// CDCL_SERVE_QUEUE_MAX / CDCL_EVAL_BATCH (>0 overrides max_batch) on
+    /// top of the defaults.
     static Options FromEnv();
   };
 
@@ -57,8 +62,14 @@ class InferenceServer {
   uint16_t port() const { return port_; }
 
   /// Publishes a new immutable model snapshot (SetTraining(false) and no
-  /// further mutation are the caller's contract). Thread-safe.
-  void Publish(std::shared_ptr<const models::CompactTransformer> model);
+  /// further mutation are the caller's contract;
+  /// CompactTransformer::CloneSnapshot() produces one from a live trainer
+  /// model). Thread-safe. Returns the snapshot's version — the generation
+  /// stamped into every response it computes.
+  uint32_t Publish(std::shared_ptr<const models::CompactTransformer> model);
+
+  /// Version of the currently published snapshot.
+  uint32_t published_version() const { return engine_.version(); }
 
   MicroBatcher::Stats batcher_stats() const { return batcher_->stats(); }
 

@@ -26,6 +26,7 @@
 #include "serve/batcher.h"
 #include "serve/buffer.h"
 #include "serve/client.h"
+#include "serve/inference.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
 #include "tensor/kernels/kernel_context.h"
@@ -154,6 +155,7 @@ TEST(ProtocolTest, ResponseRoundTrip) {
   sent.request_id = 42;
   sent.status = ResponseStatus::kBadTask;
   sent.type = MessageType::kClassifyCil;
+  sent.version = 0xCAFE1234u;
   sent.values = {1.5f, -2.25f, 0.0f, 3e-20f};
   Buffer wire;
   AppendResponse(sent, &wire);
@@ -163,6 +165,8 @@ TEST(ProtocolTest, ResponseRoundTrip) {
   EXPECT_EQ(parsed.request_id, 42u);
   EXPECT_EQ(parsed.status, ResponseStatus::kBadTask);
   EXPECT_EQ(parsed.type, MessageType::kClassifyCil);
+  EXPECT_EQ(parsed.version, 0xCAFE1234u)
+      << "snapshot version must survive the wire";
   ASSERT_EQ(parsed.values.size(), sent.values.size());
   EXPECT_EQ(std::memcmp(parsed.values.data(), sent.values.data(),
                         sent.values.size() * sizeof(float)),
@@ -366,6 +370,51 @@ TEST(MicroBatcherTest, ZeroDeadlineDisablesCoalescing) {
   batcher.Stop();
 }
 
+TEST(MicroBatcherTest, BoundedQueueRejectsWhenFullAndCountsRejections) {
+  // One worker parked inside the batch fn => whatever we Submit afterwards
+  // stays in the (bounded) queue deterministically.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<size_t> dispatched{0};
+  MicroBatcher::Options options;
+  options.max_batch = 1;
+  options.deadline_us = 0;
+  options.queue_max = 2;
+  MicroBatcher batcher(options,
+                       [&](std::vector<serve::InferenceRequest> batch) {
+                         dispatched.fetch_add(batch.size());
+                         std::unique_lock<std::mutex> lock(mu);
+                         cv.wait(lock, [&] { return release; });
+                       });
+  batcher.Start();
+  ASSERT_TRUE(batcher.Submit(BatcherRequest(1)));
+  for (int i = 0; i < 10000 && dispatched.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(dispatched.load(), 1u) << "worker never picked up the request";
+
+  // The worker is blocked holding request 1: these two fill the queue...
+  EXPECT_TRUE(batcher.Submit(BatcherRequest(2)));
+  EXPECT_TRUE(batcher.Submit(BatcherRequest(3)));
+  // ...and these two must bounce without growing it.
+  EXPECT_FALSE(batcher.Submit(BatcherRequest(4)));
+  EXPECT_FALSE(batcher.Submit(BatcherRequest(5)));
+  EXPECT_EQ(batcher.stats().rejected, 2u);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  batcher.Stop();  // drains 2 and 3
+  EXPECT_EQ(dispatched.load(), 3u) << "queued (accepted) requests must not "
+                                      "be dropped by the bound";
+  const MicroBatcher::Stats stats = batcher.stats();
+  EXPECT_EQ(stats.requests, 3u) << "rejected requests must not count";
+  EXPECT_EQ(stats.rejected, 2u);
+}
+
 TEST(MicroBatcherTest, StopDrainsQueuedRequests) {
   BatchCollector collector;
   MicroBatcher::Options options;
@@ -472,6 +521,8 @@ TEST_F(ServeTest, PingEchoes) {
   EXPECT_EQ(response.status, ResponseStatus::kOk);
   EXPECT_EQ(response.type, MessageType::kPing);
   EXPECT_EQ(response.ping_payload, ping.ping_payload);
+  EXPECT_EQ(response.version, 1u)
+      << "ping echoes the current snapshot version (cheap version probe)";
 }
 
 TEST_F(ServeTest, ClassifyAndEncodeMatchQuiescedEval) {
@@ -636,6 +687,131 @@ TEST_F(ServeTest, LargePingForcesPartialWriteBuffering) {
       << "echo must survive EPOLLOUT-driven partial-write flushing";
 }
 
+TEST_F(ServeTest, OverloadRepliesKOverloadedAndConnectionSurvives) {
+  // Park the single worker at the run seam so the bounded queue fills
+  // deterministically — no sleeps, no load-dependent timing.
+  struct Gate {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool open = false;
+    std::atomic<int> held{0};
+  } gate;
+  serve::SetRunSeamForTest([&gate](uint32_t) {
+    gate.held.fetch_add(1);
+    std::unique_lock<std::mutex> lock(gate.mu);
+    gate.cv.wait(lock, [&gate] { return gate.open; });
+  });
+
+  serve::InferenceServer::Options options;
+  options.workers = 1;
+  options.max_batch = 1;
+  options.deadline_us = 0;
+  options.queue_max = 2;
+  StartServer(options);
+  serve::Client client;
+  ASSERT_TRUE(client.Connect(server_->port()));
+
+  // Request 1 dispatches into the parked worker; wait for it to be HELD (not
+  // merely queued) so requests 2..5 land in the bounded queue, not a batch.
+  std::map<uint32_t, Request> sent;
+  Request first = MakeRequest(MessageType::kEncode, 1, 0, 21);
+  ASSERT_TRUE(client.Send(first));
+  sent.emplace(1, std::move(first));
+  for (int i = 0; i < 10000 && gate.held.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(gate.held.load(), 1);
+
+  // 2 and 3 fill the queue; 4 and 5 must bounce as kOverloaded frames.
+  for (uint32_t id = 2; id <= 5; ++id) {
+    Request request = MakeRequest(MessageType::kEncode, id, 0, 20 + id);
+    ASSERT_TRUE(client.Send(request));
+    sent.emplace(id, std::move(request));
+  }
+
+  // The rejections are answered immediately by the loop thread, so they
+  // arrive first — version-stamped with the current snapshot like any other
+  // response, and with empty payloads.
+  for (uint32_t want_id : {4u, 5u}) {
+    Response response;
+    ASSERT_TRUE(client.Receive(&response));
+    EXPECT_EQ(response.request_id, want_id);
+    EXPECT_EQ(response.status, ResponseStatus::kOverloaded);
+    EXPECT_EQ(response.type, MessageType::kEncode);
+    EXPECT_EQ(response.version, server_->published_version());
+    EXPECT_TRUE(response.values.empty());
+  }
+
+  // Release the worker: the accepted requests (1..3) must all complete, and
+  // the connection must stay fully usable after the overload episode.
+  {
+    std::lock_guard<std::mutex> lock(gate.mu);
+    gate.open = true;
+  }
+  gate.cv.notify_all();
+  for (int i = 0; i < 3; ++i) {
+    Response response;
+    ASSERT_TRUE(client.Receive(&response)) << i;
+    ASSERT_EQ(response.status, ResponseStatus::kOk);
+    ExpectBitwiseEqual(response.values, Reference(sent.at(response.request_id)),
+                       "post-overload drain");
+  }
+  Response response;
+  const Request again = MakeRequest(MessageType::kClassifyTil, 9, 0, 31);
+  ASSERT_TRUE(client.Call(again, &response));
+  ASSERT_EQ(response.status, ResponseStatus::kOk);
+  ExpectBitwiseEqual(response.values, Reference(again), "post-overload call");
+
+  EXPECT_EQ(server_->batcher_stats().rejected, 2u);
+  serve::SetRunSeamForTest(nullptr);
+}
+
+TEST_F(ServeTest, SlowConsumerStoppingMidBurstStillGetsEveryResponse) {
+  serve::InferenceServer::Options options;
+  options.workers = 2;
+  options.max_batch = 8;
+  options.deadline_us = 200;
+  StartServer(options);
+  serve::Client client;
+  ASSERT_TRUE(client.Connect(server_->port()));
+
+  // Burst a window of work — including fat ping echoes that overflow socket
+  // buffers — then stop consuming entirely: the server must park the backlog
+  // in per-session output buffers (EPOLLOUT-driven flushing) instead of
+  // blocking its loop thread or dropping responses.
+  constexpr uint32_t kCount = 24;
+  std::map<uint32_t, Request> sent;
+  for (uint32_t id = 1; id <= kCount; ++id) {
+    Request request;
+    if (id % 3 == 0) {
+      request.type = MessageType::kPing;
+      request.request_id = id;
+      request.ping_payload.assign(256u << 10,
+                                  static_cast<uint8_t>(id & 0xff));
+    } else {
+      request = MakeRequest(MessageType::kEncode, id, 0, 40 + id);
+    }
+    ASSERT_TRUE(client.Send(request));
+    sent.emplace(id, std::move(request));
+  }
+  // Mid-burst stall: the consumer goes silent while responses pile up.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  for (uint32_t i = 0; i < kCount; ++i) {
+    Response response;
+    ASSERT_TRUE(client.Receive(&response)) << i;
+    ASSERT_EQ(response.status, ResponseStatus::kOk);
+    const Request& want = sent.at(response.request_id);
+    if (want.type == MessageType::kPing) {
+      EXPECT_EQ(response.ping_payload, want.ping_payload);
+    } else {
+      ExpectBitwiseEqual(response.values, Reference(want), "slow consumer");
+    }
+  }
+  EXPECT_EQ(server_->batcher_stats().rejected, 0u)
+      << "a slow reader alone must not trip admission control";
+}
+
 TEST_F(ServeTest, PublishSwapsModelSnapshot) {
   StartServer({});
   serve::Client client;
@@ -644,6 +820,7 @@ TEST_F(ServeTest, PublishSwapsModelSnapshot) {
   const Request future_task = MakeRequest(MessageType::kClassifyTil, 1, 2, 8);
   ASSERT_TRUE(client.Call(future_task, &response));
   EXPECT_EQ(response.status, ResponseStatus::kBadTask);
+  EXPECT_EQ(response.version, 1u);
 
   // Publish a grown model (same shape, one more task head).
   Rng rng(43);
@@ -652,11 +829,13 @@ TEST_F(ServeTest, PublishSwapsModelSnapshot) {
   grown->AddTask(2);
   grown->AddTask(4);
   grown->SetTraining(false);
-  server_->Publish(grown);
+  EXPECT_EQ(server_->Publish(grown), 2u);
+  EXPECT_EQ(server_->published_version(), 2u);
   model_ = grown;  // Reference() should follow the published snapshot
 
   ASSERT_TRUE(client.Call(future_task, &response));
   ASSERT_EQ(response.status, ResponseStatus::kOk);
+  EXPECT_EQ(response.version, 2u);
   ExpectBitwiseEqual(response.values, Reference(future_task), "post-publish");
 }
 

@@ -1,0 +1,93 @@
+// cdcl_continual_serve: serve-while-train demo driver.
+//
+// Runs the CDCL continual experiment (synthetic digits MN->US stream) on a
+// dedicated training thread while the epoll inference server answers traffic
+// the whole time. After each task the trainer's model is deep-copied
+// (CompactTransformer::CloneSnapshot) and atomically published; responses
+// carry the snapshot version, so clients can watch the model generations
+// advance live. Serves until SIGINT/SIGTERM (training finishes on its own;
+// the final snapshot keeps serving).
+//
+// Knobs: CDCL_SERVE_PORT, CDCL_SERVE_WORKERS, CDCL_SERVE_DEADLINE_US,
+// CDCL_SERVE_QUEUE_MAX (backpressure bound), CDCL_SERVE_PUBLISH_EVERY
+// (publish cadence in tasks), CDCL_EVAL_BATCH (micro-batch ceiling),
+// CDCL_TASKS / CDCL_EPOCHS (stream length / schedule).
+
+#include <csignal>
+
+#include "core/cdcl_trainer.h"
+#include "data/task_stream.h"
+#include "serve/continual.h"
+#include "util/env.h"
+#include "util/logging.h"
+
+int main() {
+  using namespace cdcl;  // NOLINT: tool brevity
+
+  data::TaskStreamOptions stream_opt;
+  stream_opt.family = "digits";
+  stream_opt.source_domain = "MN";
+  stream_opt.target_domain = "US";
+  stream_opt.num_tasks = EnvInt("CDCL_TASKS", 3);
+  stream_opt.classes_per_task = 2;
+  stream_opt.train_per_class = 12;
+  stream_opt.test_per_class = 6;
+  stream_opt.seed = 1;
+  auto stream = data::CrossDomainTaskStream::Make(stream_opt);
+  if (!stream.ok()) {
+    CDCL_LOG(Error) << "stream: " << stream.status().ToString();
+    return 1;
+  }
+
+  core::CdclOptions trainer_opt;
+  trainer_opt.base.model.image_hw = 16;
+  trainer_opt.base.model.channels = 1;
+  trainer_opt.base.model.embed_dim = 16;
+  trainer_opt.base.model.num_layers = 1;
+  trainer_opt.base.epochs = EnvInt("CDCL_EPOCHS", 6);
+  trainer_opt.base.warmup_epochs = 2;
+  trainer_opt.base.batch_size = 8;
+  trainer_opt.base.memory_size = 40;
+  trainer_opt.base.seed = 3;
+  core::CdclTrainer trainer(trainer_opt);
+
+  // Block SIGINT/SIGTERM before any thread spawns so the signal only ever
+  // reaches the sigwait below, never a worker or the trainer mid-kernel.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  serve::ContinualServer continual(serve::ContinualServer::Options::FromEnv(),
+                                   &trainer);
+  continual.SetPublishObserver([](uint32_t version, const auto& snapshot) {
+    CDCL_LOG(Info) << "cdcl_continual_serve: published v" << version << " ("
+                   << snapshot->num_tasks() << " tasks)";
+  });
+  if (!continual.Start()) return 1;
+  CDCL_LOG(Info) << "cdcl_continual_serve: serving on port "
+                 << continual.port() << ", training "
+                 << stream->num_tasks() << " tasks in the background";
+  continual.BeginTraining(*stream);
+
+  int sig = 0;
+  sigwait(&signals, &sig);
+  CDCL_LOG(Info) << "cdcl_continual_serve: signal " << sig
+                 << ", shutting down";
+  if (continual.training_done()) {
+    Result<cl::ContinualResult> result = continual.WaitForTraining();
+    if (result.ok()) {
+      CDCL_LOG(Info) << "cdcl_continual_serve: TIL acc "
+                     << result->til_acc() << " CIL acc " << result->cil_acc();
+    }
+  }
+  const auto stats = continual.server().batcher_stats();
+  continual.Stop();
+  CDCL_LOG(Info) << "cdcl_continual_serve: served " << stats.requests
+                 << " requests in " << stats.batches << " batches, rejected "
+                 << stats.rejected << ", " << continual.publishes()
+                 << " publishes (latest v"
+                 << continual.server().published_version() << ")";
+  return 0;
+}

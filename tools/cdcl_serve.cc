@@ -7,8 +7,9 @@
 // SIGINT/SIGTERM. See docs/serve.md for the protocol and knob table.
 //
 // Knobs: CDCL_SERVE_PORT, CDCL_SERVE_WORKERS, CDCL_SERVE_DEADLINE_US,
-// CDCL_EVAL_BATCH (micro-batch ceiling), CDCL_GEMM_PRECISION (weight tier),
-// CDCL_TASKS / CDCL_EMBED_DIM / CDCL_LAYERS (model shape).
+// CDCL_SERVE_QUEUE_MAX (backpressure bound), CDCL_EVAL_BATCH (micro-batch
+// ceiling), CDCL_GEMM_PRECISION (weight tier), CDCL_TASKS / CDCL_EMBED_DIM /
+// CDCL_LAYERS (model shape).
 
 #include <csignal>
 #include <memory>
