@@ -5,10 +5,11 @@
 # scratch, per-sample score scratch, and step-arena lifetimes are where
 # bugs hide — under ASan the arena allocates per-request so a tensor
 # escaping its step scope is a real heap-use-after-free) and the
-# ctest-labeled `concurrency` suites (serve_test + continual_serve_test), a
-# TSan pass over the lock-free concurrency suites (quantized-cache publish,
-# micro-batcher, serve-while-train snapshot hand-off) with the soak volumes
-# bumped, an examples build check, and a docs knob-consistency grep
+# ctest-labeled `concurrency` suites (serving, scheduler torture, step
+# pipeline), a TSan pass over the lock-free concurrency suites
+# (quantized-cache publish, micro-batcher, serve-while-train snapshot
+# hand-off, scheduler epoch protocol, pipeline handoff) with the soak
+# volumes bumped, an examples build check, and a docs knob-consistency grep
 # (README.md must not document env knobs that no longer exist in the
 # source). Usage: scripts/verify.sh [jobs]
 set -euo pipefail
@@ -42,12 +43,19 @@ cmake -B "${asan_dir}" -S . -DCMAKE_BUILD_TYPE=Debug -DCDCL_SANITIZE=ON \
 cmake --build "${asan_dir}" -j "${JOBS}" \
   --target kernels_test gemm_packed_test batched_eval_test arena_test \
   vec_math_test gemm_quant_test quant_eval_test serve_test \
-  continual_serve_test
+  continual_serve_test scheduler_test pipeline_test
 ctest --test-dir "${asan_dir}" --output-on-failure -j "${JOBS}" \
   -R '^(kernels_test|gemm_packed_test|batched_eval_test|arena_test|vec_math_test|gemm_quant_test|quant_eval_test)$'
 
-echo "== ASan/UBSan: concurrency label (serve + serve-while-train) =="
+echo "== ASan/UBSan: concurrency label (serve + serve-while-train + scheduler + pipeline) =="
 ctest --test-dir "${asan_dir}" --output-on-failure -j "${JOBS}" -L concurrency
+
+echo "== sync pipeline mode: arena suite with CDCL_ASYNC_PIPELINE=0 =="
+# The async step pipeline must be bitwise inert: with it disabled the
+# trainer reverts to the pre-pipeline execution order, and the arena
+# trajectory suite (the strictest end-to-end bitwise gate) must stay green.
+CDCL_ASYNC_PIPELINE=0 ctest --test-dir "${asan_dir}" --output-on-failure \
+  -j "${JOBS}" -R '^arena_test$'
 
 echo "== legacy numerics mode: arena suite with CDCL_VEC_MATH=0 =="
 # The vectorized transcendental tier is a numerics mode; the libm mode must
@@ -78,9 +86,16 @@ if c++ -fsanitize=thread "${tsan_probe}/probe.cc" -o "${tsan_probe}/probe" \
   cmake -B "${tsan_dir}" -S . -DCMAKE_BUILD_TYPE=Debug -DCDCL_TSAN=ON \
     -DCDCL_BUILD_BENCH=OFF -DCDCL_BUILD_EXAMPLES=OFF
   cmake --build "${tsan_dir}" -j "${JOBS}" \
-    --target quant_eval_test serve_test continual_serve_test
+    --target quant_eval_test serve_test continual_serve_test \
+    scheduler_test pipeline_test
   "${tsan_dir}/quant_eval_test" \
     --gtest_filter='QuantizedCacheConcurrencyTest.*'
+  # The persistent-scheduler epoch protocol and the step-pipeline handoff
+  # are lock-free by design on their fast paths — TSan is the only tool
+  # that can vet the publish/claim orderings under real interleavings.
+  "${tsan_dir}/scheduler_test"
+  "${tsan_dir}/pipeline_test" \
+    --gtest_filter='StepPipelineTest.*:PipelineDeterminismTest.CdclTrajectoryBitwiseAsyncVsSync'
   CDCL_SOAK_REQS=600 "${tsan_dir}/serve_test" \
     --gtest_filter='MicroBatcherTest.*:ServeTest.Overload*:ServeTest.SlowConsumer*:ServeTest.SoakManyConnectionsPipelined'
   # The serve-while-train torture test runs in full under TSan, with the

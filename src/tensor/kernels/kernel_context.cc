@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <exception>
+#include <mutex>
 #include <vector>
 
 #include "util/env.h"
@@ -28,6 +28,46 @@ class RegionGuard {
   bool previous_;
 };
 
+/// Spin budget before a waiting worker yields and then parks. On a
+/// single-hardware-thread host spinning only steals cycles from the one
+/// runnable thread, so the default collapses to 0 there.
+int64_t SpinMicros() {
+  static const int64_t spin =
+      EnvInt("CDCL_SPIN_US", ThreadPool::DefaultThreadCount() > 1 ? 120 : 0);
+  return spin < 0 ? 0 : spin;
+}
+
+/// Everything a region chunk needs, on the launcher's stack. The chunk
+/// decomposition (n, grain) is byte-for-byte the pre-RegionPool scheme,
+/// preserving the bitwise thread-count-invariance contract; the claim
+/// counter itself lives in the pool's region descriptor.
+struct RegionState {
+  const std::function<void(int64_t, int64_t)>* chunk = nullptr;
+  int64_t n = 0;
+  int64_t grain = 1;
+  std::mutex error_mutex;
+  std::exception_ptr error;  // first failure wins
+};
+
+/// RegionPool chunk trampoline. A throwing chunk body must not unwind past
+/// the region join while other participants still reference the launcher's
+/// frame, so the exception is trapped here and the first one is rethrown
+/// after the join; returning false tells the pool this participant should
+/// stop running chunk bodies (it retires any further claims unrun).
+bool RunRegionChunk(void* ctx, int64_t c) {
+  RegionState* state = static_cast<RegionState*>(ctx);
+  RegionGuard guard;
+  try {
+    const int64_t begin = c * state->grain;
+    (*state->chunk)(begin, std::min(state->n, begin + state->grain));
+    return true;
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(state->error_mutex);
+    if (!state->error) state->error = std::current_exception();
+    return false;
+  }
+}
+
 }  // namespace
 
 KernelContext& KernelContext::Get() {
@@ -51,23 +91,23 @@ int64_t KernelContext::num_threads() {
   return resolved;
 }
 
-ThreadPool* KernelContext::pool() {
-  ThreadPool* cached = cached_pool_.load(std::memory_order_acquire);
+RegionPool* KernelContext::region_pool() {
+  RegionPool* cached = cached_pool_.load(std::memory_order_acquire);
   if (cached != nullptr) return cached;
   const int64_t threads = num_threads();
   if (threads <= 1) return nullptr;
   std::lock_guard<std::mutex> lock(mutex_);
   const size_t workers = static_cast<size_t>(threads - 1);
-  if (pool_ == nullptr || pool_->num_threads() != workers) {
-    pool_.reset();  // join the old pool before replacing it
-    pool_ = std::make_unique<ThreadPool>(workers);
+  if (pool_ == nullptr || pool_->num_workers() != workers) {
+    pool_.reset();  // join the old team before replacing it
+    pool_ = std::make_unique<RegionPool>(workers, SpinMicros());
   }
   cached_pool_.store(pool_.get(), std::memory_order_release);
   return pool_.get();
 }
 
 void KernelContext::SetNumThreads(int64_t n) {
-  std::unique_ptr<ThreadPool> retired;
+  std::unique_ptr<RegionPool> retired;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     override_threads_ = std::max<int64_t>(n, 0);
@@ -75,6 +115,9 @@ void KernelContext::SetNumThreads(int64_t n) {
     cached_pool_.store(nullptr, std::memory_order_release);
     retired = std::move(pool_);  // joined outside the lock on destruction
   }
+  // `retired` destructs here: parked workers are woken under the park mutex
+  // (no lost wakeup) and joined without mutex_ held, so a worker that needs
+  // the context on its way out cannot deadlock against this call.
 }
 
 void SetNumThreads(int64_t n) { KernelContext::Get().SetNumThreads(n); }
@@ -104,52 +147,31 @@ void ParallelChunks(int64_t n, int64_t grain,
     return;
   }
 
-  ThreadPool* pool = ctx.pool();
-  CDCL_CHECK(pool != nullptr);
-  // One task per helper; every participant (helpers + caller) pulls chunk
-  // indices off a shared counter, so ragged chunk costs self-balance.
-  const int64_t helpers = std::min<int64_t>(
-      static_cast<int64_t>(pool->num_threads()), chunks - 1);
-
-  struct CallState {
-    std::atomic<int64_t> next{0};
-    std::mutex mutex;
-    std::condition_variable done;
-    int64_t pending = 0;
-    std::exception_ptr error;  // first failure wins; guarded by mutex
-  };
-  CallState state;
-  state.pending = helpers;
-
-  // A throwing chunk body must not unwind past the join below while helpers
-  // still reference this frame, so every participant traps its exception and
-  // the first one is rethrown after all helpers have checked in.
-  auto drain = [&state, &chunk, n, grain, chunks]() {
-    RegionGuard guard;
-    try {
-      for (;;) {
-        const int64_t c = state.next.fetch_add(1, std::memory_order_relaxed);
-        if (c >= chunks) break;
-        chunk(c * grain, std::min(n, (c + 1) * grain));
-      }
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(state.mutex);
-      if (!state.error) state.error = std::current_exception();
+  RegionPool* pool = ctx.region_pool();
+  if (pool == nullptr || !pool->TryBeginRegion()) {
+    // Another thread's region is in flight (concurrent kernel callers, e.g.
+    // serve workers alongside the trainer). Results are bitwise independent
+    // of the participant count, so running this caller's chunks serially
+    // inline is indistinguishable from winning the region slot.
+    for (int64_t c = 0; c < chunks; ++c) {
+      chunk(c * grain, std::min(n, (c + 1) * grain));
     }
-  };
+    return;
+  }
 
-  for (int64_t h = 0; h < helpers; ++h) {
-    pool->Submit([&state, &drain] {
-      drain();
-      std::lock_guard<std::mutex> lock(state.mutex);
-      if (--state.pending == 0) state.done.notify_all();
-    });
-  }
-  drain();
-  {
-    std::unique_lock<std::mutex> lock(state.mutex);
-    state.done.wait(lock, [&state] { return state.pending == 0; });
-  }
+  RegionState state;
+  state.chunk = &chunk;
+  state.n = n;
+  state.grain = grain;
+
+  // Entering the region is a single epoch publish; every participant
+  // (workers + this caller, inside JoinRegion) pulls chunk indices off the
+  // descriptor's shared counter, so ragged chunk costs self-balance exactly
+  // as before. The completion-based join keeps `state` alive until the last
+  // claimed chunk has retired.
+  pool->Launch(&RunRegionChunk, &state, chunks);
+  pool->JoinRegion();
+  pool->EndRegion();
   if (state.error) std::rethrow_exception(state.error);
 }
 
@@ -165,12 +187,36 @@ double ParallelReduce(int64_t n, int64_t grain,
     acc += partial(0, n);
     return acc;
   }
-  std::vector<double> partials(static_cast<size_t>(chunks), 0.0);
-  ParallelChunks(n, grain, [&](int64_t begin, int64_t end) {
-    partials[static_cast<size_t>(begin / grain)] = partial(begin, end);
+  // Reuse a thread-local partials buffer across calls: the reduce hot path
+  // must not pay a heap round-trip per reduction. A chunk body that itself
+  // reduces (nested, runs inline) would clobber the scratch, so reentrant
+  // calls fall back to a local buffer.
+  thread_local std::vector<double> tl_partials;
+  thread_local bool tl_partials_busy = false;
+  std::vector<double> local;
+  std::vector<double>* partials = &local;
+  struct BusyReset {
+    bool* flag;
+    ~BusyReset() {
+      if (flag != nullptr) *flag = false;
+    }
+  } busy_reset{nullptr};
+  if (!tl_partials_busy) {
+    tl_partials_busy = true;
+    busy_reset.flag = &tl_partials_busy;
+    partials = &tl_partials;
+  }
+  if (static_cast<int64_t>(partials->size()) < chunks) {
+    partials->resize(static_cast<size_t>(chunks));
+  }
+  double* slots = partials->data();
+  ParallelChunks(n, grain, [&partial, slots, grain](int64_t begin, int64_t end) {
+    slots[begin / grain] = partial(begin, end);
   });
   double acc = 0.0;
-  for (double p : partials) acc += p;  // fixed chunk order: deterministic
+  // Fixed chunk order: deterministic. Only the first `chunks` slots were
+  // written this call; the scratch may be larger from a previous reduction.
+  for (int64_t c = 0; c < chunks; ++c) acc += slots[c];
   return acc;
 }
 

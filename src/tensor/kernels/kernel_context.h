@@ -9,7 +9,7 @@
 
 namespace cdcl {
 
-class ThreadPool;
+class RegionPool;
 
 namespace kernels {
 
@@ -32,10 +32,12 @@ class KernelContext {
   /// set, else the CDCL_NUM_THREADS env var, else the hardware concurrency.
   int64_t num_threads();
 
-  /// Pool backing the parallel region; nullptr when num_threads() == 1.
-  /// The pool holds num_threads()-1 workers: the calling thread always
-  /// participates in kernel loops.
-  ThreadPool* pool();
+  /// Persistent worker team backing parallel regions; nullptr when
+  /// num_threads() == 1. The team holds num_threads()-1 workers parked on an
+  /// epoch counter (spin-then-yield-then-park, budget CDCL_SPIN_US): the
+  /// calling thread always participates in kernel loops, and entering a
+  /// region is a single atomic publish instead of per-helper task submission.
+  RegionPool* region_pool();
 
   /// Overrides the worker count. n <= 0 restores the default (env/hardware)
   /// resolution. Must not be called while kernels are in flight.
@@ -53,11 +55,11 @@ class KernelContext {
 
   std::mutex mutex_;
   int64_t override_threads_ = 0;  // 0 = unset; guarded by mutex_
-  std::unique_ptr<ThreadPool> pool_;  // guarded by mutex_
+  std::unique_ptr<RegionPool> pool_;  // guarded by mutex_
   // Steady-state dispatch reads these without the mutex; SetNumThreads
   // invalidates both (0/nullptr) under it.
   std::atomic<int64_t> cached_threads_{0};
-  std::atomic<ThreadPool*> cached_pool_{nullptr};
+  std::atomic<RegionPool*> cached_pool_{nullptr};
 };
 
 /// Convenience wrappers over KernelContext::Get().

@@ -5,6 +5,7 @@
 // matmul_kernel.cc.
 
 #include "tensor/kernels/matmul_internal.h"
+#include "util/prefetch.h"
 
 #if defined(__AVX2__) && defined(__FMA__)
 #define CDCL_HAVE_AVX2_TU 1
@@ -51,6 +52,9 @@ inline void MicroNN(int64_t kc, const float* a, int64_t lda, const float* pb,
     hi[r] = load_c ? _mm256_loadu_ps(c + r * ldc + 8) : _mm256_setzero_ps();
   }
   for (int64_t l = 0; l < kc; ++l) {
+    // One kPanel slice is exactly one cache line; hint the slice 8 ahead so
+    // its load overlaps this iteration's FMAs (safe past the panel end).
+    PrefetchRead(pb + (l + 8) * kPanel);
     const __m256 b0 = _mm256_loadu_ps(pb + l * kPanel);
     const __m256 b1 = _mm256_loadu_ps(pb + l * kPanel + 8);
     for (int r = 0; r < MR; ++r) {

@@ -7,6 +7,7 @@
 
 #include "tensor/kernels/matmul_internal.h"
 #include "tensor/kernels/matmul_quant.h"
+#include "util/prefetch.h"
 
 #if defined(__AVX512F__)
 #define CDCL_HAVE_AVX512_TU 1
@@ -46,6 +47,10 @@ inline void MicroNN512(int64_t kc, const float* a, int64_t lda,
     hi[r] = load_c ? _mm512_loadu_ps(c + r * ldc + 16) : _mm512_setzero_ps();
   }
   for (int64_t l = 0; l < kc; ++l) {
+    // A kPanel512 slice spans two cache lines; hint the slice 8 ahead so
+    // its loads overlap this iteration's FMAs (safe past the panel end).
+    PrefetchRead(pb + (l + 8) * kPanel512);
+    PrefetchRead(pb + (l + 8) * kPanel512 + 16);
     const __m512 b0 = _mm512_loadu_ps(pb + l * kPanel512);
     const __m512 b1 = _mm512_loadu_ps(pb + l * kPanel512 + 16);
     for (int r = 0; r < MR; ++r) {

@@ -9,6 +9,7 @@
 #include "tensor/kernels/kernel_context.h"
 #include "tensor/kernels/matmul_internal.h"
 #include "util/env.h"
+#include "util/prefetch.h"
 
 namespace cdcl {
 namespace kernels {
@@ -115,6 +116,10 @@ void GemmNNPacked(int64_t m, int64_t n, int64_t k, const float* a,
       const int64_t ncols = std::min(panel, n - j0);
       float* dst = pb + p * k * panel;
       for (int64_t l = 0; l < k; ++l) {
+        // The pack reads B in n-strided rows the hardware prefetcher won't
+        // chase; hint two rows ahead (prefetch never faults, so running
+        // past row k-1 is fine).
+        PrefetchRead(b + (l + 2) * n + j0);
         std::memcpy(dst + l * panel, b + l * n + j0,
                     static_cast<size_t>(ncols) * sizeof(float));
         for (int64_t t = ncols; t < panel; ++t) dst[l * panel + t] = 0.0f;
@@ -142,6 +147,7 @@ inline void MicroNN(int64_t n, int64_t k, const float* const* arows,
   }
   for (int64_t l = 0; l < k; ++l) {
     const float* br = b + l * n + j0;
+    PrefetchRead(br + 4 * n);  // B rows are n-strided; stay 4 iterations ahead
     for (int64_t r = 0; r < kMr; ++r) {
       const float av = arows[r][l];
       for (int64_t t = 0; t < kNr; ++t) acc[r][t] += av * br[t];

@@ -15,6 +15,7 @@
 #include "tensor/kernels/scalar_math.h"
 #include "tensor/kernels/vec_math.h"
 #include "util/logging.h"
+#include "util/prefetch.h"
 
 namespace cdcl {
 namespace ops {
@@ -593,6 +594,12 @@ Tensor IndexRows(const Tensor& a, const std::vector<int64_t>& indices) {
   for (size_t i = 0; i < indices.size(); ++i) {
     CDCL_CHECK_GE(indices[i], 0);
     CDCL_CHECK_LT(indices[i], rows_in);
+    if (i + 1 < indices.size() && indices[i + 1] >= 0 &&
+        indices[i + 1] < rows_in) {
+      // Gather rows land wherever the index list points; hint the next row
+      // while this one is copied.
+      PrefetchRead(a.data() + indices[i + 1] * row);
+    }
     std::memcpy(out.data() + static_cast<int64_t>(i) * row,
                 a.data() + indices[i] * row,
                 static_cast<size_t>(row) * sizeof(float));

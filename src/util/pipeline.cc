@@ -1,0 +1,123 @@
+#include "util/pipeline.h"
+
+#include <atomic>
+#include <utility>
+
+#include "util/env.h"
+#include "util/logging.h"
+
+namespace cdcl {
+namespace {
+
+// -1 = resolve from CDCL_ASYNC_PIPELINE on first use; 0/1 = SetAsyncPipeline.
+std::atomic<int> g_async_pipeline{-1};
+
+}  // namespace
+
+bool StepPipeline::AsyncPipelineEnabled() {
+  int state = g_async_pipeline.load(std::memory_order_relaxed);
+  if (state < 0) {
+    state = EnvBool("CDCL_ASYNC_PIPELINE", true) ? 1 : 0;
+    g_async_pipeline.store(state, std::memory_order_relaxed);
+  }
+  return state == 1;
+}
+
+void StepPipeline::SetAsyncPipeline(bool enabled) {
+  g_async_pipeline.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+void StepPipeline::ResetAsyncPipeline() {
+  g_async_pipeline.store(-1, std::memory_order_relaxed);
+}
+
+StepPipeline::StepPipeline() : StepPipeline(AsyncPipelineEnabled()) {}
+
+StepPipeline::StepPipeline(bool async) : async_(async) {}
+
+StepPipeline::~StepPipeline() {
+  if (async_) {
+    if (pending_) {
+      // The in-flight prepare references caller state; it must finish before
+      // this frame unwinds. Its error (if any) dies with the pipeline.
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return job_done_; });
+    }
+    if (worker_.joinable()) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+      }
+      cv_.notify_all();
+      worker_.join();
+    }
+  }
+  // Sync mode: a deferred, never-awaited closure is simply dropped.
+}
+
+void StepPipeline::Submit(std::function<void()> prepare) {
+  CDCL_CHECK(!pending_);
+  pending_ = true;
+  if (!async_) {
+    job_ = std::move(prepare);
+    return;
+  }
+  if (!worker_.joinable()) {
+    worker_ = std::thread([this] { WorkerLoop(); });
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = std::move(prepare);
+    job_ready_ = true;
+    job_done_ = false;
+    error_ = nullptr;
+  }
+  cv_.notify_all();
+}
+
+void StepPipeline::Await() {
+  if (!pending_) return;
+  pending_ = false;
+  if (!async_) {
+    // Runs exactly where the synchronous loop ran it; a throw propagates to
+    // the caller with the closure already consumed.
+    std::function<void()> job = std::move(job_);
+    job_ = nullptr;
+    job();
+    return;
+  }
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return job_done_; });
+    error = std::exchange(error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void StepPipeline::WorkerLoop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || job_ready_; });
+      if (stop_ && !job_ready_) return;
+      job_ready_ = false;
+      job = std::move(job_);
+      job_ = nullptr;
+    }
+    try {
+      job();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job_done_ = true;
+    }
+    cv_.notify_all();
+  }
+}
+
+}  // namespace cdcl

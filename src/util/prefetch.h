@@ -1,0 +1,32 @@
+#ifndef CDCL_UTIL_PREFETCH_H_
+#define CDCL_UTIL_PREFETCH_H_
+
+namespace cdcl {
+
+// Best-effort software prefetch hints (decoupled access/execute at the
+// cache-line scale): issue the load for data a few iterations ahead of its
+// use so the memory latency overlaps the current iteration's compute. These
+// compile to PREFETCHT0/PREFETCHW on x86 and never fault — hinting past the
+// end of a buffer is safe — so they cannot change results, only timing.
+
+/// Hints that the cache line holding `p` will be read soon.
+inline void PrefetchRead(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
+/// Hints that the cache line holding `p` will be written soon.
+inline void PrefetchWrite(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/1, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
+}  // namespace cdcl
+
+#endif  // CDCL_UTIL_PREFETCH_H_

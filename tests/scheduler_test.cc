@@ -1,0 +1,325 @@
+// Torture suite for the persistent parallel-region scheduler (RegionPool +
+// ParallelChunks). The contracts under test: entering a region is safe and
+// exact under many tiny back-to-back regions (the epoch protocol must not
+// lose or double-run chunks), nested regions run inline, a throwing chunk
+// propagates out of the region without wedging the parked team, concurrent
+// callers from independent threads fall back serially without corruption,
+// and SetNumThreads can replace the team between regions — including while
+// its workers are parked — without lost wakeups or numeric drift.
+// scripts/verify.sh re-runs this suite under ASan/UBSan and TSan (ctest
+// label `concurrency`).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tensor/kernels/kernel_context.h"
+#include "tensor/kernels/parallel.h"
+#include "util/thread_pool.h"
+
+namespace cdcl {
+namespace kernels {
+namespace {
+
+/// Forces a worker count for one test scope and restores the default after.
+class ThreadScope {
+ public:
+  explicit ThreadScope(int64_t n) { SetNumThreads(n); }
+  ~ThreadScope() { SetNumThreads(0); }
+};
+
+// --- Many tiny back-to-back regions ----------------------------------------
+
+TEST(SchedulerTortureTest, ManyTinyBackToBackRegions) {
+  ThreadScope scope(4);
+  std::atomic<int64_t> count{0};
+  constexpr int kRegions = 20000;
+  for (int r = 0; r < kRegions; ++r) {
+    // 8 chunks of 1 index each: every region exercises the epoch publish,
+    // the shared chunk counter, and the join barrier.
+    ParallelChunks(8, 1, [&count](int64_t begin, int64_t end) {
+      count.fetch_add(end - begin, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(count.load(), int64_t{8} * kRegions);
+}
+
+TEST(SchedulerTortureTest, BackToBackRegionsKeepChunkCoverageExact) {
+  ThreadScope scope(8);
+  const int64_t n = 1000;
+  for (int r = 0; r < 500; ++r) {
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h.store(0, std::memory_order_relaxed);
+    ParallelChunks(n, 7, [&hits](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) {
+        hits[static_cast<size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    for (int64_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[static_cast<size_t>(i)].load(), 1)
+          << "index " << i << " in round " << r;
+    }
+  }
+}
+
+// --- Nested regions run inline ---------------------------------------------
+
+TEST(SchedulerTortureTest, NestedRegionsRunInline) {
+  ThreadScope scope(4);
+  std::atomic<int64_t> outer_count{0};
+  std::atomic<int64_t> inner_count{0};
+  std::atomic<int64_t> nested_flag_violations{0};
+  ParallelChunks(16, 1, [&](int64_t begin, int64_t end) {
+    outer_count.fetch_add(end - begin, std::memory_order_relaxed);
+    // Inside a region the nested call must run serially inline on this
+    // participant — and report the region flag while doing so.
+    ParallelChunks(64, 8, [&](int64_t b, int64_t e) {
+      if (!KernelContext::InParallelRegion()) {
+        nested_flag_violations.fetch_add(1, std::memory_order_relaxed);
+      }
+      inner_count.fetch_add(e - b, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(outer_count.load(), 16);
+  EXPECT_EQ(inner_count.load(), int64_t{16} * 64);
+  EXPECT_EQ(nested_flag_violations.load(), 0);
+}
+
+// --- Exception propagation under persistent workers ------------------------
+
+TEST(SchedulerTortureTest, ExceptionPropagatesFromThrowingChunk) {
+  ThreadScope scope(4);
+  EXPECT_THROW(
+      ParallelChunks(64, 1,
+                     [](int64_t begin, int64_t) {
+                       if (begin == 13) throw std::runtime_error("chunk 13");
+                     }),
+      std::runtime_error);
+  // The team must survive a throwing region: the next region runs exactly.
+  std::atomic<int64_t> count{0};
+  ParallelChunks(64, 1, [&count](int64_t begin, int64_t end) {
+    count.fetch_add(end - begin, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(SchedulerTortureTest, EveryChunkThrowingStillPropagatesOnce) {
+  ThreadScope scope(4);
+  for (int round = 0; round < 50; ++round) {
+    bool threw = false;
+    try {
+      ParallelChunks(32, 1, [](int64_t, int64_t) {
+        throw std::runtime_error("all chunks throw");
+      });
+    } catch (const std::runtime_error&) {
+      threw = true;
+    }
+    EXPECT_TRUE(threw) << "round " << round;
+  }
+}
+
+// --- Concurrent callers ----------------------------------------------------
+
+TEST(SchedulerTortureTest, ConcurrentCallersFromIndependentThreads) {
+  // Several plain threads race whole ParallelChunks calls against each
+  // other: one wins the region slot, the rest must run serially inline with
+  // exact coverage either way.
+  ThreadScope scope(4);
+  constexpr int kCallers = 6;
+  constexpr int kRegionsPerCaller = 200;
+  std::atomic<int64_t> total{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&total] {
+      for (int r = 0; r < kRegionsPerCaller; ++r) {
+        ParallelChunks(100, 9, [&total](int64_t begin, int64_t end) {
+          total.fetch_add(end - begin, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(total.load(), int64_t{kCallers} * kRegionsPerCaller * 100);
+}
+
+// --- SetNumThreads while workers are parked (satellite regression) ----------
+
+TEST(SchedulerTortureTest, ThreadCountFlipsBetweenRegions) {
+  // Serial reference for both the map and the reduction.
+  std::vector<double> reference(257);
+  for (size_t i = 0; i < reference.size(); ++i) {
+    reference[i] = std::sin(static_cast<double>(i)) * 0.5;
+  }
+  // Reference reduction with the scheduler's own grouping: per-chunk
+  // partials combined in chunk order (the contract pins this decomposition,
+  // not a flat serial accumulator, across thread counts).
+  double ref_sum = 0.0;
+  for (size_t begin = 0; begin < reference.size(); begin += 16) {
+    const size_t end = std::min(reference.size(), begin + 16);
+    double part = 0.0;
+    for (size_t i = begin; i < end; ++i) part += reference[i];
+    ref_sum += part;
+  }
+
+  // Flipping the count destroys a team whose workers are parked (nothing has
+  // run for a while) and builds a new one; every configuration must produce
+  // bitwise the serial results — and no flip may deadlock or lose a wakeup.
+  const int64_t flips[] = {1, 8, 2, 3, 8, 1, 4, 8};
+  for (int round = 0; round < 10; ++round) {
+    for (int64_t threads : flips) {
+      SetNumThreads(threads);
+      std::vector<double> got(reference.size(), 0.0);
+      ParallelChunks(static_cast<int64_t>(got.size()), 16,
+                     [&](int64_t begin, int64_t end) {
+                       for (int64_t i = begin; i < end; ++i) {
+                         got[static_cast<size_t>(i)] =
+                             std::sin(static_cast<double>(i)) * 0.5;
+                       }
+                     });
+      ASSERT_EQ(got, reference) << "threads=" << threads;
+      const double sum = ParallelReduce(
+          static_cast<int64_t>(reference.size()), 16,
+          [&](int64_t begin, int64_t end) {
+            double acc = 0.0;
+            for (int64_t i = begin; i < end; ++i) {
+              acc += reference[static_cast<size_t>(i)];
+            }
+            return acc;
+          });
+      ASSERT_EQ(sum, ref_sum) << "threads=" << threads;
+    }
+  }
+  SetNumThreads(0);
+}
+
+TEST(SchedulerTortureTest, PoolReplacementWhileWorkersParked) {
+  // Park the team (run one region, then give the workers time to finish
+  // their spin budget and block on the condvar), then replace it. The
+  // destructor must wake every parked worker and join without hanging.
+  for (int round = 0; round < 5; ++round) {
+    SetNumThreads(8);
+    std::atomic<int64_t> count{0};
+    ParallelChunks(64, 1, [&count](int64_t begin, int64_t end) {
+      count.fetch_add(end - begin, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(count.load(), 64);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    SetNumThreads(2);  // retires the 7-worker team while (likely) parked
+    ParallelChunks(64, 1, [&count](int64_t begin, int64_t end) {
+      count.fetch_add(end - begin, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(count.load(), 128);
+    SetNumThreads(0);
+  }
+}
+
+// --- ParallelReduce scratch reuse ------------------------------------------
+
+TEST(SchedulerTortureTest, ReduceScratchReuseAcrossChangingChunkCounts) {
+  ThreadScope scope(4);
+  // Alternate large and small reductions: the thread-local scratch grows to
+  // the large chunk count and must not leak stale slots into the small one.
+  for (int round = 0; round < 20; ++round) {
+    const int64_t big = 4096, small = 48;
+    const double big_sum =
+        ParallelReduce(big, 16, [](int64_t begin, int64_t end) {
+          return static_cast<double>(end - begin);
+        });
+    EXPECT_EQ(big_sum, static_cast<double>(big));
+    const double small_sum =
+        ParallelReduce(small, 16, [](int64_t begin, int64_t end) {
+          return static_cast<double>(end - begin);
+        });
+    EXPECT_EQ(small_sum, static_cast<double>(small));
+  }
+}
+
+TEST(SchedulerTortureTest, NestedReduceInsideChunkUsesFallbackBuffer) {
+  ThreadScope scope(4);
+  // A chunk body that itself reduces: the inner call runs inline and must
+  // not clobber the outer call's thread-local partials.
+  const double total = ParallelReduce(256, 16, [](int64_t begin, int64_t end) {
+    const double inner =
+        ParallelReduce(64, 8, [](int64_t b, int64_t e) {
+          return static_cast<double>(e - b);
+        });
+    return static_cast<double>(end - begin) * inner;  // (end-begin) * 64
+  });
+  EXPECT_EQ(total, 256.0 * 64.0);
+}
+
+// --- RegionPool direct API --------------------------------------------------
+
+TEST(RegionPoolTest, LaunchJoinRunsEveryChunkOnce) {
+  // Joins are completion-based: the contract is that every chunk runs
+  // exactly once before JoinRegion returns — not that every worker ran
+  // (tiny regions are usually drained entirely by the caller).
+  RegionPool pool(4, /*spin_us=*/50);
+  std::atomic<int64_t> ran{0};
+  constexpr int kRounds = 1000;
+  constexpr int64_t kChunks = 16;
+  for (int r = 0; r < kRounds; ++r) {
+    ASSERT_TRUE(pool.TryBeginRegion());
+    pool.Launch(
+        [](void* arg, int64_t) {
+          static_cast<std::atomic<int64_t>*>(arg)->fetch_add(
+              1, std::memory_order_relaxed);
+          return true;
+        },
+        &ran, kChunks);
+    pool.JoinRegion();
+    pool.EndRegion();
+  }
+  EXPECT_EQ(ran.load(), kChunks * kRounds);
+}
+
+TEST(RegionPoolTest, FalseReturningChunkStillCompletesRegion) {
+  // A participant whose callback returns false (trapped error) keeps
+  // claiming but retires its chunks unrun; the join must still converge and
+  // the team must survive for the next region.
+  RegionPool pool(4, /*spin_us=*/50);
+  for (int r = 0; r < 100; ++r) {
+    std::atomic<int64_t> ran{0};
+    ASSERT_TRUE(pool.TryBeginRegion());
+    pool.Launch(
+        [](void* arg, int64_t) {
+          static_cast<std::atomic<int64_t>*>(arg)->fetch_add(
+              1, std::memory_order_relaxed);
+          return false;  // every participant stops after its first chunk
+        },
+        &ran, int64_t{64});
+    pool.JoinRegion();
+    pool.EndRegion();
+    // At most one chunk ran per participant (4 workers + the joiner).
+    EXPECT_GE(ran.load(), 1);
+    EXPECT_LE(ran.load(), 5);
+  }
+}
+
+TEST(RegionPoolTest, TryBeginRegionExcludesSecondLauncher) {
+  RegionPool pool(2, /*spin_us=*/50);
+  ASSERT_TRUE(pool.TryBeginRegion());
+  EXPECT_FALSE(pool.TryBeginRegion());
+  pool.EndRegion();
+  EXPECT_TRUE(pool.TryBeginRegion());
+  pool.EndRegion();
+}
+
+TEST(RegionPoolTest, DestructorWakesParkedWorkers) {
+  // Construct, let the workers run through spin/yield into the park state,
+  // then destruct: must not hang (covered by the test completing).
+  auto pool = std::make_unique<RegionPool>(4, /*spin_us=*/0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  pool.reset();
+}
+
+}  // namespace
+}  // namespace kernels
+}  // namespace cdcl
