@@ -31,8 +31,9 @@
 // full batches form back-to-back, and the latency deadline only shapes the
 // tail at light load (it never idles a saturated server). The two continual
 // rows bound the batcher queue BELOW the in-flight ceiling so admission
-// control engages under pressure: clients absorb kOverloaded frames and QPS
-// counts completed (kOk) responses only.
+// control engages under pressure: clients back off and resubmit kOverloaded
+// requests (serve::RetryPolicy, capped exponential backoff with jitter) and
+// QPS counts completed (kOk) responses only.
 //   CDCL_BENCH_OUT            JSON report path (default BENCH_serve.json)
 
 #include <algorithm>
@@ -85,17 +86,24 @@ serve::Request MakeRequest(const models::ModelConfig& config,
 
 /// One pipelined client connection: keeps `window` requests in flight until
 /// `total` responses arrived, recording per-request latency for completed
-/// (kOk) responses and counting kOverloaded admission rejections separately.
+/// (kOk) responses. A kOverloaded rejection is counted, then the request is
+/// re-sent under the retry policy's capped-exponential-backoff-with-jitter
+/// schedule (serve::RetryDelayUs) — the backoff sleep is the load shedding
+/// the server asked for, and it makes overload-bounded runs converge instead
+/// of dropping work. Requests still rejected after max_attempts are given up.
 void ClientLoop(uint16_t port, const models::ModelConfig& config,
                 const std::vector<float>& pixels, int64_t total,
-                int64_t window, std::vector<double>* latencies_ms,
+                int64_t window, const serve::RetryPolicy& retry,
+                uint64_t rng_seed, std::vector<double>* latencies_ms,
                 uint64_t* overloaded, bool* ok) {
+  Rng rng(rng_seed);
   serve::Client client;
-  if (!client.Connect(port)) {
+  if (!client.ConnectWithRetry(port, retry, &rng)) {
     *ok = false;
     return;
   }
   std::map<uint32_t, Clock::time_point> in_flight;
+  std::map<uint32_t, int> attempts;  // resubmissions after kOverloaded
   uint32_t next_id = 1;
   int64_t received = 0;
   *ok = true;
@@ -125,6 +133,17 @@ void ClientLoop(uint16_t port, const models::ModelConfig& config,
               .count());
     } else if (response.status == serve::ResponseStatus::kOverloaded) {
       ++*overloaded;  // rejected at admission — not a completed request
+      const int attempt = ++attempts[response.request_id];
+      if (attempt < retry.max_attempts) {
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            serve::RetryDelayUs(retry, attempt, &rng)));
+        if (!client.Send(MakeRequest(config, pixels, response.request_id))) {
+          *ok = false;
+          return;
+        }
+        continue;  // still in flight; latency covers the whole retry span
+      }
+      attempts.erase(response.request_id);  // out of attempts: give up
     } else {
       *ok = false;
       return;
@@ -132,6 +151,16 @@ void ClientLoop(uint16_t port, const models::ModelConfig& config,
     in_flight.erase(it);
     ++received;
   }
+}
+
+/// Backoff tuned for an in-process server: short base so retries don't
+/// dominate the window, capped well below the eval latency of a full batch.
+serve::RetryPolicy BenchRetryPolicy() {
+  serve::RetryPolicy retry;
+  retry.max_attempts = 6;
+  retry.base_delay_us = 200;
+  retry.max_delay_us = 5000;
+  return retry;
 }
 
 struct RunResult {
@@ -173,15 +202,18 @@ RunResult RunConfig(const std::string& name,
   serve::InferenceServer server(options, std::move(model));
   if (!server.Start()) return result;
   const std::vector<float> pixels = RandomImage(config, /*seed=*/7);
+  const serve::RetryPolicy retry = BenchRetryPolicy();
 
   // Warm up kernel dispatch, thread pool and the quantized-weight cache so
   // the timed window measures steady-state serving.
   {
+    Rng warm_rng(11);
     serve::Client warm;
     serve::Response response;
-    if (!warm.Connect(server.port())) return result;
+    if (!warm.ConnectWithRetry(server.port(), retry, &warm_rng)) return result;
     for (int i = 0; i < 8; ++i) {
-      if (!warm.Call(MakeRequest(config, pixels, 1000000u + i), &response)) {
+      if (!warm.CallWithRetry(MakeRequest(config, pixels, 1000000u + i),
+                              &response, server.port(), retry, &warm_rng)) {
         return result;
       }
     }
@@ -197,6 +229,7 @@ RunResult RunConfig(const std::string& name,
     threads.emplace_back([&, c] {
       bool ok = false;
       ClientLoop(server.port(), config, pixels, reqs_per_client, window,
+                 retry, /*rng_seed=*/100 + static_cast<uint64_t>(c),
                  &latencies[c], &overloads[c], &ok);
       oks[c] = ok;
     });
@@ -250,13 +283,19 @@ RunResult RunUnderTraining(const std::string& name,
   serve::ContinualServer continual(continual_options, trainer);
   if (!continual.Start()) return result;
   const std::vector<float> pixels = RandomImage(config, /*seed=*/7);
+  const serve::RetryPolicy retry = BenchRetryPolicy();
 
   {
+    Rng warm_rng(11);
     serve::Client warm;
     serve::Response response;
-    if (!warm.Connect(continual.port())) return result;
+    if (!warm.ConnectWithRetry(continual.port(), retry, &warm_rng)) {
+      return result;
+    }
     for (int i = 0; i < 8; ++i) {
-      if (!warm.Call(MakeRequest(config, pixels, 1000000u + i), &response)) {
+      if (!warm.CallWithRetry(MakeRequest(config, pixels, 1000000u + i),
+                              &response, continual.port(), retry,
+                              &warm_rng)) {
         return result;
       }
     }
@@ -278,6 +317,7 @@ RunResult RunUnderTraining(const std::string& name,
     threads.emplace_back([&, c] {
       bool ok = false;
       ClientLoop(continual.port(), config, pixels, reqs_per_client, window,
+                 retry, /*rng_seed=*/100 + static_cast<uint64_t>(c),
                  &latencies[c], &overloads[c], &ok);
       oks[c] = ok;
     });

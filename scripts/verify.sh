@@ -9,7 +9,10 @@
 # pipeline), a TSan pass over the lock-free concurrency suites
 # (quantized-cache publish, micro-batcher, serve-while-train snapshot
 # hand-off, scheduler epoch protocol, pipeline handoff) with the soak
-# volumes bumped, an examples build check, and a docs knob-consistency grep
+# volumes bumped, the crash-safety fault matrix (checkpoint commit-protocol
+# crashes, corruption fallback, trainer-death degradation) under ASan and
+# TSan plus a restore-determinism rerun in the alternate execution modes,
+# an examples build check, and a docs knob-consistency grep
 # (README.md must not document env knobs that no longer exist in the
 # source). Usage: scripts/verify.sh [jobs]
 set -euo pipefail
@@ -43,11 +46,19 @@ cmake -B "${asan_dir}" -S . -DCMAKE_BUILD_TYPE=Debug -DCDCL_SANITIZE=ON \
 cmake --build "${asan_dir}" -j "${JOBS}" \
   --target kernels_test gemm_packed_test batched_eval_test arena_test \
   vec_math_test gemm_quant_test quant_eval_test serve_test \
-  continual_serve_test scheduler_test pipeline_test
+  continual_serve_test degrade_test scheduler_test pipeline_test ckpt_test
 ctest --test-dir "${asan_dir}" --output-on-failure -j "${JOBS}" \
   -R '^(kernels_test|gemm_packed_test|batched_eval_test|arena_test|vec_math_test|gemm_quant_test|quant_eval_test)$'
 
-echo "== ASan/UBSan: concurrency label (serve + serve-while-train + scheduler + pipeline) =="
+echo "== ASan/UBSan: checkpoint crash-safety fault matrix =="
+# The full deterministic fault matrix — injected crashes at every syscall of
+# the commit protocol, short writes, ENOSPC/EIO, on-disk corruption — runs
+# under ASan so the no-cleanup crash unwinds (deliberately abandoned temp
+# files, partial state) cannot hide leaks or lifetime bugs.
+ctest --test-dir "${asan_dir}" --output-on-failure -j "${JOBS}" \
+  -R '^ckpt_test$'
+
+echo "== ASan/UBSan: concurrency label (serve + serve-while-train + degradation + scheduler + pipeline) =="
 ctest --test-dir "${asan_dir}" --output-on-failure -j "${JOBS}" -L concurrency
 
 echo "== sync pipeline mode: arena suite with CDCL_ASYNC_PIPELINE=0 =="
@@ -87,7 +98,7 @@ if c++ -fsanitize=thread "${tsan_probe}/probe.cc" -o "${tsan_probe}/probe" \
     -DCDCL_BUILD_BENCH=OFF -DCDCL_BUILD_EXAMPLES=OFF
   cmake --build "${tsan_dir}" -j "${JOBS}" \
     --target quant_eval_test serve_test continual_serve_test \
-    scheduler_test pipeline_test
+    degrade_test scheduler_test pipeline_test
   "${tsan_dir}/quant_eval_test" \
     --gtest_filter='QuantizedCacheConcurrencyTest.*'
   # The persistent-scheduler epoch protocol and the step-pipeline handoff
@@ -102,9 +113,25 @@ if c++ -fsanitize=thread "${tsan_probe}/probe.cc" -o "${tsan_probe}/probe" \
   # pipelined-traffic floor bumped so the snapshot hand-offs happen under
   # sustained load (the continual-suite analog of the CDCL_SOAK_REQS bump).
   CDCL_SERVE_TORTURE_REQS=150 "${tsan_dir}/continual_serve_test"
+  # Trainer-death-under-traffic: the training thread dies (injected) while
+  # clients hammer the server — the degraded-serving hand-off (training
+  # thread -> loop-thread health reporter -> wire) is exactly the kind of
+  # cross-thread publish TSan exists to vet.
+  "${tsan_dir}/degrade_test"
 else
   echo "verify: NOTE — toolchain lacks ThreadSanitizer support, TSan pass skipped"
 fi
+
+echo "== restore determinism: kill-and-resume rerun in alternate execution modes =="
+# The bitwise kill-and-resume pin already ran in Debug, Release, and ASan;
+# here it reruns with the async step pipeline disabled and with the step
+# arena disabled — a checkpoint written by any execution mode must resume
+# bitwise-identically in that mode, or the determinism contract is a
+# configuration accident.
+CDCL_ASYNC_PIPELINE=0 "build-verify-release/ckpt_test" \
+  --gtest_filter='CheckpointTest.KillAndResumeIsBitwiseIdenticalToUninterruptedRun'
+CDCL_ARENA=0 "build-verify-release/ckpt_test" \
+  --gtest_filter='CheckpointTest.KillAndResumeIsBitwiseIdenticalToUninterruptedRun'
 
 echo "== docs: README knob consistency =="
 # Every CDCL_* knob README.md documents must still be *read* somewhere — an
@@ -123,4 +150,4 @@ if [[ "${stale}" -ne 0 ]]; then
   exit 1
 fi
 
-echo "verify: OK (Debug + Release + examples + ASan/UBSan + legacy-numerics + TSan + docs knobs)"
+echo "verify: OK (Debug + Release + examples + ASan/UBSan + fault matrix + legacy-numerics + TSan + restore determinism + docs knobs)"

@@ -61,6 +61,18 @@ void TrainerBase::StartTask(int64_t num_classes, int64_t steps_per_epoch) {
   ++tasks_seen_;
 }
 
+void TrainerBase::RestoreTaskStructure(
+    const std::vector<int64_t>& classes_per_task) {
+  CDCL_CHECK_EQ(model_->num_tasks(), 0);
+  for (int64_t classes : classes_per_task) model_->AddTask(classes);
+  optimizer_->SetParameters(model_->TrainableParameters());
+  tasks_seen_ = static_cast<int64_t>(classes_per_task.size());
+}
+
+void TrainerBase::ExportExtraState(ByteWriter* /*writer*/) const {}
+
+bool TrainerBase::ImportExtraState(ByteReader* /*reader*/) { return true; }
+
 void TrainerBase::OptimizerStep(int64_t step_in_task) {
   CDCL_CHECK(schedule_ != nullptr);
   optimizer_->set_lr(schedule_->LrAt(step_in_task));

@@ -14,6 +14,7 @@
 #include "tensor/arena.h"
 #include "uda/distance.h"
 #include "util/rng.h"
+#include "util/serialize.h"
 
 namespace cdcl {
 namespace baselines {
@@ -74,6 +75,31 @@ class TrainerBase : public cl::ContinualTrainer {
   const TrainerOptions& options() const { return options_; }
   const cl::RehearsalMemory& memory() const { return memory_; }
   int64_t tasks_seen() const { return tasks_seen_; }
+
+  // --- Checkpoint surface (src/ckpt/checkpoint.cc) -----------------------
+  // Everything a checkpoint must capture to make a resumed run bitwise
+  // identical: parameters + freeze flags (via the model), optimizer moments,
+  // the RNG stream, and the rehearsal memory. The LR schedule is
+  // deliberately absent — checkpoints are taken at task boundaries and the
+  // next StartTask rebuilds it before any optimizer step.
+  const optim::AdamW& optimizer() const { return *optimizer_; }
+  const Rng& rng() const { return rng_; }
+  Rng* mutable_rng() { return &rng_; }
+  models::CompactTransformer* mutable_model() { return model_.get(); }
+  optim::AdamW* mutable_optimizer() { return optimizer_.get(); }
+  cl::RehearsalMemory* mutable_memory() { return &memory_; }
+
+  /// Rebuilds the grown task structure on a FRESHLY-constructed trainer by
+  /// replaying AddTask per checkpointed task (which also reproduces the
+  /// freeze flags of finished tasks) and rebinding the optimizer to the
+  /// resulting trainable set. Aborts if this trainer already has tasks.
+  void RestoreTaskStructure(const std::vector<int64_t>& classes_per_task);
+
+  /// Trainer-specific state riding in the checkpoint's extra section (e.g.
+  /// CdclTrainer's loss trace). Base: empty. ImportExtraState returns false
+  /// on malformed payload (the checkpoint layer turns that into an error).
+  virtual void ExportExtraState(ByteWriter* writer) const;
+  virtual bool ImportExtraState(ByteReader* reader);
 
   /// Stacks an entire dataset into one batch (datasets here are small).
   static data::Batch FullBatch(const data::TensorDataset& dataset);

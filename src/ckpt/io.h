@@ -1,0 +1,94 @@
+#ifndef CDCL_CKPT_IO_H_
+#define CDCL_CKPT_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cdcl {
+namespace ckpt {
+
+// ---------------------------------------------------------------------------
+// Checkpoint container format (version 1)
+//
+//   magic   8 bytes   "CDCLCKP1"
+//   count   u32       number of sections
+//   section[count]:
+//     tag   u32       section identifier (checkpoint.h defines the tags)
+//     len   u64       payload byte length
+//     payload  len bytes
+//     crc   u32       CRC-32 over tag|len|payload (as framed)
+//
+// All integers little-endian. Every section carries its own CRC — covering
+// its header too, so flipped tag/len bits are caught like payload bits — and
+// a torn write or bit flip anywhere in the file is DETECTED at decode time:
+// the
+// loader either returns the exact bytes that were written or an error,
+// never silently truncated/garbled state.
+//
+// Durability protocol (CommitFile): write <name>.tmp → fsync(tmp) →
+// rename(tmp → name) → fsync(directory). Readers never observe a partial
+// <name>: they see the old file, the new file, or (first write) nothing.
+// The manifest — itself committed with the same protocol — records the
+// newest fully-durable generation; restore falls back to a directory scan
+// when the manifest is stale, torn, or missing.
+// ---------------------------------------------------------------------------
+
+/// One tagged payload inside a checkpoint file.
+struct Section {
+  uint32_t tag = 0;
+  std::vector<uint8_t> payload;
+};
+
+/// Serializes sections into the container format above.
+std::vector<uint8_t> EncodeSections(const std::vector<Section>& sections);
+
+/// Parses and CRC-verifies a container. Any structural violation (bad magic,
+/// length overrun, CRC mismatch) fails the WHOLE file — corrupt checkpoints
+/// are rejected atomically, never partially applied.
+Status DecodeSections(const std::vector<uint8_t>& bytes,
+                      std::vector<Section>* out);
+
+/// Crash-safe commit of `bytes` to `<dir>/<name>` (protocol above). Each
+/// syscall runs under the fault seam at points
+/// "ckpt.{write,fsync,rename}.<fault_tag>" and "ckpt.fsync.dir.<fault_tag>";
+/// an injected crash abandons mid-protocol with NO cleanup, leaving exactly
+/// the partial state a real crash would, and returns a status for which
+/// IsInjectedCrash() is true.
+Status CommitFile(const std::string& dir, const std::string& name,
+                  const std::vector<uint8_t>& bytes,
+                  const std::string& fault_tag);
+
+/// True when `status` came from an injected crash point (tests use this to
+/// distinguish "simulated death" from genuine I/O errors).
+bool IsInjectedCrash(const Status& status);
+
+/// Reads a whole file; NotFound if absent, IoError otherwise.
+Status ReadFileBytes(const std::string& path, std::vector<uint8_t>* out);
+
+/// Creates `dir` (single level) if missing.
+Status EnsureDir(const std::string& dir);
+
+/// "ckpt-%08llu.bin" for a generation number.
+std::string GenerationFileName(uint64_t generation);
+
+/// Commits the manifest naming `generation` as newest-known-good.
+Status WriteManifest(const std::string& dir, uint64_t generation);
+
+/// Reads + verifies the manifest. NotFound when absent; IoError when torn
+/// or corrupt (callers treat both as "fall back to directory scan").
+Result<uint64_t> ReadManifest(const std::string& dir);
+
+/// All generation numbers with a ckpt-*.bin file in `dir`, ascending.
+/// Missing directory yields an empty list, not an error.
+Status ListGenerations(const std::string& dir, std::vector<uint64_t>* out);
+
+/// Deletes one generation file (retention sweep); missing file is OK.
+Status RemoveGeneration(const std::string& dir, uint64_t generation);
+
+}  // namespace ckpt
+}  // namespace cdcl
+
+#endif  // CDCL_CKPT_IO_H_

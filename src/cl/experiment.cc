@@ -1,6 +1,8 @@
 #include "cl/experiment.h"
 
+#include "util/fault.h"
 #include "util/logging.h"
+#include "util/status.h"
 
 namespace cdcl {
 namespace cl {
@@ -17,9 +19,21 @@ Result<ContinualResult> RunContinualExperiment(
   CDCL_CHECK_GE(options.first_task, 0);
   const int64_t num_tasks = stream.num_tasks();
   ContinualResult result{AccuracyMatrix(num_tasks), AccuracyMatrix(num_tasks)};
+  result.last_task_observed = options.first_task - 1;
   for (int64_t t = options.first_task; t < num_tasks; ++t) {
+    if (options.stop_requested && options.stop_requested()) {
+      result.stopped_early = true;
+      break;
+    }
+    // Deterministic trainer-death seam: the degradation tests arm this point
+    // to make the training thread fail mid-stream while serving continues.
+    if (fault::ShouldFail("trainer.observe_task")) {
+      return Status::Internal("injected trainer failure before task " +
+                              std::to_string(t));
+    }
     Status st = trainer->ObserveTask(stream.task(t));
     if (!st.ok()) return st;
+    result.last_task_observed = t;
     // The after-task hook runs at the quiescent point between training and
     // evaluation — the serve co-scheduler snapshots/publishes here.
     if (options.after_task) options.after_task(t);

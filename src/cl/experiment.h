@@ -40,6 +40,14 @@ struct ContinualResult {
   AccuracyMatrix til;
   AccuracyMatrix cil;
 
+  /// True when the run ended at a stop_requested task boundary instead of
+  /// exhausting the stream (graceful-shutdown path); rows past the boundary
+  /// are left at zero.
+  bool stopped_early = false;
+  /// Index of the last task actually observed, or first_task - 1 when the
+  /// loop stopped before observing anything.
+  int64_t last_task_observed = -1;
+
   double til_acc() const { return til.AverageAccuracy(); }
   double til_fgt() const { return til.Forgetting(); }
   double cil_acc() const { return cil.AverageAccuracy(); }
@@ -61,6 +69,11 @@ struct ExperimentOptions {
   /// thread running the experiment, while the trainer is quiescent — the
   /// safe point to snapshot/publish the model.
   std::function<void(int64_t task_index)> after_task;
+  /// Polled before starting each task (after the previous task's after_task
+  /// hook and evaluations). Returning true ends the run cleanly at the task
+  /// boundary — the quiescent point where a shutdown checkpoint is
+  /// bitwise-resumable — with stopped_early set in the result.
+  std::function<bool()> stop_requested;
 };
 
 /// Runs the paper's protocol: sequential tasks, lower-triangle evaluation on

@@ -57,6 +57,31 @@ std::vector<float> CompactFloats::Decode() const {
   return out;
 }
 
+CompactFloats CompactFloats::FromRaw(kernels::GemmPrecision mode, size_t n,
+                                     std::vector<float> f32,
+                                     std::vector<uint16_t> bf16,
+                                     std::vector<int8_t> i8, float scale) {
+  CompactFloats out;
+  out.mode_ = mode;
+  out.n_ = n;
+  switch (mode) {
+    case kernels::GemmPrecision::kBf16:
+      CDCL_CHECK_EQ(bf16.size(), n);
+      out.bf16_ = std::move(bf16);
+      break;
+    case kernels::GemmPrecision::kInt8:
+      CDCL_CHECK_EQ(i8.size(), n);
+      out.i8_ = std::move(i8);
+      out.scale_ = scale;
+      break;
+    default:
+      CDCL_CHECK_EQ(f32.size(), n);
+      out.f32_ = std::move(f32);
+      break;
+  }
+  return out;
+}
+
 size_t CompactFloats::ByteSize() const {
   switch (mode_) {
     case kernels::GemmPrecision::kBf16:
@@ -87,6 +112,13 @@ void RehearsalMemory::AddTask(int64_t task_id,
   }
   ++num_tasks_;
   Rebalance(rng);
+}
+
+void RehearsalMemory::RestoreState(std::vector<MemoryRecord> records,
+                                   int64_t num_tasks) {
+  CDCL_CHECK_LE(static_cast<int64_t>(records.size()), capacity_);
+  records_ = std::move(records);
+  num_tasks_ = num_tasks;
 }
 
 void RehearsalMemory::Rebalance(Rng* rng) {

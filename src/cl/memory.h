@@ -52,6 +52,22 @@ class CompactFloats {
   /// size() elements at the encoding's width plus the int8 scale).
   size_t ByteSize() const;
 
+  /// Raw encoded payload, for checkpointing. Serializing the *codes* (not a
+  /// decode) matters: int8 decode→re-encode is lossy, so only a code-level
+  /// round-trip keeps restored replay losses bitwise identical.
+  kernels::GemmPrecision mode() const { return mode_; }
+  float scale() const { return scale_; }
+  const std::vector<float>& raw_f32() const { return f32_; }
+  const std::vector<uint16_t>& raw_bf16() const { return bf16_; }
+  const std::vector<int8_t>& raw_i8() const { return i8_; }
+
+  /// Rebuilds from a checkpointed payload. Exactly one of the three vectors
+  /// is non-empty (matching `mode`) unless n == 0.
+  static CompactFloats FromRaw(kernels::GemmPrecision mode, size_t n,
+                               std::vector<float> f32,
+                               std::vector<uint16_t> bf16,
+                               std::vector<int8_t> i8, float scale);
+
  private:
   kernels::GemmPrecision mode_ = kernels::GemmPrecision::kFp32;
   size_t n_ = 0;
@@ -117,6 +133,12 @@ class RehearsalMemory {
 
   /// Distinct task ids currently stored, ascending.
   std::vector<int64_t> StoredTaskIds() const;
+
+  /// Checkpoint restore: installs a previously-serialized record set and
+  /// task count verbatim (no rebalancing — the records were already the
+  /// post-rebalance state when saved). Capacity/policy come from the
+  /// trainer's options and must match the saving run.
+  void RestoreState(std::vector<MemoryRecord> records, int64_t num_tasks);
 
  private:
   void Rebalance(Rng* rng);

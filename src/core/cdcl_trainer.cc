@@ -418,6 +418,17 @@ void CdclTrainer::StoreTaskMemory(const data::CrossDomainTask& task,
   model_->SetTraining(true);
 }
 
+void CdclTrainer::ExportExtraState(ByteWriter* writer) const {
+  writer->PutF64(last_pseudo_label_accuracy_);
+  writer->PutI64(last_pair_count_);
+  writer->PutFloats(loss_trace_);
+}
+
+bool CdclTrainer::ImportExtraState(ByteReader* reader) {
+  return reader->GetF64(&last_pseudo_label_accuracy_) &&
+         reader->GetI64(&last_pair_count_) && reader->GetFloats(&loss_trace_);
+}
+
 std::unique_ptr<CdclTrainer> MakeCdclTrainer(const CdclOptions& options) {
   return std::make_unique<CdclTrainer>(options);
 }

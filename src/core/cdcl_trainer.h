@@ -50,6 +50,11 @@ class CdclTrainer : public baselines::TrainerBase {
   /// thread counts.
   const std::vector<float>& loss_trace() const { return loss_trace_; }
 
+  /// Checkpoint extra section: loss trace + alignment diagnostics, so a
+  /// restored run's trace matches the uninterrupted run's bitwise.
+  void ExportExtraState(ByteWriter* writer) const override;
+  bool ImportExtraState(ByteReader* reader) override;
+
  private:
   /// Source-only warm-up objective: L^CIL_S + L^TIL_S (Algorithm 1 lines 8-9).
   Tensor WarmupLoss(const data::Batch& batch, int64_t task_id);

@@ -161,6 +161,40 @@ void Adam::Step() {
   BumpWeightVersion();
 }
 
+std::vector<Adam::ExportedState> Adam::ExportState() const {
+  std::vector<ExportedState> out;
+  out.reserve(params_.size());
+  for (const Tensor& p : params_) {
+    ExportedState e;
+    auto it = state_.find(p.impl().get());
+    if (it != state_.end() &&
+        it->second.m.size() == static_cast<size_t>(p.NumElements())) {
+      e.present = true;
+      e.step = it->second.step;
+      e.m = it->second.m;
+      e.v = it->second.v;
+    }
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+void Adam::ImportState(const std::vector<ExportedState>& states) {
+  CDCL_CHECK_EQ(states.size(), params_.size());
+  state_.clear();
+  for (size_t i = 0; i < params_.size(); ++i) {
+    const ExportedState& e = states[i];
+    if (!e.present) continue;
+    CDCL_CHECK_EQ(e.m.size(), static_cast<size_t>(params_[i].NumElements()));
+    CDCL_CHECK_EQ(e.v.size(), e.m.size());
+    State st;
+    st.m = e.m;
+    st.v = e.v;
+    st.step = e.step;
+    state_[params_[i].impl().get()] = std::move(st);
+  }
+}
+
 AdamW::AdamW(std::vector<Tensor> params, float lr, float beta1, float beta2,
              float eps, float weight_decay)
     : Adam(std::move(params), lr, beta1, beta2, eps, weight_decay) {}

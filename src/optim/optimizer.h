@@ -65,6 +65,24 @@ class Adam : public Optimizer {
 
   void Step() override;
 
+  /// Positional snapshot of the per-parameter moments for checkpointing.
+  /// Entry i corresponds to params_[i]; `present` is false for parameters
+  /// that never took a step (their state is created lazily by Step()).
+  /// Positional keying matters: the in-memory map is keyed by tensor
+  /// storage pointer, which is meaningless across processes.
+  struct ExportedState {
+    bool present = false;
+    int64_t step = 0;  // per-parameter step count (drives bias correction)
+    std::vector<float> m;
+    std::vector<float> v;
+  };
+  std::vector<ExportedState> ExportState() const;
+
+  /// Restores moments exported by ExportState against a parameter list with
+  /// identical order and sizes (the checkpoint layer validates this before
+  /// calling; mismatches here are programmer error and abort).
+  void ImportState(const std::vector<ExportedState>& states);
+
  protected:
   struct State {
     std::vector<float> m;

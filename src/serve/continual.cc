@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "ckpt/checkpoint.h"
 #include "util/env.h"
 #include "util/logging.h"
 
@@ -23,6 +24,9 @@ ContinualServer::Options ContinualServer::Options::FromEnv() {
   options.server = InferenceServer::Options::FromEnv();
   options.publish_every = std::max<int64_t>(
       1, EnvInt("CDCL_SERVE_PUBLISH_EVERY", options.publish_every));
+  options.ckpt_dir = EnvString("CDCL_CKPT_DIR", options.ckpt_dir);
+  options.ckpt_retain =
+      static_cast<int>(EnvInt("CDCL_CKPT_RETAIN", options.ckpt_retain));
   return options;
 }
 
@@ -33,6 +37,10 @@ ContinualServer::ContinualServer(const Options& options,
       initial_snapshot_(InitialClone(trainer)),
       server_(options_.server, initial_snapshot_) {
   CDCL_CHECK_GE(options_.publish_every, 1);
+  // Health is answered on the server's loop thread; all state it touches is
+  // atomic (train_result_ is synchronized through training_done_'s
+  // release/acquire pair).
+  server_.SetHealthReporter([this] { return Health(); });
 }
 
 ContinualServer::~ContinualServer() { Stop(); }
@@ -70,12 +78,15 @@ void ContinualServer::BeginTraining(const data::CrossDomainTaskStream& stream,
                                     cl::ExperimentOptions base) {
   CDCL_CHECK(!training_started_) << "BeginTraining may be called once";
   training_started_ = true;
+  training_active_.store(true, std::memory_order_release);
   const int64_t last_task = stream.num_tasks() - 1;
   train_thread_ = std::thread([this, &stream, base, last_task]() {
     cl::ExperimentOptions options = base;
     const auto user_hook = base.after_task;
+    const auto user_stop = base.stop_requested;
     // Publish cadence state lives on the training thread; the hook runs at
-    // the experiment's quiescent point, so the trainer is safe to clone.
+    // the experiment's quiescent point, so the trainer is safe to clone —
+    // and, for the same reason, safe to checkpoint.
     int64_t since_publish = 0;
     options.after_task = [this, user_hook, last_task,
                           &since_publish](int64_t t) {
@@ -85,10 +96,41 @@ void ContinualServer::BeginTraining(const data::CrossDomainTaskStream& stream,
         since_publish = 0;
         PublishSnapshot();
       }
+      if (!options_.ckpt_dir.empty()) {
+        ckpt::SaveOptions save;
+        save.retain = options_.ckpt_retain;
+        const Result<ckpt::CheckpointInfo> info =
+            ckpt::SaveTrainer(options_.ckpt_dir, *trainer_, t + 1, save);
+        if (info.ok()) {
+          checkpoints_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          CDCL_LOG(Warning) << "serve: checkpoint after task " << t
+                            << " failed: " << info.status().ToString();
+        }
+      }
+    };
+    options.stop_requested = [this, user_stop] {
+      return stop_requested_.load(std::memory_order_relaxed) ||
+             (user_stop && user_stop());
     };
     train_result_ = cl::RunContinualExperiment(trainer_, stream, options);
+    if (!train_result_.ok()) {
+      CDCL_LOG(Error) << "serve: training thread failed ("
+                      << train_result_.status().ToString()
+                      << "); continuing to serve the last published snapshot";
+    }
     training_done_.store(true, std::memory_order_release);
   });
+}
+
+ServerHealth ContinualServer::Health() const {
+  if (training_done_.load(std::memory_order_acquire)) {
+    return train_result_.ok() ? ServerHealth::kComplete
+                              : ServerHealth::kDegraded;
+  }
+  return training_active_.load(std::memory_order_acquire)
+             ? ServerHealth::kTraining
+             : ServerHealth::kComplete;
 }
 
 Result<cl::ContinualResult> ContinualServer::WaitForTraining() {

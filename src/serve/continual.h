@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <thread>
 
 #include "baselines/trainer_base.h"
@@ -37,8 +38,17 @@ class ContinualServer {
     /// Publish a fresh snapshot after every N observed tasks (the final task
     /// always publishes regardless). Must be >= 1.
     int64_t publish_every = 1;
+    /// Directory for crash-safe trainer checkpoints, written at EVERY task
+    /// boundary (after the publish decision, while the trainer is still
+    /// quiescent). Empty disables checkpointing. A write failure is logged
+    /// and training continues — durability is best-effort per boundary, but
+    /// each committed generation is all-or-nothing (ckpt/io.h).
+    std::string ckpt_dir;
+    /// Checkpoint generations retained on disk (ckpt::SaveOptions::retain).
+    int ckpt_retain = 2;
 
-    /// InferenceServer::Options::FromEnv() plus CDCL_SERVE_PUBLISH_EVERY.
+    /// InferenceServer::Options::FromEnv() plus CDCL_SERVE_PUBLISH_EVERY,
+    /// CDCL_CKPT_DIR and CDCL_CKPT_RETAIN.
     static Options FromEnv();
   };
 
@@ -78,11 +88,29 @@ class ContinualServer {
   /// after BeginTraining(); safe to call once.
   Result<cl::ContinualResult> WaitForTraining();
 
+  /// Thread-safe: asks the training loop to stop at the next task boundary
+  /// (the graceful-shutdown path — the in-progress task finishes, a final
+  /// checkpoint is written, and WaitForTraining() returns with
+  /// stopped_early set). There is no preemption inside a task.
+  void RequestStop() {
+    stop_requested_.store(true, std::memory_order_relaxed);
+  }
+
+  /// Serving-plane health, also answered wire-side via MessageType::kHealth:
+  /// kTraining while the loop runs, kComplete after a clean finish (or when
+  /// no training was ever started), kDegraded when the training thread died
+  /// — the server then keeps answering from the last published snapshot.
+  ServerHealth Health() const;
+
   bool training_done() const {
     return training_done_.load(std::memory_order_acquire);
   }
   uint64_t publishes() const {
     return publishes_.load(std::memory_order_relaxed);
+  }
+  /// Checkpoint generations successfully committed by the training loop.
+  uint64_t checkpoints() const {
+    return checkpoints_.load(std::memory_order_relaxed);
   }
 
   uint16_t port() const { return server_.port(); }
@@ -106,6 +134,12 @@ class ContinualServer {
   std::thread train_thread_;
   std::atomic<bool> training_done_{false};
   std::atomic<uint64_t> publishes_{0};
+  std::atomic<uint64_t> checkpoints_{0};
+  std::atomic<bool> stop_requested_{false};
+  /// Set (with release) by BeginTraining before the thread launches; the
+  /// loop-thread health reporter reads it, so it cannot be the plain
+  /// training_started_ bool the main-thread CHECKs use.
+  std::atomic<bool> training_active_{false};
   bool training_started_ = false;
   Result<cl::ContinualResult> train_result_{
       Status::FailedPrecondition("training never started")};

@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
+#include <sys/timerfd.h>
 #include <unistd.h>
 #include <utility>
 
@@ -90,6 +91,33 @@ void EventLoop::RunInLoop(std::function<void()> task) {
     tasks_.push_back(std::move(task));
   }
   Wake();
+}
+
+int EventLoop::AddPeriodic(int64_t interval_ms, std::function<void()> callback) {
+  const int fd = ::timerfd_create(CLOCK_MONOTONIC, TFD_NONBLOCK | TFD_CLOEXEC);
+  if (fd < 0) {
+    CDCL_LOG(Error) << "timerfd_create failed, errno=" << errno;
+    return -1;
+  }
+  itimerspec spec{};
+  spec.it_interval.tv_sec = interval_ms / 1000;
+  spec.it_interval.tv_nsec = (interval_ms % 1000) * 1000000;
+  spec.it_value = spec.it_interval;
+  if (::timerfd_settime(fd, 0, &spec, nullptr) != 0) {
+    CDCL_LOG(Error) << "timerfd_settime failed, errno=" << errno;
+    ::close(fd);
+    return -1;
+  }
+  Add(fd, EPOLLIN, [fd, cb = std::move(callback)](uint32_t) {
+    uint64_t expirations = 0;
+    for (;;) {  // drain the expiration counter so level-trigger quiesces
+      const ssize_t n = ::read(fd, &expirations, sizeof(expirations));
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    cb();
+  });
+  return fd;
 }
 
 void EventLoop::Wake() {

@@ -49,6 +49,14 @@ class EventLoop {
   /// workers hand completed responses back to the sessions' owner thread.
   void RunInLoop(std::function<void()> task);
 
+  /// Registers a timerfd firing `callback` on the loop thread every
+  /// `interval_ms` (first fire after one interval). Returns the timer fd so
+  /// the caller can Remove()+close it, or -1 on failure. Loop thread only
+  /// (call before Run(), like listener registration). The callback runs as
+  /// an ordinary fd handler — it shares the loop's single-thread ownership
+  /// of sessions, so periodic sweeps need no locking.
+  int AddPeriodic(int64_t interval_ms, std::function<void()> callback);
+
  private:
   void Wake();
   void DrainWake();

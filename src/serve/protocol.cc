@@ -66,7 +66,8 @@ void AppendRequest(const Request& request, Buffer* out) {
   body.push_back(0);
   PutU16(0, &body);
   PutU32(request.request_id, &body);
-  if (request.type == MessageType::kPing) {
+  if (request.type == MessageType::kPing ||
+      request.type == MessageType::kHealth) {
     body.insert(body.end(), request.ping_payload.begin(),
                 request.ping_payload.end());
   } else {
@@ -115,14 +116,14 @@ ParseResult FrameParser::Next(Buffer* in, Request* out) {
   constexpr size_t kHeader = 8;
   if (len < kHeader) return ParseResult::kError;
   const uint8_t raw_type = body[0];
-  if (raw_type > static_cast<uint8_t>(MessageType::kEncode)) {
+  if (raw_type > static_cast<uint8_t>(MessageType::kHealth)) {
     return ParseResult::kError;
   }
   *out = Request();
   out->type = static_cast<MessageType>(raw_type);
   out->request_id = GetU32(body + 4);
 
-  if (out->type == MessageType::kPing) {
+  if (out->type == MessageType::kPing || out->type == MessageType::kHealth) {
     out->ping_payload.assign(body + kHeader, body + len);
   } else {
     // i32 task + 4x u16 dims header, then the pixel payload.
@@ -153,7 +154,7 @@ ParseResult ResponseParser::Next(Buffer* in, Response* out) {
   constexpr size_t kHeader = 12;
   if (len < kHeader) return ParseResult::kError;
   const uint8_t raw_type = body[5];
-  if (raw_type > static_cast<uint8_t>(MessageType::kEncode)) {
+  if (raw_type > static_cast<uint8_t>(MessageType::kHealth)) {
     return ParseResult::kError;
   }
   if (body[4] > static_cast<uint8_t>(ResponseStatus::kOverloaded)) {

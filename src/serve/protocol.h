@@ -24,6 +24,7 @@ namespace serve {
 //   kClassifyTil   i32 task | u16 c | u16 h | u16 w | u16 zero | f32 pixels[]
 //   kClassifyCil   same as kClassifyTil (task conditions the encoder)
 //   kEncode        same as kClassifyTil
+//   kHealth        empty payload (answered on the loop thread, like kPing)
 //
 // Response body:
 //
@@ -31,6 +32,9 @@ namespace serve {
 //
 //   kPing          payload = the echoed bytes
 //   others         u32 count | f32 values[count]   (logits or embedding)
+//   kHealth        values[0] = health code (serve/server.h ServerHealth):
+//                  0 training, 1 training complete, 2 DEGRADED (trainer
+//                  died; still serving the last published snapshot)
 //
 // Responses carry the request_id because the micro-batcher may reorder
 // completions across a pipelined connection; clients match on id, not order.
@@ -48,6 +52,7 @@ enum class MessageType : uint8_t {
   kClassifyTil = 1,
   kClassifyCil = 2,
   kEncode = 3,
+  kHealth = 4,  // liveness/degradation probe; never enters the batcher
 };
 
 enum class ResponseStatus : uint8_t {

@@ -1,8 +1,11 @@
 #include "serve/server.h"
 
+#include <algorithm>
+#include <ctime>
 #include <sys/epoll.h>
 #include <unistd.h>
 #include <utility>
+#include <vector>
 
 #include "serve/net.h"
 #include "util/env.h"
@@ -10,6 +13,15 @@
 
 namespace cdcl {
 namespace serve {
+namespace {
+
+int64_t MonotonicMs() {
+  timespec ts;
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return ts.tv_sec * 1000 + ts.tv_nsec / 1000000;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Session: one connected client, owned by the event-loop thread.
@@ -19,7 +31,8 @@ class InferenceServer::Session {
  public:
   Session(InferenceServer* server, uint64_t id, int fd)
       : server_(server), id_(id), fd_(fd),
-        parser_(server->options_.max_frame_bytes) {}
+        parser_(server->options_.max_frame_bytes),
+        last_activity_ms_(MonotonicMs()) {}
 
   ~Session() {
     server_->loop_.Remove(fd_);
@@ -56,8 +69,16 @@ class InferenceServer::Session {
     return QueueResponse(response);
   }
 
+  /// True when this session has been silent past `timeout_ms` AND has no
+  /// in-flight or unflushed work — the reapable "dead client" state. The
+  /// work condition keeps a client merely waiting out a slow eval alive.
+  bool IdlePast(int64_t now_ms, int64_t timeout_ms) const {
+    return now_ms - last_activity_ms_ >= timeout_ms && Drained();
+  }
+
  private:
   bool HandleReadable() {
+    last_activity_ms_ = MonotonicMs();
     const IoStatus status = ReadToBuffer(fd_, &in_);
     // Parse every complete frame buffered so far (coalesced reads), keeping
     // partial tails for the next readable event (split reads).
@@ -80,6 +101,19 @@ class InferenceServer::Session {
         echo.version = server_->engine_.version();
         echo.ping_payload = std::move(request.ping_payload);
         if (!QueueResponse(echo)) return false;
+        continue;
+      }
+      if (request.type == MessageType::kHealth) {
+        // Health probes answer on the loop thread like pings — they must
+        // keep working even when the batcher path is wedged or the trainer
+        // is dead (that is the state they exist to report).
+        Response health;
+        health.request_id = request.request_id;
+        health.type = MessageType::kHealth;
+        health.version = server_->engine_.version();
+        health.values = {
+            static_cast<float>(static_cast<int>(server_->CurrentHealth()))};
+        if (!QueueResponse(health)) return false;
         continue;
       }
       const uint32_t request_id = request.request_id;
@@ -132,6 +166,7 @@ class InferenceServer::Session {
   FrameParser parser_;
   Buffer in_;
   Buffer out_;
+  int64_t last_activity_ms_;  // loop thread only; read-side activity
   uint32_t loop_events_ = 0;
   int64_t in_flight_ = 0;  // requests submitted to the batcher, not yet queued
   bool eof_ = false;       // peer closed its write side
@@ -147,6 +182,8 @@ InferenceServer::Options InferenceServer::Options::FromEnv() {
   options.workers = EnvInt("CDCL_SERVE_WORKERS", options.workers);
   options.deadline_us = EnvInt("CDCL_SERVE_DEADLINE_US", options.deadline_us);
   options.queue_max = EnvInt("CDCL_SERVE_QUEUE_MAX", options.queue_max);
+  options.idle_timeout_ms =
+      EnvInt("CDCL_SERVE_IDLE_TIMEOUT_MS", options.idle_timeout_ms);
   const int64_t batch = EnvInt("CDCL_EVAL_BATCH", 0);
   if (batch > 0) options.max_batch = batch;
   return options;
@@ -187,10 +224,22 @@ bool InferenceServer::Start() {
   running_.store(true);
   loop_thread_ = std::thread([this] {
     loop_.Add(listen_fd_, EPOLLIN, [this](uint32_t) { HandleAccept(); });
+    if (options_.idle_timeout_ms > 0) {
+      // Lazy sweep at half the timeout: a dead client is reaped at most
+      // 1.5x the timeout after its last activity, with zero per-request
+      // bookkeeping beyond one timestamp.
+      const int64_t sweep_ms = std::max<int64_t>(1, options_.idle_timeout_ms / 2);
+      reap_timer_fd_ = loop_.AddPeriodic(sweep_ms, [this] { ReapIdleSessions(); });
+    }
     loop_.Run();
     // Loop exited: tear sessions down on their owner thread.
     sessions_.clear();
     loop_.Remove(listen_fd_);
+    if (reap_timer_fd_ >= 0) {
+      loop_.Remove(reap_timer_fd_);
+      ::close(reap_timer_fd_);
+      reap_timer_fd_ = -1;
+    }
   });
   CDCL_LOG(Info) << "serve: listening on 127.0.0.1:" << port_ << " ("
                  << options_.workers << " workers, max_batch "
@@ -244,6 +293,23 @@ void InferenceServer::DeliverResponses(
       CloseSession(done.session_id);
     }
   }
+}
+
+void InferenceServer::ReapIdleSessions() {
+  const int64_t now = MonotonicMs();
+  std::vector<uint64_t> idle;
+  for (const auto& [id, session] : sessions_) {
+    if (session->IdlePast(now, options_.idle_timeout_ms)) idle.push_back(id);
+  }
+  for (uint64_t id : idle) {
+    CDCL_LOG(Info) << "serve: reaping idle session " << id;
+    CloseSession(id);
+    reaped_sessions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+ServerHealth InferenceServer::CurrentHealth() const {
+  return health_reporter_ ? health_reporter_() : ServerHealth::kComplete;
 }
 
 }  // namespace serve

@@ -1,0 +1,161 @@
+#include "util/fault.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <unistd.h>
+#include <utility>
+
+#include "util/env.h"
+#include "util/logging.h"
+
+namespace cdcl {
+namespace fault {
+namespace {
+
+// Fast path: one relaxed load of `armed`. The mutex only guards the (cold)
+// armed-plan bookkeeping — arming, matching, and the consume-on-fire.
+std::atomic<bool> g_armed{false};
+std::mutex g_mutex;
+Plan g_plan;
+
+/// Consumes one hit at `point`. Returns the fired kind, or nullopt encoded
+/// as kind-with-fired=false.
+bool ConsumeHit(const char* point, Kind* kind, int* error) {
+  if (!g_armed.load(std::memory_order_relaxed)) return false;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (!g_armed.load(std::memory_order_relaxed)) return false;
+  if (g_plan.point != point) return false;
+  if (g_plan.skip > 0) {
+    --g_plan.skip;
+    return false;
+  }
+  *kind = g_plan.kind;
+  *error = g_plan.error;
+  g_armed.store(false, std::memory_order_relaxed);
+  return true;
+}
+
+ssize_t RetryingWrite(int fd, const uint8_t* p, size_t n) {
+  for (;;) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w >= 0 || errno != EINTR) return w;
+  }
+}
+
+}  // namespace
+
+void Arm(Plan plan) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_plan = std::move(plan);
+  g_armed.store(true, std::memory_order_relaxed);
+}
+
+void Disarm() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_armed.store(false, std::memory_order_relaxed);
+}
+
+bool Armed() { return g_armed.load(std::memory_order_relaxed); }
+
+bool ShouldFail(const char* point) {
+  Kind kind;
+  int error;
+  return ConsumeHit(point, &kind, &error);
+}
+
+void ArmFromEnv() {
+  const std::string spec = EnvString("CDCL_FAULT", "");
+  if (spec.empty()) return;
+  Plan plan;
+  // point[:kind[:skip[:errno]]]
+  size_t start = 0, field = 0;
+  while (start <= spec.size()) {
+    size_t colon = spec.find(':', start);
+    if (colon == std::string::npos) colon = spec.size();
+    const std::string part = spec.substr(start, colon - start);
+    switch (field) {
+      case 0:
+        plan.point = part;
+        break;
+      case 1:
+        if (part == "short_write") plan.kind = Kind::kShortWrite;
+        else if (part == "crash") plan.kind = Kind::kCrash;
+        else plan.kind = Kind::kErrno;
+        break;
+      case 2:
+        plan.skip = std::atoll(part.c_str());
+        break;
+      case 3:
+        plan.error = std::atoi(part.c_str());
+        break;
+      default:
+        break;
+    }
+    ++field;
+    start = colon + 1;
+  }
+  if (plan.point.empty()) {
+    CDCL_LOG(Warning) << "fault: ignoring malformed CDCL_FAULT spec '" << spec
+                      << "'";
+    return;
+  }
+  CDCL_LOG(Info) << "fault: armed point '" << plan.point << "' kind "
+                 << static_cast<int>(plan.kind) << " skip " << plan.skip;
+  Arm(std::move(plan));
+}
+
+ssize_t Write(const char* point, int fd, const void* buf, size_t n) {
+  Kind kind;
+  int error;
+  if (ConsumeHit(point, &kind, &error)) {
+    switch (kind) {
+      case Kind::kErrno:
+        errno = error;
+        return -1;
+      case Kind::kShortWrite: {
+        // Persist a torn prefix, then die: the on-disk tail is missing
+        // exactly as if power failed mid-write.
+        const size_t half = n / 2;
+        if (half > 0) RetryingWrite(fd, static_cast<const uint8_t*>(buf), half);
+        return kCrashSentinel;
+      }
+      case Kind::kCrash:
+        return kCrashSentinel;
+    }
+  }
+  return RetryingWrite(fd, static_cast<const uint8_t*>(buf), n);
+}
+
+int Fsync(const char* point, int fd) {
+  Kind kind;
+  int error;
+  if (ConsumeHit(point, &kind, &error)) {
+    if (kind == Kind::kErrno) {
+      errno = error;
+      return -1;
+    }
+    return static_cast<int>(kCrashSentinel);
+  }
+  for (;;) {
+    const int rc = ::fsync(fd);
+    if (rc == 0 || errno != EINTR) return rc;
+  }
+}
+
+int Rename(const char* point, const char* from, const char* to) {
+  Kind kind;
+  int error;
+  if (ConsumeHit(point, &kind, &error)) {
+    if (kind == Kind::kErrno) {
+      errno = error;
+      return -1;
+    }
+    return static_cast<int>(kCrashSentinel);
+  }
+  return std::rename(from, to);
+}
+
+}  // namespace fault
+}  // namespace cdcl

@@ -1,0 +1,93 @@
+#ifndef CDCL_UTIL_FAULT_H_
+#define CDCL_UTIL_FAULT_H_
+
+#include <cerrno>
+#include <cstdint>
+#include <string>
+#include <sys/types.h>
+
+namespace cdcl {
+namespace fault {
+
+// ---------------------------------------------------------------------------
+// Deterministic fault-injection seam.
+//
+// Production code routes its fallible operations through the wrappers below,
+// each guarded by a *named point* ("ckpt.write.data", "trainer.observe_task",
+// ...). Unarmed, every wrapper is a single relaxed atomic load away from the
+// raw syscall — zero branches taken, no locks — so the seam is free in
+// normal operation. Tests (or the CDCL_FAULT env knob) arm ONE plan naming
+// the point, how many matching hits to let through first, and what happens
+// when it fires:
+//
+//   kErrno       the op fails with the injected errno (EIO, ENOSPC, ...)
+//   kShortWrite  a write persists only half its bytes, then the process is
+//                treated as dead (torn-tail crash — the classic lost-power
+//                outcome fsync ordering must defend against)
+//   kCrash       the op never executes; the process is treated as dead at
+//                exactly that instant (state on disk = whatever earlier ops
+//                durably wrote)
+//
+// "Treated as dead" means the wrapper returns kCrashSentinel and the caller
+// must unwind WITHOUT any cleanup — no temp-file deletion, no rollback —
+// leaving the filesystem bitwise as a SIGKILL at that point would. The
+// checkpoint tests then run the restore path against that wreckage. No
+// sleeps, no signals, no subprocesses: every interleaving is chosen by the
+// plan, so the fault matrix is fully deterministic and sanitizer-friendly.
+//
+// The same seam injects non-I/O failures: ShouldFail(point) is a pure
+// "does the armed plan fire here" check used e.g. by the continual-training
+// loop to simulate trainer death under live serving traffic.
+// ---------------------------------------------------------------------------
+
+enum class Kind : uint8_t {
+  kErrno = 0,
+  kShortWrite = 1,
+  kCrash = 2,
+};
+
+struct Plan {
+  std::string point;  // exact point name this plan fires at
+  int64_t skip = 0;   // matching hits to let through before firing
+  Kind kind = Kind::kErrno;
+  int error = EIO;  // injected errno for kErrno
+};
+
+/// Arms `plan` (replacing any armed plan). Thread-safe; the plan fires at
+/// most once and disarms itself.
+void Arm(Plan plan);
+
+/// Disarms without firing. Thread-safe, idempotent.
+void Disarm();
+
+/// True while a plan is armed (it has not fired yet).
+bool Armed();
+
+/// True when the armed plan named this point and its skip count was already
+/// exhausted — the hit consumes the plan. Unarmed: one atomic load, false.
+/// This is the non-I/O entry point (e.g. injected trainer death).
+bool ShouldFail(const char* point);
+
+/// Reads CDCL_FAULT ("point[:kind[:skip[:errno]]]", kind one of
+/// errno|short_write|crash) and arms it. Called once by tools that want
+/// env-driven faults; tests use Arm() directly.
+void ArmFromEnv();
+
+/// Sentinel returned by the wrappers when the armed plan says the process
+/// died here: the caller must unwind with NO cleanup (see file comment).
+constexpr ssize_t kCrashSentinel = -2;
+
+/// write(2) with EINTR retry, routed through the seam. Returns bytes
+/// written, -1 with errno on (real or injected) error, or kCrashSentinel.
+ssize_t Write(const char* point, int fd, const void* buf, size_t n);
+
+/// fsync(2) under the seam: 0, -1+errno, or kCrashSentinel (as int).
+int Fsync(const char* point, int fd);
+
+/// rename(2) under the seam: 0, -1+errno, or kCrashSentinel (as int).
+int Rename(const char* point, const char* from, const char* to);
+
+}  // namespace fault
+}  // namespace cdcl
+
+#endif  // CDCL_UTIL_FAULT_H_

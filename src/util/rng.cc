@@ -94,4 +94,18 @@ size_t Rng::SampleIndex(const std::vector<double>& weights) {
 
 Rng Rng::Fork() { return Rng(NextU64() ^ 0xA5A5A5A5A5A5A5A5ULL); }
 
+Rng::StateSnapshot Rng::SaveState() const {
+  StateSnapshot snap;
+  for (int i = 0; i < 4; ++i) snap.state[i] = state_[i];
+  snap.has_cached_gaussian = has_cached_gaussian_;
+  snap.cached_gaussian = cached_gaussian_;
+  return snap;
+}
+
+void Rng::LoadState(const StateSnapshot& snapshot) {
+  for (int i = 0; i < 4; ++i) state_[i] = snapshot.state[i];
+  has_cached_gaussian_ = snapshot.has_cached_gaussian;
+  cached_gaussian_ = snapshot.cached_gaussian;
+}
+
 }  // namespace cdcl

@@ -54,6 +54,17 @@ class Rng {
   /// give parallel workers decorrelated seeds.
   Rng Fork();
 
+  /// Full generator state, including the Box-Muller gaussian cache — a
+  /// restored Rng must replay the *exact* draw sequence, and dropping a
+  /// cached second gaussian would shift every later draw by one.
+  struct StateSnapshot {
+    uint64_t state[4];
+    bool has_cached_gaussian;
+    double cached_gaussian;
+  };
+  StateSnapshot SaveState() const;
+  void LoadState(const StateSnapshot& snapshot);
+
  private:
   uint64_t state_[4];
   bool has_cached_gaussian_ = false;

@@ -1,0 +1,280 @@
+// Graceful-degradation suite: the trainer thread dies mid-stream (injected
+// deterministically via the fault seam — no sleeps, no signals) while client
+// traffic is live. The serving plane must keep answering from the last
+// published snapshot, report kDegraded through the wire-level health probe,
+// and the whole deployment must be restartable from the checkpoint the dead
+// trainer left behind, finishing the stream cleanly. Runs under TSan via the
+// ctest `concurrency` label (scripts/verify.sh).
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.h"
+#include "cl/experiment.h"
+#include "core/cdcl_trainer.h"
+#include "data/task_stream.h"
+#include "gtest/gtest.h"
+#include "serve/client.h"
+#include "serve/continual.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "util/fault.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace cdcl {
+namespace {
+
+using serve::MessageType;
+using serve::Request;
+using serve::Response;
+using serve::ResponseStatus;
+using serve::ServerHealth;
+
+constexpr int64_t kHw = 16;
+constexpr int64_t kChannels = 1;
+
+data::CrossDomainTaskStream TinyDigitsStream(int64_t tasks) {
+  data::TaskStreamOptions opt;
+  opt.family = "digits";
+  opt.source_domain = "MN";
+  opt.target_domain = "US";
+  opt.num_tasks = tasks;
+  opt.classes_per_task = 2;
+  opt.train_per_class = 8;
+  opt.test_per_class = 4;
+  opt.seed = 1;
+  return *data::CrossDomainTaskStream::Make(opt);
+}
+
+core::CdclOptions TinyCdclOptions() {
+  core::CdclOptions opt;
+  opt.base.model.image_hw = kHw;
+  opt.base.model.channels = kChannels;
+  opt.base.model.embed_dim = 16;
+  opt.base.model.num_layers = 1;
+  opt.base.epochs = 2;
+  opt.base.warmup_epochs = 1;
+  opt.base.batch_size = 8;
+  opt.base.memory_size = 32;
+  opt.base.seed = 3;
+  return opt;
+}
+
+class TempDir {
+ public:
+  TempDir() {
+    char tmpl[] = "/tmp/cdcl_degrade_XXXXXX";
+    char* made = ::mkdtemp(tmpl);
+    EXPECT_NE(made, nullptr);
+    path_ = made != nullptr ? made : "";
+  }
+  ~TempDir() {
+    if (path_.empty()) return;
+    DIR* d = ::opendir(path_.c_str());
+    if (d != nullptr) {
+      for (dirent* e = ::readdir(d); e != nullptr; e = ::readdir(d)) {
+        const std::string name = e->d_name;
+        if (name == "." || name == "..") continue;
+        ::unlink((path_ + "/" + name).c_str());
+      }
+      ::closedir(d);
+    }
+    ::rmdir(path_.c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+Request ImageRequest(uint32_t id, uint64_t seed) {
+  Request r;
+  r.type = MessageType::kClassifyTil;
+  r.request_id = id;
+  r.task = 0;
+  r.channels = kChannels;
+  r.height = kHw;
+  r.width = kHw;
+  Rng rng(seed);
+  r.pixels.resize(static_cast<size_t>(kChannels * kHw * kHw));
+  for (float& p : r.pixels) p = static_cast<float>(rng.Gaussian(0.0, 1.0));
+  return r;
+}
+
+/// Wire-level health probe: answered on the loop thread, so it works even
+/// when the batcher path or the trainer is wedged.
+ServerHealth ProbeHealth(serve::Client* client) {
+  Request probe;
+  probe.type = MessageType::kHealth;
+  probe.request_id = 0xFFFF;
+  Response response;
+  EXPECT_TRUE(client->Call(probe, &response));
+  EXPECT_EQ(response.type, MessageType::kHealth);
+  EXPECT_EQ(response.status, ResponseStatus::kOk);
+  EXPECT_EQ(response.values.size(), 1u);
+  return static_cast<ServerHealth>(static_cast<int>(response.values[0]));
+}
+
+TEST(DegradeTest, TrainerDeathKeepsServingAndRestartsFromCheckpoint) {
+  auto stream = TinyDigitsStream(3);
+  TempDir ckpt_dir;
+
+  core::CdclTrainer trainer(TinyCdclOptions());
+  ASSERT_TRUE(trainer.ObserveTask(stream.task(0)).ok());
+
+  serve::ContinualServer::Options options;
+  options.server.port = 0;
+  options.server.workers = 2;
+  options.server.max_batch = 8;
+  options.server.deadline_us = 200;
+  options.publish_every = 1;
+  options.ckpt_dir = ckpt_dir.path();
+  serve::ContinualServer continual(options, &trainer);
+  ASSERT_TRUE(continual.Start());
+
+  serve::Client client;
+  ASSERT_TRUE(client.Connect(continual.port()));
+  // No training launched yet: the server is simply serving its snapshot.
+  EXPECT_EQ(ProbeHealth(&client), ServerHealth::kComplete);
+
+  // The trainer thread will observe task 1 (skip=1 lets that hit through),
+  // checkpoint it, then DIE at the top of task 2 — an injected Internal
+  // error from the experiment loop's fault seam, deterministic and
+  // thread-exact.
+  fault::Plan plan;
+  plan.point = "trainer.observe_task";
+  plan.skip = 1;
+  fault::Arm(plan);
+
+  cl::ExperimentOptions experiment;
+  experiment.first_task = 1;
+  experiment.evaluate = false;  // keep the window tight; evals are optional
+  continual.BeginTraining(stream, experiment);
+
+  // Live traffic across the death: pipelined task-0 requests, every one of
+  // which must complete OK and carry a published version stamp.
+  uint32_t next_id = 1;
+  uint32_t in_flight = 0;
+  int64_t completed = 0;
+  while (!continual.training_done() || completed < 20) {
+    while (in_flight < 4) {
+      ASSERT_TRUE(client.Send(ImageRequest(next_id, 600 + next_id)));
+      ++next_id;
+      ++in_flight;
+    }
+    Response response;
+    ASSERT_TRUE(client.Receive(&response));
+    ASSERT_EQ(response.status, ResponseStatus::kOk);
+    ASSERT_TRUE(response.version == 1 || response.version == 2)
+        << response.version;
+    --in_flight;
+    ++completed;
+  }
+  while (in_flight > 0) {
+    Response response;
+    ASSERT_TRUE(client.Receive(&response));
+    ASSERT_EQ(response.status, ResponseStatus::kOk);
+    --in_flight;
+  }
+
+  // The training thread died with the injected error...
+  Result<cl::ContinualResult> died = continual.WaitForTraining();
+  ASSERT_FALSE(died.ok());
+  EXPECT_EQ(died.status().code(), StatusCode::kInternal);
+  EXPECT_FALSE(fault::Armed()) << "the plan must have fired";
+  // ...after committing exactly one checkpoint (task 1's boundary) and
+  // publishing v2 (initial v1 + task 1).
+  EXPECT_EQ(continual.checkpoints(), 1u);
+  EXPECT_EQ(continual.publishes(), 2u);
+
+  // Degraded, not dead: health says so on the wire, and requests still get
+  // full answers from the last published snapshot.
+  EXPECT_EQ(continual.Health(), ServerHealth::kDegraded);
+  EXPECT_EQ(ProbeHealth(&client), ServerHealth::kDegraded);
+  for (int i = 0; i < 5; ++i) {
+    Response response;
+    ASSERT_TRUE(client.Call(ImageRequest(90000u + i, 900 + i), &response));
+    ASSERT_EQ(response.status, ResponseStatus::kOk);
+    EXPECT_EQ(response.version, 2u);
+  }
+  client.Close();
+  continual.Stop();
+
+  // Restart-from-checkpoint: a fresh trainer restores tasks 0..1 and a
+  // fresh ContinualServer finishes the stream cleanly.
+  core::CdclTrainer revived(TinyCdclOptions());
+  const Result<ckpt::CheckpointInfo> info =
+      ckpt::RestoreTrainer(ckpt_dir.path(), &revived);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->next_task, 2);
+  ASSERT_EQ(revived.tasks_seen(), 2);
+
+  serve::ContinualServer restarted(options, &revived);
+  ASSERT_TRUE(restarted.Start());
+  cl::ExperimentOptions resume;
+  resume.first_task = info->next_task;
+  resume.evaluate = false;
+  restarted.BeginTraining(stream, resume);
+  Result<cl::ContinualResult> finished = restarted.WaitForTraining();
+  ASSERT_TRUE(finished.ok()) << finished.status().ToString();
+  EXPECT_EQ(finished->last_task_observed, 2);
+  EXPECT_EQ(restarted.Health(), ServerHealth::kComplete);
+
+  serve::Client probe;
+  ASSERT_TRUE(probe.Connect(restarted.port()));
+  EXPECT_EQ(ProbeHealth(&probe), ServerHealth::kComplete);
+  Response response;
+  ASSERT_TRUE(probe.Call(ImageRequest(1, 601), &response));
+  EXPECT_EQ(response.status, ResponseStatus::kOk);
+  restarted.Stop();
+}
+
+TEST(DegradeTest, GracefulStopCheckpointsAtTheBoundary) {
+  auto stream = TinyDigitsStream(3);
+  TempDir ckpt_dir;
+
+  core::CdclTrainer trainer(TinyCdclOptions());
+  ASSERT_TRUE(trainer.ObserveTask(stream.task(0)).ok());
+
+  serve::ContinualServer::Options options;
+  options.server.port = 0;
+  options.server.workers = 1;
+  options.ckpt_dir = ckpt_dir.path();
+  serve::ContinualServer continual(options, &trainer);
+  ASSERT_TRUE(continual.Start());
+
+  // A stop request lands while task 1 trains (modeled by the user-level
+  // stop predicate turning true once tasks_seen hits 2): the loop finishes
+  // task 1, its boundary hook commits a checkpoint, and the run ends
+  // stopped_early — the SIGTERM path of cdcl_continual_serve, minus the
+  // signal plumbing.
+  cl::ExperimentOptions experiment;
+  experiment.first_task = 1;
+  experiment.evaluate = false;
+  experiment.stop_requested = [&trainer] { return trainer.tasks_seen() >= 2; };
+  continual.BeginTraining(stream, experiment);
+  Result<cl::ContinualResult> result = continual.WaitForTraining();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->stopped_early);
+  EXPECT_EQ(result->last_task_observed, 1);
+  EXPECT_EQ(continual.checkpoints(), 1u);
+  EXPECT_EQ(continual.Health(), ServerHealth::kComplete)
+      << "a clean early stop is not degradation";
+  continual.Stop();
+
+  // The checkpoint written at the stop boundary resumes at task 2.
+  core::CdclTrainer revived(TinyCdclOptions());
+  const Result<ckpt::CheckpointInfo> info =
+      ckpt::RestoreTrainer(ckpt_dir.path(), &revived);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->next_task, 2);
+}
+
+}  // namespace
+}  // namespace cdcl

@@ -1001,5 +1001,104 @@ TEST_F(ServeTest, SoakManyConnectionsPipelined) {
   EXPECT_GT(stats.max_batch_seen, 1);
 }
 
+// ---------------------------------------------------------------------------
+// Client retry backoff (pure schedule — no sleeps, no server)
+// ---------------------------------------------------------------------------
+
+TEST(RetryBackoffTest, ScheduleIsCappedExponentialWithJitter) {
+  serve::RetryPolicy policy;
+  policy.base_delay_us = 1000;
+  policy.max_delay_us = 100000;
+
+  Rng rng(7);
+  for (int attempt = 1; attempt <= 20; ++attempt) {
+    // Nominal delay doubles per attempt until the cap.
+    int64_t nominal = policy.base_delay_us;
+    for (int i = 1; i < attempt && nominal < policy.max_delay_us; ++i) {
+      nominal *= 2;
+    }
+    nominal = std::min(nominal, policy.max_delay_us);
+    const int64_t delay = serve::RetryDelayUs(policy, attempt, &rng);
+    EXPECT_GE(delay, nominal / 2) << "attempt " << attempt;
+    EXPECT_LE(delay, nominal) << "attempt " << attempt;
+  }
+  // Deep attempts sit inside the cap's jitter band, never above it.
+  const int64_t deep = serve::RetryDelayUs(policy, 62, &rng);
+  EXPECT_GE(deep, policy.max_delay_us / 2);
+  EXPECT_LE(deep, policy.max_delay_us);
+  EXPECT_EQ(serve::RetryDelayUs(policy, 0, &rng), 0);
+
+  // The jitter is the caller's seeded stream: same seed, same schedule —
+  // retrying clients are reproducible end to end.
+  Rng rng_a(123), rng_b(123);
+  for (int attempt = 1; attempt <= 8; ++attempt) {
+    EXPECT_EQ(serve::RetryDelayUs(policy, attempt, &rng_a),
+              serve::RetryDelayUs(policy, attempt, &rng_b))
+        << attempt;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Health probe + idle-session reaping
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeTest, HealthProbeAnswersCompleteWithoutAReporter) {
+  StartServer({});
+  serve::Client client;
+  ASSERT_TRUE(client.Connect(server_->port()));
+  Request probe;
+  probe.type = MessageType::kHealth;
+  probe.request_id = 5;
+  Response response;
+  ASSERT_TRUE(client.Call(probe, &response));
+  EXPECT_EQ(response.request_id, 5u);
+  EXPECT_EQ(response.status, ResponseStatus::kOk);
+  EXPECT_EQ(response.type, MessageType::kHealth);
+  ASSERT_EQ(response.values.size(), 1u);
+  // A standalone server has no training plane: health is kComplete. (The
+  // degraded/training codes are pinned in tests/degrade_test.cc.)
+  EXPECT_EQ(static_cast<int>(response.values[0]),
+            static_cast<int>(serve::ServerHealth::kComplete));
+  EXPECT_EQ(response.version, 1u);
+}
+
+TEST_F(ServeTest, IdleSessionsAreReapedActiveOnesAreNot) {
+  serve::InferenceServer::Options options;
+  options.idle_timeout_ms = 100;
+  StartServer(options);
+
+  serve::Client idle_client;
+  ASSERT_TRUE(idle_client.Connect(server_->port()));
+  Request ping;
+  ping.type = MessageType::kPing;
+  ping.request_id = 1;
+  Response response;
+  ASSERT_TRUE(idle_client.Call(ping, &response));  // alive, then goes silent
+
+  serve::Client active_client;
+  ASSERT_TRUE(active_client.Connect(server_->port()));
+
+  // Keep the active session chatty while the idle one rots. The sweep runs
+  // every timeout/2, so well within the deadline the idle session is gone.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(10);
+  while (server_->reaped_sessions() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    ASSERT_TRUE(active_client.Call(ping, &response));
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GE(server_->reaped_sessions(), 1u)
+      << "idle session was never reaped";
+
+  // The reaped connection is dead from the client's side...
+  EXPECT_FALSE(idle_client.Call(ping, &response));
+  // ...while the active one never noticed a thing, and new connections are
+  // accepted as usual.
+  ASSERT_TRUE(active_client.Call(ping, &response));
+  EXPECT_EQ(response.status, ResponseStatus::kOk);
+  serve::Client fresh;
+  EXPECT_TRUE(fresh.Connect(server_->port()));
+}
+
 }  // namespace
 }  // namespace cdcl

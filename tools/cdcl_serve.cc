@@ -7,8 +7,10 @@
 // SIGINT/SIGTERM. See docs/serve.md for the protocol and knob table.
 //
 // Knobs: CDCL_SERVE_PORT, CDCL_SERVE_WORKERS, CDCL_SERVE_DEADLINE_US,
-// CDCL_SERVE_QUEUE_MAX (backpressure bound), CDCL_EVAL_BATCH (micro-batch
-// ceiling), CDCL_GEMM_PRECISION (weight tier), CDCL_TASKS / CDCL_EMBED_DIM /
+// CDCL_SERVE_QUEUE_MAX (backpressure bound), CDCL_SERVE_IDLE_TIMEOUT_MS
+// (idle-connection reaping, 0 = off), CDCL_FAULT (deterministic fault
+// injection, docs/robustness.md), CDCL_EVAL_BATCH (micro-batch ceiling),
+// CDCL_GEMM_PRECISION (weight tier), CDCL_TASKS / CDCL_EMBED_DIM /
 // CDCL_LAYERS (model shape).
 
 #include <csignal>
@@ -17,11 +19,14 @@
 #include "models/compact_transformer.h"
 #include "serve/server.h"
 #include "util/env.h"
+#include "util/fault.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
 int main() {
   using namespace cdcl;  // NOLINT: tool brevity
+
+  fault::ArmFromEnv();
 
   models::ModelConfig config = models::ModelConfig::Small(16, 3);
   config.embed_dim = EnvInt("CDCL_EMBED_DIM", config.embed_dim);
